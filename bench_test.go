@@ -1,0 +1,506 @@
+package streampca
+
+// Benchmark harness: one benchmark per evaluation figure of the paper plus
+// the Theorem 1 complexity microbenchmarks and ablations over the design
+// choices called out in DESIGN.md. The figure benchmarks run the same code
+// paths as cmd/abilene-eval on reduced dimensions so the whole suite
+// completes in minutes; the binary regenerates the full-size figures.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streampca/internal/core"
+	"streampca/internal/eval"
+	"streampca/internal/ewma"
+	"streampca/internal/filter"
+	"streampca/internal/markov"
+	"streampca/internal/mat"
+	"streampca/internal/pca"
+	"streampca/internal/randproj"
+	"streampca/internal/stats"
+	"streampca/internal/traffic"
+	"streampca/internal/vh"
+)
+
+// benchTrace caches one eval workload across benchmarks.
+func benchTrace(b *testing.B, perDay, total, warmup int) *traffic.Trace {
+	b.Helper()
+	tr, err := eval.BuildEvalTrace(2008, total, perDay, warmup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkFig05CoordinatedTrace regenerates the Fig. 5 workload: a
+// synthetic Abilene trace with a coordinated low-profile anomaly and the
+// four plotted OD-flow series.
+func BenchmarkFig05CoordinatedTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, start, end, err := eval.BuildFig5Trace(3, 2*traffic.IntervalsPerDay5Min)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eval.ExtractSeries(tr, eval.Fig5Flows, start-10, end+10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// errorSurfaceBench runs the Fig. 7/8 pipeline (ground truth + (r,l) error
+// sweep) on a reduced grid.
+func errorSurfaceBench(b *testing.B, perDay int) {
+	window := perDay / 4
+	total := perDay
+	tr := benchTrace(b, perDay, total, window)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		truth, err := eval.GroundTruth(tr.Volumes, eval.TruthConfig{
+			WindowLen: window, Rank: 6, Alpha: 0.01, RefitEvery: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		points, err := eval.SweepErrors(tr.Volumes, truth, eval.SweepConfig{
+			WindowLen: window, Epsilon: 0.01, Alpha: 0.01, Seed: 9,
+			Ranks:      []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+			SketchLens: []int{10, 50},
+			RefitEvery: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 20 {
+			b.Fatalf("points = %d", len(points))
+		}
+	}
+}
+
+// BenchmarkFig07ErrorSurface5Min exercises the Fig. 7 pipeline (5-minute
+// intervals).
+func BenchmarkFig07ErrorSurface5Min(b *testing.B) {
+	errorSurfaceBench(b, traffic.IntervalsPerDay5Min)
+}
+
+// BenchmarkFig08ErrorSurface1Min exercises the Fig. 8 pipeline (1-minute
+// intervals; same algorithmic path, finer-grained workload).
+func BenchmarkFig08ErrorSurface1Min(b *testing.B) {
+	errorSurfaceBench(b, traffic.IntervalsPerDay1Min/4)
+}
+
+// BenchmarkFig09ErrorsVsSketchLen exercises the Fig. 9 pipeline: r fixed at
+// 6, sweeping the sketch length.
+func BenchmarkFig09ErrorsVsSketchLen(b *testing.B) {
+	perDay := traffic.IntervalsPerDay5Min
+	window := perDay / 4
+	tr := benchTrace(b, perDay, perDay, window)
+	truth, err := eval.GroundTruth(tr.Volumes, eval.TruthConfig{
+		WindowLen: window, Rank: 6, Alpha: 0.01, RefitEvery: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.SweepErrors(tr.Volumes, truth, eval.SweepConfig{
+			WindowLen: window, Epsilon: 0.01, Alpha: 0.01, Seed: 9,
+			Ranks: []int{6}, SketchLens: []int{10, 50, 200}, RefitEvery: 16,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10NOCOverhead regenerates the Fig. 10 comparison: the NOC's
+// model rebuild from raw windows (m²·n work) vs from sketches (m²·l work),
+// measured on the real Gram+eigendecomposition pipeline.
+func BenchmarkFig10NOCOverhead(b *testing.B) {
+	const m = 81
+	for _, rows := range []int{50, 200, 1000, 4032} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := mat.NewMatrix(rows, m)
+			for i := 0; i < rows; i++ {
+				r := x.RowView(i)
+				for j := range r {
+					r[j] = rng.NormFloat64()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mat.SymEigen(x.Gram()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLocalMonitorUpdate measures the Theorem 1 local-monitor cost
+// O(w·log n) per interval across window lengths and sketch sizes.
+func BenchmarkLocalMonitorUpdate(b *testing.B) {
+	const w = 9 // flows per monitor
+	for _, n := range []int{512, 4096} {
+		for _, l := range []int{32, 200} {
+			b.Run(fmt.Sprintf("n=%d/l=%d", n, l), func(b *testing.B) {
+				gen, err := randproj.NewGenerator(randproj.Config{Seed: 1, SketchLen: l, WindowLen: n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				flowIDs := make([]int, w)
+				for j := range flowIDs {
+					flowIDs[j] = j
+				}
+				mon, err := core.NewMonitor(core.MonitorConfig{
+					FlowIDs: flowIDs, WindowLen: n, Epsilon: 0.1, Gen: gen,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(2))
+				volumes := make([]float64, w)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := range volumes {
+						volumes[j] = 1000 + 50*rng.NormFloat64()
+					}
+					if err := mon.Update(int64(i+1), volumes); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNOCRecompute measures the NOC-side sketch-PCA rebuild
+// (O(m²·l) + eigendecomposition) across sketch lengths.
+func BenchmarkNOCRecompute(b *testing.B) {
+	const m = 81
+	for _, l := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("l=%d", l), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			sketches := make([][]float64, m)
+			means := make([]float64, m)
+			for j := range sketches {
+				s := make([]float64, l)
+				for k := range s {
+					s[k] = rng.NormFloat64()
+				}
+				sketches[j] = s
+				means[j] = 1000
+			}
+			det, err := core.NewDetector(core.DetectorConfig{
+				NumFlows: m, WindowLen: 4032, SketchLen: l, Alpha: 0.01, FixedRank: 6,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := det.RebuildModel(sketches, means, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLakhinaRecompute measures the exact method's per-retraining cost
+// for contrast with BenchmarkNOCRecompute (the n-vs-l gap of Fig. 10).
+func BenchmarkLakhinaRecompute(b *testing.B) {
+	const m = 81
+	for _, n := range []int{576, 4032} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(4))
+			x := mat.NewMatrix(n, m)
+			for i := 0; i < n; i++ {
+				row := x.RowView(i)
+				for j := range row {
+					row[j] = 1000 + 50*rng.NormFloat64()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pca.Fit(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVHUpdate isolates a single variance histogram's per-element cost
+// across ε (ablation: merge aggressiveness vs bucket count).
+func BenchmarkVHUpdate(b *testing.B) {
+	for _, eps := range []float64{0.01, 0.1, 0.5} {
+		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
+			gen, err := randproj.NewGenerator(randproj.Config{Seed: 1, SketchLen: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := vh.New(vh.Config{WindowLen: 2048, Epsilon: eps, Gen: gen})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(5))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := h.Update(int64(i+1), 100+rng.NormFloat64()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(h.NumBuckets()), "buckets")
+		})
+	}
+}
+
+// BenchmarkSketchDistributions ablates the projection family (§V-B): the
+// Gaussian draw needs an inverse-CDF evaluation, tug-of-war a coin flip and
+// the sparse families mostly skip work.
+func BenchmarkSketchDistributions(b *testing.B) {
+	configs := map[string]randproj.Config{
+		"gaussian":    {Seed: 1, SketchLen: 256},
+		"tug-of-war":  {Seed: 1, SketchLen: 256, Dist: randproj.TugOfWar},
+		"sparse-s3":   {Seed: 1, SketchLen: 256, Dist: randproj.Sparse, SparseS: 3},
+		"very-sparse": {Seed: 1, SketchLen: 256, Dist: randproj.VerySparse, WindowLen: 4096},
+	}
+	for name, cfg := range configs {
+		b.Run(name, func(b *testing.B) {
+			gen, err := randproj.NewGenerator(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = gen.Row(int64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkQStatistic measures the threshold computation.
+func BenchmarkQStatistic(b *testing.B) {
+	sv := make([]float64, 81)
+	v := 1000.0
+	for i := range sv {
+		sv[i] = v
+		v *= 0.85
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.QStatistic(sv, 4032, 6, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorDistance measures the per-interval O(m²) detection cost
+// at the NOC.
+func BenchmarkDetectorDistance(b *testing.B) {
+	const m, l = 81, 128
+	rng := rand.New(rand.NewSource(6))
+	sketches := make([][]float64, m)
+	means := make([]float64, m)
+	for j := range sketches {
+		s := make([]float64, l)
+		for k := range s {
+			s[k] = rng.NormFloat64()
+		}
+		sketches[j] = s
+	}
+	det, err := core.NewDetector(core.DetectorConfig{
+		NumFlows: m, WindowLen: 4032, SketchLen: l, Alpha: 0.01, FixedRank: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := det.RebuildModel(sketches, means, 1); err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, m)
+	for j := range x {
+		x[j] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Distance(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSymEigen and BenchmarkSVD size the linear-algebra substrate.
+func BenchmarkSymEigen(b *testing.B) {
+	for _, n := range []int{20, 81} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			a := mat.NewMatrix(n, n)
+			for i := 0; i < n; i++ {
+				for j := i; j < n; j++ {
+					v := rng.NormFloat64()
+					a.Set(i, j, v)
+					a.Set(j, i, v)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mat.SymEigen(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	a := mat.NewMatrix(128, 32)
+	for i := 0; i < 128; i++ {
+		row := a.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.ComputeSVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalVsBatchPCA ablates the incremental sliding-window PCA
+// against refitting from scratch (the trick that makes exact ground-truth
+// labeling affordable).
+func BenchmarkIncrementalVsBatchPCA(b *testing.B) {
+	const n, m = 576, 81
+	rng := rand.New(rand.NewSource(9))
+	rows := make([][]float64, 2*n)
+	for i := range rows {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = 1000 + 50*rng.NormFloat64()
+		}
+		rows[i] = row
+	}
+	b.Run("incremental", func(b *testing.B) {
+		inc, err := pca.NewIncremental(n, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows[:n] {
+			if err := inc.Push(row); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := inc.Push(rows[n+i%n]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := inc.Model(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		x := mat.NewMatrix(n, m)
+		for i := 0; i < n; i++ {
+			copy(x.RowView(i), rows[i])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(x.RowView(i%n), rows[n+i%n]) // slide one row
+			if _, err := pca.Fit(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEWMAObserve sizes the per-interval cost of the classical
+// per-flow baseline for contrast with the subspace detectors.
+func BenchmarkEWMAObserve(b *testing.B) {
+	const m = 81
+	d, err := ewma.New(ewma.Config{NumFlows: m, Lambda: 0.1, K: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	row := make([]float64, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range row {
+			row[j] = 1000 + 30*rng.NormFloat64()
+		}
+		if _, err := d.Observe(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarkovObserve sizes the §VII Markov-extension layer per interval.
+func BenchmarkMarkovObserve(b *testing.B) {
+	c, err := markov.New(markov.Config{NumStates: 5, WindowLen: 512, MinProb: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Observe(100 + 5*rng.NormFloat64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFilterObserve sizes the Huang-style tolerance filter.
+func BenchmarkFilterObserve(b *testing.B) {
+	const m = 81
+	f, err := filter.NewMonitor(filter.Config{NumFlows: m, Tolerance: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	row := make([]float64, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range row {
+			row[j] = 1000 + 30*rng.NormFloat64()
+		}
+		if _, err := f.Observe(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterStep measures one full interval through the in-process
+// cluster (monitor updates + lazy NOC observation).
+func BenchmarkClusterStep(b *testing.B) {
+	const m, window = 81, 288
+	cl, err := NewCluster(ClusterConfig{
+		NumFlows: m, NumMonitors: 9, WindowLen: window, Epsilon: 0.05, Alpha: 0.01,
+		Sketch: SketchConfig{Seed: 1, SketchLen: 100}, FixedRank: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	base := make([]float64, m)
+	for j := range base {
+		base[j] = 1e6 * (1 + 0.5*rng.Float64())
+	}
+	volumes := make([]float64, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range volumes {
+			volumes[j] = base[j] * (1 + 0.05*rng.NormFloat64())
+		}
+		if _, err := cl.Step(int64(i+1), volumes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streampca/internal/traffic"
+)
+
+func TestRunRequiresWork(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("no -figure/-bounds must fail")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "12"}, &buf); err == nil {
+		t.Fatal("unknown figure must fail")
+	}
+}
+
+func TestFigure5Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# Figure 5") {
+		t.Fatal("missing figure header")
+	}
+	if !strings.Contains(out, "ATLA→CHIC") {
+		t.Fatal("missing flow names")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 50 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+	// Data rows have 5 comma-separated fields.
+	fields := strings.Split(lines[3], ",")
+	if len(fields) != 5 {
+		t.Fatalf("row = %q", lines[3])
+	}
+}
+
+func TestFigure10Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "10"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# Figure 10") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(out, "l,lakhina_ops_1min") {
+		t.Fatal("missing column header")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+7 { // two headers + seven sketch lengths
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	// Generate a small CSV with the traffic substrate and replay it
+	// through the figure-9 pipeline.
+	tr, err := traffic.Generate(traffic.GeneratorConfig{NumIntervals: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.InjectCoordinated([]int{1, 5, 9}, 40, 44, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("interval")
+	for _, n := range tr.FlowNames {
+		sb.WriteString("," + n)
+	}
+	sb.WriteString("\n")
+	for i := 0; i < tr.NumIntervals(); i++ {
+		sb.WriteString(strconv.Itoa(i))
+		for j := 0; j < tr.NumFlows(); j++ {
+			sb.WriteString("," + strconv.FormatFloat(tr.Volumes.At(i, j), 'f', 0, 64))
+		}
+		sb.WriteString("\n")
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "9", "-trace", path, "-trace-window", "20"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "5min,10,") {
+		t.Fatalf("missing sweep rows in output:\n%s", buf.String())
+	}
+
+	// -trace without a window is rejected.
+	if err := run([]string{"-figure", "9", "-trace", path}, &buf); err == nil {
+		t.Fatal("missing -trace-window must fail")
+	}
+	// Unreadable trace path.
+	if err := run([]string{"-figure", "9", "-trace", "/nonexistent", "-trace-window", "20"}, &buf); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestCommReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-comm"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"observations,", "fetches,", "lazy_sketch_bytes,", "savings_factor,"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSurfaceDims(t *testing.T) {
+	p := params{}
+	perDay, window, total, ls := surfaceDims(p, false)
+	if perDay != 288 || window <= 0 || total <= window || len(ls) == 0 {
+		t.Fatalf("scaled dims = %d %d %d %v", perDay, window, total, ls)
+	}
+	p.full = true
+	perDay, window, total, ls = surfaceDims(p, true)
+	if perDay != 1440 || window != 14*1440 || total != 30*1440 || len(ls) != 40 {
+		t.Fatalf("full dims = %d %d %d (%d ls)", perDay, window, total, len(ls))
+	}
+}

@@ -1,0 +1,153 @@
+// Command sketchpca-monitor runs a local-monitor daemon: it maintains the
+// per-flow variance-histogram sketches, streams per-interval volume reports
+// to the NOC and answers its sketch pulls.
+//
+// Volumes arrive on stdin as CSV rows "interval,v0,v1,..." (for example a
+// column slice of trafficgen output); -columns selects which CSV columns
+// (0-based, after the interval column) map to this monitor's -flows.
+//
+// Usage:
+//
+//	trafficgen -intervals 8064 | sketchpca-monitor \
+//	    -noc 127.0.0.1:7100 -id mon-east \
+//	    -flows 0,1,2,9,10,11 -columns 0,1,2,9,10,11 \
+//	    -window 4032 -sketch 200 -seed 42
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"streampca/internal/monitor"
+	"streampca/internal/randproj"
+	"streampca/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "sketchpca-monitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader) error {
+	fs := flag.NewFlagSet("sketchpca-monitor", flag.ContinueOnError)
+	var (
+		nocAddr = fs.String("noc", "127.0.0.1:7100", "NOC address")
+		id      = fs.String("id", "monitor-1", "monitor identifier")
+		flowStr = fs.String("flows", "", "comma-separated global flow ids owned by this monitor")
+		colStr  = fs.String("columns", "", "comma-separated stdin CSV columns feeding those flows (defaults to -flows)")
+		window  = fs.Int("window", 4032, "sliding-window length (n)")
+		sketch  = fs.Int("sketch", 200, "sketch length (l)")
+		epsilon = fs.Float64("epsilon", 0.01, "variance-histogram ε")
+		seed    = fs.Uint64("seed", 42, "shared randomness seed")
+		dialTO  = fs.Duration("dial-timeout", 5*time.Second, "NOC dial timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	flows, err := parseIntList(*flowStr)
+	if err != nil {
+		return fmt.Errorf("-flows: %w", err)
+	}
+	if len(flows) == 0 {
+		return fmt.Errorf("-flows is required")
+	}
+	cols := flows
+	if *colStr != "" {
+		cols, err = parseIntList(*colStr)
+		if err != nil {
+			return fmt.Errorf("-columns: %w", err)
+		}
+	}
+	if len(cols) != len(flows) {
+		return fmt.Errorf("%d columns for %d flows", len(cols), len(flows))
+	}
+
+	svc, err := monitor.New(monitor.Config{
+		ID:        *id,
+		FlowIDs:   flows,
+		WindowLen: *window,
+		Epsilon:   *epsilon,
+		Sketch:    randproj.Config{Seed: *seed, SketchLen: *sketch, WindowLen: *window},
+		OnAlarm: func(a transport.Alarm) {
+			fmt.Fprintf(os.Stderr, "%s: ALARM interval=%d distance=%.4g threshold=%.4g\n",
+				*id, a.Interval, a.Distance, a.Threshold)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := svc.Connect(*nocAddr, *dialTO); err != nil {
+		return err
+	}
+	defer func() { _ = svc.Close() }()
+	fmt.Fprintf(os.Stderr, "%s: connected to %s, feeding %d flows from stdin\n", *id, *nocAddr, len(flows))
+
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if lineNo == 1 && !isNumeric(fields[0]) {
+			continue // header row
+		}
+		interval, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: interval %q: %w", lineNo, fields[0], err)
+		}
+		volumes := make([]float64, len(cols))
+		for i, c := range cols {
+			idx := c + 1 // skip the interval column
+			if idx >= len(fields) {
+				return fmt.Errorf("line %d: column %d beyond %d fields", lineNo, c, len(fields))
+			}
+			v, err := strconv.ParseFloat(fields[idx], 64)
+			if err != nil {
+				return fmt.Errorf("line %d column %d: %w", lineNo, c, err)
+			}
+			volumes[i] = v
+		}
+		// Interval indices start at 1 on the wire (0 is "never updated").
+		if err := svc.ReportInterval(interval+1, volumes); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("stdin: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: input exhausted\n", *id)
+	return nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

@@ -1,0 +1,111 @@
+// Command sketchpca-noc runs the Network Operation Center daemon: it
+// listens for local monitors, assembles network-wide measurement vectors
+// from their per-interval volume reports, and runs the lazy sketch-PCA
+// detection protocol, printing one CSV line per decision and raising alarms.
+//
+// Usage:
+//
+//	sketchpca-noc -listen 127.0.0.1:7100 -flows 81 -window 4032 \
+//	    -sketch 200 -alpha 0.01 -rank 6 -seed 42
+//
+// Monitors must be started with the same -window, -sketch and -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"streampca/internal/core"
+	"streampca/internal/noc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sketchpca-noc:", err)
+		os.Exit(1)
+	}
+}
+
+// parseRankMode maps the -rank-mode flag to a core.RankMode.
+func parseRankMode(s string) (core.RankMode, error) {
+	switch strings.ToLower(s) {
+	case "fixed":
+		return core.RankFixed, nil
+	case "3sigma":
+		return core.RankThreeSigma, nil
+	case "energy":
+		return core.RankEnergy, nil
+	default:
+		return 0, fmt.Errorf("unknown rank mode %q (want fixed, 3sigma or energy)", s)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sketchpca-noc", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:7100", "listen address")
+		flows    = fs.Int("flows", 81, "network-wide number of aggregated flows (m)")
+		window   = fs.Int("window", 4032, "sliding-window length in intervals (n)")
+		sketch   = fs.Int("sketch", 200, "sketch length (l)")
+		alpha    = fs.Float64("alpha", 0.01, "Q-statistic false-alarm rate")
+		rankMode = fs.String("rank-mode", "fixed", "rank selection: fixed, 3sigma or energy")
+		rank     = fs.Int("rank", 6, "normal-subspace size for -rank-mode fixed")
+		energy   = fs.Float64("energy", 0.9, "retained energy for -rank-mode energy")
+		seed     = fs.Uint64("seed", 42, "shared randomness seed")
+		quiet    = fs.Bool("quiet", false, "print only alarms, not every decision")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mode, err := parseRankMode(*rankMode)
+	if err != nil {
+		return err
+	}
+
+	svc, err := noc.New(noc.Config{
+		Detector: core.DetectorConfig{
+			NumFlows:   *flows,
+			WindowLen:  *window,
+			SketchLen:  *sketch,
+			Alpha:      *alpha,
+			Mode:       mode,
+			FixedRank:  *rank,
+			EnergyFrac: *energy,
+		},
+		Seed: *seed,
+		OnDecision: func(d noc.Decision) {
+			if d.Result.Anomalous {
+				fmt.Printf("ALARM,interval=%d,distance=%.4g,threshold=%.4g\n",
+					d.Interval, d.Result.Distance, d.Result.Threshold)
+				return
+			}
+			if !*quiet {
+				fmt.Printf("ok,interval=%d,distance=%.4g,threshold=%.4g,refreshed=%t\n",
+					d.Interval, d.Result.Distance, d.Result.Threshold, d.Result.Refreshed)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := svc.Serve(*listen); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sketchpca-noc: listening on %s (m=%d n=%d l=%d)\n",
+		svc.Addr(), *flows, *window, *sketch)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "sketchpca-noc: shutting down")
+	svc.Shutdown()
+	obs, fetches, alarms := svc.DetectorStats()
+	fmt.Fprintf(os.Stderr, "sketchpca-noc: %d observations, %d sketch fetches, %d alarms\n",
+		obs, fetches, alarms)
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"streampca/internal/core"
+)
+
+func TestParseRankMode(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    core.RankMode
+		wantErr bool
+	}{
+		{in: "fixed", want: core.RankFixed},
+		{in: "FIXED", want: core.RankFixed},
+		{in: "3sigma", want: core.RankThreeSigma},
+		{in: "energy", want: core.RankEnergy},
+		{in: "bogus", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseRankMode(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Fatalf("%q: want error", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%q: %v", tt.in, err)
+		}
+		if got != tt.want {
+			t.Fatalf("%q = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cases := [][]string{
+		{"-rank-mode", "bogus"},
+		{"-flows", "0"},
+		{"-alpha", "2"},
+		{"-rank", "999"},
+		{"-listen", "999.999.999.999:1"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("case %d (%v): want error", i, args)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Command trafficgen generates a synthetic Abilene OD-flow trace as CSV:
+// one row per interval, one column per OD flow, with optional injected
+// anomalies recorded in a trailing "label" column.
+//
+// Usage:
+//
+//	trafficgen -intervals 8064 -seed 42 \
+//	    -spike 3:5000:5010:4.0 \
+//	    -coordinated 1,10,33:6000:6012:0.5 \
+//	    -flash 5:7000:7060:2.0 > trace.csv
+//
+// Injection specs use interval indices of the generated trace:
+//
+//	-spike       flow:start:end:magnitude
+//	-coordinated f1,f2,...:start:end:magnitude
+//	-flash       destRouter:start:end:peakMagnitude
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"streampca/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trafficgen:", err)
+		os.Exit(1)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ";") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trafficgen", flag.ContinueOnError)
+	var (
+		intervals  = fs.Int("intervals", 4*traffic.IntervalsPerDay5Min, "number of intervals to generate")
+		perDay     = fs.Int("per-day", traffic.IntervalsPerDay5Min, "intervals per day (288 = 5-minute, 1440 = 1-minute)")
+		seed       = fs.Int64("seed", 1, "generator seed")
+		totalVol   = fs.Float64("volume", 1e8, "network-wide mean bytes per interval")
+		spikes     multiFlag
+		coordinate multiFlag
+		flashes    multiFlag
+	)
+	fs.Var(&spikes, "spike", "high-profile injection flow:start:end:magnitude (repeatable)")
+	fs.Var(&coordinate, "coordinated", "coordinated injection f1,f2,...:start:end:magnitude (repeatable)")
+	fs.Var(&flashes, "flash", "flash-crowd injection destRouter:start:end:peak (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tr, err := traffic.Generate(traffic.GeneratorConfig{
+		NumIntervals:    *intervals,
+		IntervalsPerDay: *perDay,
+		Seed:            *seed,
+		TotalVolume:     *totalVol,
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, spec := range spikes {
+		flow, start, end, mag, err := parseInjection(spec)
+		if err != nil {
+			return fmt.Errorf("spike %q: %w", spec, err)
+		}
+		if len(flow) != 1 {
+			return fmt.Errorf("spike %q: exactly one flow", spec)
+		}
+		if err := tr.InjectSpike(flow[0], start, end, mag); err != nil {
+			return fmt.Errorf("spike %q: %w", spec, err)
+		}
+	}
+	for _, spec := range coordinate {
+		flows, start, end, mag, err := parseInjection(spec)
+		if err != nil {
+			return fmt.Errorf("coordinated %q: %w", spec, err)
+		}
+		if err := tr.InjectCoordinated(flows, start, end, mag); err != nil {
+			return fmt.Errorf("coordinated %q: %w", spec, err)
+		}
+	}
+	for _, spec := range flashes {
+		dest, start, end, mag, err := parseInjection(spec)
+		if err != nil {
+			return fmt.Errorf("flash %q: %w", spec, err)
+		}
+		if len(dest) != 1 {
+			return fmt.Errorf("flash %q: exactly one destination router", spec)
+		}
+		if err := tr.InjectFlashCrowd(dest[0], start, end, mag); err != nil {
+			return fmt.Errorf("flash %q: %w", spec, err)
+		}
+	}
+
+	return writeCSV(out, tr)
+}
+
+// parseInjection parses "ids:start:end:magnitude" with ids a comma list.
+func parseInjection(spec string) (ids []int, start, end int, mag float64, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		return nil, 0, 0, 0, fmt.Errorf("want ids:start:end:magnitude")
+	}
+	for _, s := range strings.Split(parts[0], ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("id %q: %w", s, err)
+		}
+		ids = append(ids, id)
+	}
+	if start, err = strconv.Atoi(parts[1]); err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("start %q: %w", parts[1], err)
+	}
+	if end, err = strconv.Atoi(parts[2]); err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("end %q: %w", parts[2], err)
+	}
+	if mag, err = strconv.ParseFloat(parts[3], 64); err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("magnitude %q: %w", parts[3], err)
+	}
+	return ids, start, end, mag, nil
+}
+
+// writeCSV emits interval, per-flow volumes and the ground-truth label.
+func writeCSV(out io.Writer, tr *traffic.Trace) error {
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	w.WriteString("interval")
+	for _, name := range tr.FlowNames {
+		w.WriteByte(',')
+		w.WriteString(name)
+	}
+	w.WriteString(",label\n")
+
+	labels := tr.Labels()
+	for i := 0; i < tr.NumIntervals(); i++ {
+		w.WriteString(strconv.Itoa(i))
+		row := tr.Volumes.RowView(i)
+		for _, v := range row {
+			w.WriteByte(',')
+			w.WriteString(strconv.FormatFloat(v, 'f', 0, 64))
+		}
+		w.WriteByte(',')
+		if labels[i] {
+			w.WriteByte('1')
+		} else {
+			w.WriteByte('0')
+		}
+		w.WriteByte('\n')
+	}
+	return w.Flush()
+}

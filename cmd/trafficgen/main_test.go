@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseInjection(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    string
+		wantIDs []int
+		start   int
+		end     int
+		mag     float64
+		wantErr bool
+	}{
+		{name: "single", spec: "3:10:20:1.5", wantIDs: []int{3}, start: 10, end: 20, mag: 1.5},
+		{name: "multi", spec: "1,2,3:5:6:0.5", wantIDs: []int{1, 2, 3}, start: 5, end: 6, mag: 0.5},
+		{name: "spaces", spec: "1, 2:5:6:0.5", wantIDs: []int{1, 2}, start: 5, end: 6, mag: 0.5},
+		{name: "too few parts", spec: "1:2:3", wantErr: true},
+		{name: "bad id", spec: "x:1:2:3", wantErr: true},
+		{name: "bad start", spec: "1:x:2:3", wantErr: true},
+		{name: "bad end", spec: "1:2:x:3", wantErr: true},
+		{name: "bad magnitude", spec: "1:2:3:x", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ids, start, end, mag, err := parseInjection(tt.spec)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != len(tt.wantIDs) {
+				t.Fatalf("ids = %v", ids)
+			}
+			for i := range ids {
+				if ids[i] != tt.wantIDs[i] {
+					t.Fatalf("ids = %v, want %v", ids, tt.wantIDs)
+				}
+			}
+			if start != tt.start || end != tt.end || mag != tt.mag {
+				t.Fatalf("got %d %d %v", start, end, mag)
+			}
+		})
+	}
+}
+
+func TestRunGeneratesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-intervals", "20",
+		"-seed", "3",
+		"-spike", "2:5:8:2.0",
+		"-coordinated", "1,4:10:12:0.5",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 21 { // header + 20 rows
+		t.Fatalf("lines = %d", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "interval" || header[len(header)-1] != "label" || len(header) != 83 {
+		t.Fatalf("header = %v…", header[:3])
+	}
+	// Labels mark exactly [5,8) ∪ [10,12).
+	for i, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		label := fields[len(fields)-1]
+		want := "0"
+		if (i >= 5 && i < 8) || (i >= 10 && i < 12) {
+			want = "1"
+		}
+		if label != want {
+			t.Fatalf("interval %d label = %s, want %s", i, label, want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"-intervals", "0"},
+		{"-intervals", "20", "-spike", "nonsense"},
+		{"-intervals", "20", "-spike", "1,2:0:5:1"}, // spike wants one flow
+		{"-intervals", "20", "-coordinated", "bad"},
+		{"-intervals", "20", "-flash", "1,2:0:5:1"}, // flash wants one router
+		{"-intervals", "20", "-flash", "99:0:5:1"},  // bad router
+		{"-intervals", "20", "-spike", "1:50:60:1"}, // out of range
+	}
+	for i, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("case %d (%v): want error", i, args)
+		}
+	}
+}
+
+func TestFlashInjection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-intervals", "30", "-flash", "2:10:20:1.5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	fields := strings.Split(lines[15], ",")
+	if fields[len(fields)-1] != "1" {
+		t.Fatal("flash interval not labeled")
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	if err := m.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "a;b" {
+		t.Fatalf("String = %q", m.String())
+	}
+}

@@ -1,0 +1,3 @@
+module streampca
+
+go 1.22

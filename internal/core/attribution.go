@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FlowContribution describes one flow's share of an anomalous residual.
+type FlowContribution struct {
+	// Flow is the global flow index.
+	Flow int
+	// Residual is the flow's component of the anomalous-subspace residual
+	// (signed: positive = more traffic than the normal pattern predicts).
+	Residual float64
+	// Share is Residual²/‖residual‖², in [0, 1].
+	Share float64
+}
+
+// Attribute decomposes a measurement into its normal and anomalous parts
+// (paper eq. 4) and returns the topK flows ranked by their contribution to
+// the anomalous residual — the starting point for diagnosing which OD flows
+// drive an alarm. topK ≤ 0 returns all flows.
+func (d *Detector) Attribute(x []float64, topK int) ([]FlowContribution, error) {
+	if d.model == nil {
+		return nil, ErrNoModel
+	}
+	m := d.cfg.NumFlows
+	if len(x) != m {
+		return nil, fmt.Errorf("%w: vector of %d for %d flows", ErrInput, len(x), m)
+	}
+	// y = x − μ; residual = y − Σ_{j≤r} (â_jᵀy)·â_j.
+	y := make([]float64, m)
+	for j, v := range x {
+		y[j] = v - d.model.Means[j]
+	}
+	residual := append([]float64(nil), y...)
+	for j := 0; j < d.model.Rank; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += d.model.Components.At(i, j) * y[i]
+		}
+		for i := 0; i < m; i++ {
+			residual[i] -= s * d.model.Components.At(i, j)
+		}
+	}
+	var total float64
+	for _, v := range residual {
+		total += v * v
+	}
+	out := make([]FlowContribution, m)
+	for i, v := range residual {
+		share := 0.0
+		if total > 0 {
+			share = v * v / total
+		}
+		out[i] = FlowContribution{Flow: i, Residual: v, Share: share}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Share > out[b].Share })
+	if topK > 0 && topK < len(out) {
+		out = out[:topK]
+	}
+	return out, nil
+}

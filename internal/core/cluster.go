@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"streampca/internal/randproj"
+)
+
+// ClusterConfig parameterizes an in-process cluster: several monitors
+// partitioning the flow space plus one NOC detector. It is the simplest way
+// to run the full algorithm without the network layer, and what the
+// evaluation harness uses.
+type ClusterConfig struct {
+	// NumFlows is m.
+	NumFlows int
+	// NumMonitors partitions the flows round-robin across monitors.
+	NumMonitors int
+	// WindowLen is n.
+	WindowLen int
+	// Epsilon is the VH parameter ε.
+	Epsilon float64
+	// Alpha is the detector's false-alarm rate.
+	Alpha float64
+	// Sketch configures the shared random projection (Seed, SketchLen,
+	// Dist, …). WindowLen is filled from the cluster's if unset.
+	Sketch randproj.Config
+	// Rank configures rank selection (see DetectorConfig).
+	Mode       RankMode
+	FixedRank  int
+	EnergyFrac float64
+}
+
+// Cluster is an in-process assembly of monitors and a NOC detector.
+type Cluster struct {
+	monitors []*Monitor
+	detector *Detector
+	// flowOwner[j] is the monitor index owning flow j; flowSlot[j] is the
+	// flow's position within that monitor.
+	flowOwner []int
+	flowSlot  []int
+	gen       *randproj.Generator
+	windowLen int
+	updates   int
+}
+
+// NewCluster builds the monitors and detector.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.NumFlows < 1 {
+		return nil, fmt.Errorf("%w: %d flows", ErrConfig, cfg.NumFlows)
+	}
+	if cfg.NumMonitors < 1 || cfg.NumMonitors > cfg.NumFlows {
+		return nil, fmt.Errorf("%w: %d monitors for %d flows", ErrConfig, cfg.NumMonitors, cfg.NumFlows)
+	}
+	sketchCfg := cfg.Sketch
+	if sketchCfg.WindowLen == 0 {
+		sketchCfg.WindowLen = cfg.WindowLen
+	}
+	gen, err := randproj.NewGenerator(sketchCfg)
+	if err != nil {
+		return nil, fmt.Errorf("generator: %w", err)
+	}
+
+	// Round-robin flow assignment.
+	assign := make([][]int, cfg.NumMonitors)
+	flowOwner := make([]int, cfg.NumFlows)
+	flowSlot := make([]int, cfg.NumFlows)
+	for j := 0; j < cfg.NumFlows; j++ {
+		mIdx := j % cfg.NumMonitors
+		flowOwner[j] = mIdx
+		flowSlot[j] = len(assign[mIdx])
+		assign[mIdx] = append(assign[mIdx], j)
+	}
+
+	monitors := make([]*Monitor, cfg.NumMonitors)
+	for i := range monitors {
+		mon, err := NewMonitor(MonitorConfig{
+			FlowIDs:   assign[i],
+			WindowLen: cfg.WindowLen,
+			Epsilon:   cfg.Epsilon,
+			Gen:       gen,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("monitor %d: %w", i, err)
+		}
+		monitors[i] = mon
+	}
+
+	det, err := NewDetector(DetectorConfig{
+		NumFlows:   cfg.NumFlows,
+		WindowLen:  cfg.WindowLen,
+		SketchLen:  gen.SketchLen(),
+		Alpha:      cfg.Alpha,
+		Mode:       cfg.Mode,
+		FixedRank:  cfg.FixedRank,
+		EnergyFrac: cfg.EnergyFrac,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("detector: %w", err)
+	}
+	return &Cluster{
+		monitors:  monitors,
+		detector:  det,
+		flowOwner: flowOwner,
+		flowSlot:  flowSlot,
+		gen:       gen,
+		windowLen: cfg.WindowLen,
+	}, nil
+}
+
+// Monitors returns the cluster's monitors.
+func (c *Cluster) Monitors() []*Monitor { return c.monitors }
+
+// Detector returns the NOC detector.
+func (c *Cluster) Detector() *Detector { return c.detector }
+
+// Generator returns the shared random-projection generator.
+func (c *Cluster) Generator() *randproj.Generator { return c.gen }
+
+// Update feeds interval t's full volume vector to the owning monitors.
+func (c *Cluster) Update(t int64, volumes []float64) error {
+	if len(volumes) != len(c.flowOwner) {
+		return fmt.Errorf("%w: %d volumes for %d flows", ErrInput, len(volumes), len(c.flowOwner))
+	}
+	// Scatter volumes to per-monitor vectors.
+	per := make([][]float64, len(c.monitors))
+	for i, mon := range c.monitors {
+		per[i] = make([]float64, mon.NumFlows())
+	}
+	for j, v := range volumes {
+		per[c.flowOwner[j]][c.flowSlot[j]] = v
+	}
+	for i, mon := range c.monitors {
+		if err := mon.Update(t, per[i]); err != nil {
+			return fmt.Errorf("monitor %d: %w", i, err)
+		}
+	}
+	c.updates++
+	return nil
+}
+
+// Warm reports whether the monitors have seen a full window of intervals —
+// before that, models built from partial sketches are unreliable and Step
+// skips detection.
+func (c *Cluster) Warm() bool { return c.updates >= c.windowLen }
+
+// Fetch gathers every monitor's report into flow-indexed sketch and mean
+// arrays — the in-process FetchFunc.
+func (c *Cluster) Fetch() (sketches [][]float64, means []float64, interval int64, err error) {
+	m := len(c.flowOwner)
+	sketches = make([][]float64, m)
+	means = make([]float64, m)
+	for _, mon := range c.monitors {
+		rep := mon.Report()
+		if err := rep.Validate(c.gen.SketchLen()); err != nil {
+			return nil, nil, 0, err
+		}
+		for i, id := range rep.FlowIDs {
+			if id < 0 || id >= m {
+				return nil, nil, 0, fmt.Errorf("%w: reported flow %d of %d", ErrInput, id, m)
+			}
+			sketches[id] = rep.Sketches[i]
+			means[id] = rep.Means[i]
+		}
+		if rep.Interval > interval {
+			interval = rep.Interval
+		}
+	}
+	for j, s := range sketches {
+		if s == nil {
+			return nil, nil, 0, fmt.Errorf("%w: no monitor reported flow %d", ErrInput, j)
+		}
+	}
+	return sketches, means, interval, nil
+}
+
+// Step runs one full interval: update all monitors with the volumes, then
+// drive the lazy detection protocol on the same measurement vector. During
+// warm-up (fewer than WindowLen intervals seen) detection is skipped and a
+// zero Decision is returned.
+func (c *Cluster) Step(t int64, volumes []float64) (Decision, error) {
+	if err := c.Update(t, volumes); err != nil {
+		return Decision{}, err
+	}
+	if !c.Warm() {
+		return Decision{}, nil
+	}
+	return c.detector.Observe(volumes, c.Fetch)
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"streampca/internal/mat"
+	"streampca/internal/stats"
+)
+
+// RankMode selects how the NOC chooses the normal-subspace size r.
+type RankMode int
+
+const (
+	// RankFixed uses the configured FixedRank (the paper's evaluation
+	// sweeps r = 1…10 this way).
+	RankFixed RankMode = iota + 1
+	// RankThreeSigma applies the 3σ-heuristic of §IV-D to the sketch
+	// matrix's projections.
+	RankThreeSigma
+	// RankEnergy picks the smallest r retaining EnergyFrac of Σλ̂².
+	RankEnergy
+)
+
+// String implements fmt.Stringer.
+func (m RankMode) String() string {
+	switch m {
+	case RankFixed:
+		return "fixed"
+	case RankThreeSigma:
+		return "3sigma"
+	case RankEnergy:
+		return "energy"
+	default:
+		return "unknown"
+	}
+}
+
+// DetectorConfig parameterizes the NOC-side detector.
+type DetectorConfig struct {
+	// NumFlows is m, the network-wide number of aggregated flows.
+	NumFlows int
+	// WindowLen is n, used in the threshold's variance normalization.
+	WindowLen int
+	// SketchLen is l; every monitor must use the same value.
+	SketchLen int
+	// Alpha is the false-alarm rate for the δ threshold.
+	Alpha float64
+	// Mode selects rank determination; defaults to RankFixed.
+	Mode RankMode
+	// FixedRank is r for RankFixed.
+	FixedRank int
+	// EnergyFrac is the retained-energy fraction for RankEnergy
+	// (defaults to 0.9, the paper's "90% energy" observation).
+	EnergyFrac float64
+}
+
+// Model is a fitted sketch-PCA model at the NOC.
+type Model struct {
+	// Components' column j is â_j (m×m orthonormal).
+	Components *mat.Matrix
+	// Singular holds λ̂_j descending.
+	Singular []float64
+	// Means holds μ_all per flow, used to center measurements.
+	Means []float64
+	// Rank is the chosen normal-subspace size r.
+	Rank int
+	// Threshold is the δ_α control limit on the distance scale.
+	Threshold float64
+	// BuiltAt is the sketch interval the model was built from.
+	BuiltAt int64
+}
+
+// Detector is the NOC-side streaming detector. It is not safe for concurrent
+// use; internal/noc serializes access.
+type Detector struct {
+	cfg   DetectorConfig
+	model *Model
+	// counters for the lazy protocol.
+	observations int64
+	fetches      int64
+	alarms       int64
+}
+
+// NewDetector validates cfg.
+func NewDetector(cfg DetectorConfig) (*Detector, error) {
+	if cfg.NumFlows < 1 {
+		return nil, fmt.Errorf("%w: %d flows", ErrConfig, cfg.NumFlows)
+	}
+	if cfg.WindowLen < 2 {
+		return nil, fmt.Errorf("%w: window length %d", ErrConfig, cfg.WindowLen)
+	}
+	if cfg.SketchLen < 1 {
+		return nil, fmt.Errorf("%w: sketch length %d", ErrConfig, cfg.SketchLen)
+	}
+	if math.IsNaN(cfg.Alpha) || cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("%w: alpha %v", ErrConfig, cfg.Alpha)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = RankFixed
+	}
+	switch cfg.Mode {
+	case RankFixed:
+		if cfg.FixedRank < 0 || cfg.FixedRank > cfg.NumFlows {
+			return nil, fmt.Errorf("%w: fixed rank %d with %d flows", ErrConfig, cfg.FixedRank, cfg.NumFlows)
+		}
+	case RankThreeSigma:
+		// No parameters.
+	case RankEnergy:
+		if cfg.EnergyFrac == 0 {
+			cfg.EnergyFrac = 0.9
+		}
+		if cfg.EnergyFrac <= 0 || cfg.EnergyFrac > 1 {
+			return nil, fmt.Errorf("%w: energy fraction %v", ErrConfig, cfg.EnergyFrac)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown rank mode %d", ErrConfig, int(cfg.Mode))
+	}
+	return &Detector{cfg: cfg}, nil
+}
+
+// Config returns the detector configuration.
+func (d *Detector) Config() DetectorConfig { return d.cfg }
+
+// HasModel reports whether a model has been built.
+func (d *Detector) HasModel() bool { return d.model != nil }
+
+// Model returns the current model, or nil before the first rebuild.
+func (d *Detector) Model() *Model { return d.model }
+
+// AssembleSketchMatrix organizes per-flow sketches into the l×m matrix Ẑ.
+// sketches[j] is the l-vector for global flow j; all must be present.
+func AssembleSketchMatrix(sketches [][]float64, sketchLen int) (*mat.Matrix, error) {
+	m := len(sketches)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: no sketches", ErrInput)
+	}
+	z := mat.NewMatrix(sketchLen, m)
+	for j, s := range sketches {
+		if s == nil {
+			return nil, fmt.Errorf("%w: missing sketch for flow %d", ErrInput, j)
+		}
+		if len(s) != sketchLen {
+			return nil, fmt.Errorf("%w: sketch %d has length %d, want %d", ErrInput, j, len(s), sketchLen)
+		}
+		for k, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: non-finite sketch value for flow %d", ErrInput, j)
+			}
+			z.Set(k, j, v)
+		}
+	}
+	return z, nil
+}
+
+// RebuildModel runs PCA on the sketch matrix and refreshes the threshold.
+// sketches[j] and means[j] are indexed by global flow id; builtAt records the
+// sketch freshness.
+func (d *Detector) RebuildModel(sketches [][]float64, means []float64, builtAt int64) error {
+	if len(sketches) != d.cfg.NumFlows || len(means) != d.cfg.NumFlows {
+		return fmt.Errorf("%w: %d sketches and %d means for %d flows",
+			ErrInput, len(sketches), len(means), d.cfg.NumFlows)
+	}
+	for j, v := range means {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite mean for flow %d", ErrInput, j)
+		}
+	}
+	z, err := AssembleSketchMatrix(sketches, d.cfg.SketchLen)
+	if err != nil {
+		return err
+	}
+	// PCA on Ẑ via the m×m Gram matrix: eigenvalues are λ̂², eigenvectors
+	// are the right singular vectors â — the only pieces the detector needs.
+	eig, err := mat.SymEigen(z.Gram())
+	if err != nil {
+		return fmt.Errorf("sketch eigendecomposition: %w", err)
+	}
+	sv := make([]float64, d.cfg.NumFlows)
+	for j, lam := range eig.Values {
+		if lam < 0 {
+			lam = 0
+		}
+		sv[j] = math.Sqrt(lam)
+	}
+
+	rank, err := d.chooseRank(z, eig.Vectors, sv)
+	if err != nil {
+		return fmt.Errorf("rank selection: %w", err)
+	}
+	threshold, err := stats.QStatistic(sv, d.cfg.WindowLen, rank, d.cfg.Alpha)
+	if err != nil {
+		return fmt.Errorf("threshold: %w", err)
+	}
+	d.model = &Model{
+		Components: eig.Vectors,
+		Singular:   sv,
+		Means:      append([]float64(nil), means...),
+		Rank:       rank,
+		Threshold:  threshold,
+		BuiltAt:    builtAt,
+	}
+	return nil
+}
+
+// chooseRank applies the configured rank policy to a freshly decomposed
+// sketch matrix.
+func (d *Detector) chooseRank(z *mat.Matrix, components *mat.Matrix, sv []float64) (int, error) {
+	switch d.cfg.Mode {
+	case RankFixed:
+		return d.cfg.FixedRank, nil
+	case RankEnergy:
+		var total float64
+		for _, s := range sv {
+			total += s * s
+		}
+		if total == 0 {
+			return 0, nil
+		}
+		var acc float64
+		for j, s := range sv {
+			acc += s * s
+			if acc >= d.cfg.EnergyFrac*total {
+				return j + 1, nil
+			}
+		}
+		return len(sv), nil
+	case RankThreeSigma:
+		// Examine Ẑ·â_j one component at a time; the first projection with
+		// an element beyond 3σ_j starts the anomalous subspace (§IV-D).
+		l := z.Rows()
+		for j := 0; j < len(sv); j++ {
+			if sv[j] == 0 {
+				return j, nil
+			}
+			sigma := sv[j] / math.Sqrt(float64(l))
+			proj, err := z.MulVec(components.Col(j))
+			if err != nil {
+				return 0, err
+			}
+			for _, v := range proj {
+				if math.Abs(v) > 3*sigma {
+					return j, nil
+				}
+			}
+		}
+		return len(sv), nil
+	default:
+		return 0, fmt.Errorf("%w: unknown rank mode %d", ErrConfig, int(d.cfg.Mode))
+	}
+}
+
+// Distance computes the anomaly distance d_Ẑ(y) of a raw measurement vector
+// (eq. 19/21) against the current model.
+func (d *Detector) Distance(x []float64) (float64, error) {
+	if d.model == nil {
+		return 0, ErrNoModel
+	}
+	m := d.cfg.NumFlows
+	if len(x) != m {
+		return 0, fmt.Errorf("%w: vector of %d for %d flows", ErrInput, len(x), m)
+	}
+	y := make([]float64, m)
+	for j, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("%w: non-finite measurement for flow %d", ErrInput, j)
+		}
+		y[j] = v - d.model.Means[j]
+	}
+	total := mat.Dot(y, y)
+	var normal float64
+	for j := 0; j < d.model.Rank; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += d.model.Components.At(i, j) * y[i]
+		}
+		normal += s * s
+	}
+	rem := total - normal
+	if rem < 0 {
+		rem = 0
+	}
+	return math.Sqrt(rem), nil
+}
+
+// Threshold returns the current δ, or an error before the first model.
+func (d *Detector) Threshold() (float64, error) {
+	if d.model == nil {
+		return 0, ErrNoModel
+	}
+	return d.model.Threshold, nil
+}
+
+// FetchFunc pulls fresh sketches from the local monitors. It returns
+// sketches and means indexed by global flow id plus the interval they cover.
+type FetchFunc func() (sketches [][]float64, means []float64, interval int64, err error)
+
+// Decision reports the outcome of one lazy-protocol observation (§IV-C).
+type Decision struct {
+	// Distance is the anomaly distance against the final model used.
+	Distance float64
+	// Threshold is the δ in force for the final comparison.
+	Threshold float64
+	// Anomalous is true when the measurement still exceeds δ after a
+	// refresh — the paper's alarm condition.
+	Anomalous bool
+	// Refreshed is true when the observation triggered a sketch pull and
+	// model rebuild.
+	Refreshed bool
+	// StaleDistance is the distance against the stale model when a refresh
+	// occurred (diagnostics); equal to Distance otherwise.
+	StaleDistance float64
+}
+
+// Observe drives the lazy detection protocol for one measurement vector:
+//
+//  1. no model yet → fetch, rebuild, evaluate;
+//  2. d(y) ≤ δ → normal, nothing else happens;
+//  3. d(y) > δ → fetch fresh sketches, rebuild model and threshold,
+//     re-evaluate: still above → alarm; otherwise the model was stale and
+//     has now been refreshed.
+func (d *Detector) Observe(x []float64, fetch FetchFunc) (Decision, error) {
+	if fetch == nil {
+		return Decision{}, fmt.Errorf("%w: nil fetch", ErrInput)
+	}
+	d.observations++
+
+	refresh := func() error {
+		sketches, means, interval, err := fetch()
+		if err != nil {
+			return fmt.Errorf("fetch sketches: %w", err)
+		}
+		d.fetches++
+		if err := d.RebuildModel(sketches, means, interval); err != nil {
+			return fmt.Errorf("rebuild: %w", err)
+		}
+		return nil
+	}
+
+	var dec Decision
+	if d.model == nil {
+		if err := refresh(); err != nil {
+			return Decision{}, err
+		}
+		dec.Refreshed = true
+	}
+
+	dist, err := d.Distance(x)
+	if err != nil {
+		return Decision{}, err
+	}
+	dec.Distance = dist
+	dec.StaleDistance = dist
+	dec.Threshold = d.model.Threshold
+
+	if dist <= d.model.Threshold {
+		return dec, nil
+	}
+	if !dec.Refreshed {
+		// The model may be stale: pull fresh sketches and re-evaluate.
+		if err := refresh(); err != nil {
+			return Decision{}, err
+		}
+		dec.Refreshed = true
+		fresh, err := d.Distance(x)
+		if err != nil {
+			return Decision{}, err
+		}
+		dec.Distance = fresh
+		dec.Threshold = d.model.Threshold
+		if fresh <= d.model.Threshold {
+			return dec, nil
+		}
+	}
+	dec.Anomalous = true
+	d.alarms++
+	return dec, nil
+}
+
+// Stats reports protocol counters: observations seen, sketch fetches
+// performed and alarms raised.
+func (d *Detector) Stats() (observations, fetches, alarms int64) {
+	return d.observations, d.fetches, d.alarms
+}

@@ -1,0 +1,179 @@
+// Package core implements the paper's primary contribution: the sketch-based
+// streaming PCA algorithm for network-wide traffic anomaly detection.
+//
+// A Monitor is the local-monitor half (Fig. 2 left; §IV-A/B): per assigned
+// flow it feeds interval volumes into a variance histogram carrying
+// random-projection partial sums, achieving O(w·log n) update time and
+// O(w·log² n) space for w flows.
+//
+// A Detector is the NOC half (Fig. 2 right; §IV-C/D/E): it assembles the
+// per-flow sketches into the l×m matrix Ẑ, runs PCA on Ẑ (O(m²·l) =
+// O(m²·log n) per rebuild instead of O(m²·n)), thresholds the anomaly
+// distance with the Q-statistic, and drives the lazy model-refresh protocol:
+// sketches are pulled from monitors only when the current measurement
+// exceeds the (possibly stale) threshold.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"streampca/internal/randproj"
+	"streampca/internal/vh"
+)
+
+// Errors returned by the package.
+var (
+	// ErrConfig indicates an invalid configuration.
+	ErrConfig = errors.New("core: invalid configuration")
+	// ErrInput indicates structurally invalid runtime input.
+	ErrInput = errors.New("core: invalid input")
+	// ErrNoModel indicates a detector query before any model was built.
+	ErrNoModel = errors.New("core: no model built yet")
+)
+
+// MonitorConfig parameterizes a local monitor.
+type MonitorConfig struct {
+	// FlowIDs lists the global flow indices this monitor is responsible
+	// for. Required, non-empty, unique.
+	FlowIDs []int
+	// WindowLen is n, the sliding-window length in intervals.
+	WindowLen int
+	// Epsilon is the VH approximation parameter ε ∈ (0, 1).
+	Epsilon float64
+	// Gen is the shared random-number generator; required so sketches from
+	// different monitors combine at the NOC.
+	Gen *randproj.Generator
+}
+
+// Monitor maintains one variance histogram per assigned flow.
+// It is not safe for concurrent use; callers (internal/monitor) serialize.
+type Monitor struct {
+	flowIDs []int
+	hists   []*vh.Histogram
+	gen     *randproj.Generator
+	now     int64
+}
+
+// NewMonitor validates cfg and builds the per-flow histograms.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if len(cfg.FlowIDs) == 0 {
+		return nil, fmt.Errorf("%w: no flows assigned", ErrConfig)
+	}
+	if cfg.Gen == nil {
+		return nil, fmt.Errorf("%w: nil random generator", ErrConfig)
+	}
+	seen := make(map[int]struct{}, len(cfg.FlowIDs))
+	for _, id := range cfg.FlowIDs {
+		if id < 0 {
+			return nil, fmt.Errorf("%w: negative flow id %d", ErrConfig, id)
+		}
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate flow id %d", ErrConfig, id)
+		}
+		seen[id] = struct{}{}
+	}
+	hists := make([]*vh.Histogram, len(cfg.FlowIDs))
+	for i := range cfg.FlowIDs {
+		h, err := vh.New(vh.Config{WindowLen: cfg.WindowLen, Epsilon: cfg.Epsilon, Gen: cfg.Gen})
+		if err != nil {
+			return nil, fmt.Errorf("histogram for flow %d: %w", cfg.FlowIDs[i], err)
+		}
+		hists[i] = h
+	}
+	return &Monitor{
+		flowIDs: append([]int(nil), cfg.FlowIDs...),
+		hists:   hists,
+		gen:     cfg.Gen,
+	}, nil
+}
+
+// FlowIDs returns a copy of the assigned global flow indices.
+func (m *Monitor) FlowIDs() []int {
+	return append([]int(nil), m.flowIDs...)
+}
+
+// NumFlows returns w, the number of flows this monitor handles.
+func (m *Monitor) NumFlows() int { return len(m.flowIDs) }
+
+// Now returns the interval of the most recent update.
+func (m *Monitor) Now() int64 { return m.now }
+
+// Update ingests the volumes of interval t; volumes[i] belongs to
+// FlowIDs()[i]. Intervals must be strictly increasing.
+func (m *Monitor) Update(t int64, volumes []float64) error {
+	if len(volumes) != len(m.flowIDs) {
+		return fmt.Errorf("%w: %d volumes for %d flows", ErrInput, len(volumes), len(m.flowIDs))
+	}
+	// The random row r_{t,·} is shared by every flow at interval t; compute
+	// it once.
+	row := m.gen.Row(t)
+	for i, v := range volumes {
+		if err := m.hists[i].UpdateWithRow(t, v, row); err != nil {
+			return fmt.Errorf("flow %d: %w", m.flowIDs[i], err)
+		}
+	}
+	m.now = t
+	return nil
+}
+
+// SketchReport carries a monitor's current sketch state to the NOC.
+type SketchReport struct {
+	// Interval is the time of the most recent update covered.
+	Interval int64
+	// FlowIDs[i] is the global flow index of column i.
+	FlowIDs []int
+	// Sketches[i] is the l-vector ẑ for flow FlowIDs[i].
+	Sketches [][]float64
+	// Means[i] is μ_all for flow FlowIDs[i].
+	Means []float64
+	// Counts[i] is the number of summarized intervals for the flow.
+	Counts []int64
+	// Buckets[i] is the current bucket count (space diagnostics).
+	Buckets []int
+}
+
+// Report extracts the current sketches for all assigned flows.
+func (m *Monitor) Report() SketchReport {
+	rep := SketchReport{
+		Interval: m.now,
+		FlowIDs:  append([]int(nil), m.flowIDs...),
+		Sketches: make([][]float64, len(m.flowIDs)),
+		Means:    make([]float64, len(m.flowIDs)),
+		Counts:   make([]int64, len(m.flowIDs)),
+		Buckets:  make([]int, len(m.flowIDs)),
+	}
+	for i, h := range m.hists {
+		rep.Sketches[i] = h.Sketch()
+		rep.Means[i] = h.EstimateMean()
+		rep.Counts[i] = h.Count()
+		rep.Buckets[i] = h.NumBuckets()
+	}
+	return rep
+}
+
+// Validate checks a report for structural consistency.
+func (r *SketchReport) Validate(sketchLen int) error {
+	n := len(r.FlowIDs)
+	if len(r.Sketches) != n || len(r.Means) != n {
+		return fmt.Errorf("%w: report arrays disagree (%d flows, %d sketches, %d means)",
+			ErrInput, n, len(r.Sketches), len(r.Means))
+	}
+	for i, s := range r.Sketches {
+		if len(s) != sketchLen {
+			return fmt.Errorf("%w: sketch %d has length %d, want %d", ErrInput, i, len(s), sketchLen)
+		}
+		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: non-finite sketch value for flow %d", ErrInput, r.FlowIDs[i])
+			}
+		}
+	}
+	for i, v := range r.Means {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite mean for flow %d", ErrInput, r.FlowIDs[i])
+		}
+	}
+	return nil
+}

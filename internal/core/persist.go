@@ -1,0 +1,70 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+)
+
+// SaveModel serializes the current model with gob so a NOC can checkpoint
+// across restarts (the sketches live at the monitors; only the fitted model
+// and threshold need persisting). Fails with ErrNoModel before the first
+// rebuild.
+func (d *Detector) SaveModel(w io.Writer) error {
+	if d.model == nil {
+		return ErrNoModel
+	}
+	if err := gob.NewEncoder(w).Encode(d.model); err != nil {
+		return fmt.Errorf("encode model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel restores a model saved by SaveModel, validating it against the
+// detector's configuration before adopting it.
+func (d *Detector) LoadModel(r io.Reader) error {
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return fmt.Errorf("decode model: %w", err)
+	}
+	if err := d.validateModel(&m); err != nil {
+		return err
+	}
+	d.model = &m
+	return nil
+}
+
+// validateModel checks structural and numerical sanity of a restored model.
+func (d *Detector) validateModel(m *Model) error {
+	n := d.cfg.NumFlows
+	if m.Components == nil || m.Components.Rows() != n || m.Components.Cols() != n {
+		return fmt.Errorf("%w: components for %d flows", ErrInput, n)
+	}
+	if len(m.Singular) != n || len(m.Means) != n {
+		return fmt.Errorf("%w: %d singular values and %d means for %d flows",
+			ErrInput, len(m.Singular), len(m.Means), n)
+	}
+	if m.Rank < 0 || m.Rank > n {
+		return fmt.Errorf("%w: rank %d", ErrInput, m.Rank)
+	}
+	if math.IsNaN(m.Threshold) || math.IsInf(m.Threshold, 0) || m.Threshold < 0 {
+		return fmt.Errorf("%w: threshold %v", ErrInput, m.Threshold)
+	}
+	if !m.Components.IsFinite() {
+		return fmt.Errorf("%w: non-finite components", ErrInput)
+	}
+	prev := math.Inf(1)
+	for j, s := range m.Singular {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 || s > prev+1e-9 {
+			return fmt.Errorf("%w: singular value %d = %v", ErrInput, j, s)
+		}
+		prev = s
+	}
+	for j, v := range m.Means {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: mean %d = %v", ErrInput, j, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"streampca/internal/randproj"
+)
+
+// fittedDetector builds a detector with a model from a synthetic stream.
+func fittedDetector(t *testing.T) (*Detector, *Cluster) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(71))
+	n, m := 128, 6
+	x := lowRankStream(rng, n, m, 2, 1)
+	cl, err := NewCluster(ClusterConfig{
+		NumFlows: m, NumMonitors: 2, WindowLen: n, Epsilon: 0.05, Alpha: 0.01,
+		Sketch: randproj.Config{Seed: 2, SketchLen: 32}, FixedRank: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveCluster(t, cl, x)
+	s, mu, iv, err := cl.Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Detector().RebuildModel(s, mu, iv); err != nil {
+		t.Fatal(err)
+	}
+	return cl.Detector(), cl
+}
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	det, _ := fittedDetector(t)
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewDetector(det.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.HasModel() {
+		t.Fatal("model not adopted")
+	}
+
+	// Identical behaviour on arbitrary vectors.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, det.Config().NumFlows)
+		for j := range x {
+			x[j] = 1000 + 100*rng.NormFloat64()
+		}
+		a, err := det.Distance(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Distance(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-12*math.Max(1, a) {
+			t.Fatalf("distance diverged: %v vs %v", a, b)
+		}
+	}
+	ta, err := det.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := restored.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta != tb {
+		t.Fatalf("thresholds differ: %v vs %v", ta, tb)
+	}
+	if det.Model().BuiltAt != restored.Model().BuiltAt {
+		t.Fatal("BuiltAt lost")
+	}
+}
+
+func TestSaveModelWithoutModel(t *testing.T) {
+	det, err := NewDetector(DetectorConfig{
+		NumFlows: 2, WindowLen: 10, SketchLen: 4, Alpha: 0.01, FixedRank: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("save without model: %v", err)
+	}
+}
+
+func TestLoadModelValidation(t *testing.T) {
+	det, _ := fittedDetector(t)
+
+	// Garbage stream.
+	fresh, err := NewDetector(det.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadModel(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage must fail")
+	}
+
+	// Wrong flow count.
+	var buf bytes.Buffer
+	if err := det.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := NewDetector(DetectorConfig{
+		NumFlows: 3, WindowLen: 128, SketchLen: 32, Alpha: 0.01, FixedRank: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smaller.LoadModel(&buf); !errors.Is(err, ErrInput) {
+		t.Fatalf("dimension mismatch: %v", err)
+	}
+
+	// Corrupted threshold.
+	bad := *det.Model()
+	bad.Threshold = math.NaN()
+	if err := det.validateModel(&bad); !errors.Is(err, ErrInput) {
+		t.Fatalf("NaN threshold: %v", err)
+	}
+	// Corrupted spectrum ordering.
+	bad = *det.Model()
+	bad.Singular = append([]float64(nil), bad.Singular...)
+	if len(bad.Singular) > 1 {
+		bad.Singular[0], bad.Singular[len(bad.Singular)-1] = bad.Singular[len(bad.Singular)-1], bad.Singular[0]+1
+	}
+	if err := det.validateModel(&bad); !errors.Is(err, ErrInput) {
+		t.Fatalf("unsorted spectrum: %v", err)
+	}
+	// Bad rank.
+	bad = *det.Model()
+	bad.Rank = 99
+	if err := det.validateModel(&bad); !errors.Is(err, ErrInput) {
+		t.Fatalf("bad rank: %v", err)
+	}
+}

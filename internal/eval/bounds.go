@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"streampca/internal/core"
+	"streampca/internal/mat"
+	"streampca/internal/pca"
+	"streampca/internal/randproj"
+)
+
+// BoundsReport records an empirical check of the paper's error bounds on one
+// window of data: Lemma 5 (singular values), Lemma 6 (covariance), and
+// Theorem 2 (anomaly distance).
+type BoundsReport struct {
+	SketchLen int
+	// SingularRatios[j] = λ̂_j / η_j for the leading components (Lemma 5
+	// says they concentrate in (1−3ε, 1+3ε)).
+	SingularRatios []float64
+	// CovRelError = ‖V − Â‖F / ‖Y‖²F (Lemma 6 bounds it by √6ε).
+	CovRelError float64
+	// MeanDistRelError and MaxDistRelError summarize |d_Ẑ(y) − d_Y(y)| /
+	// d_Y(y) over the window rows (Theorem 2 controls this through the
+	// spectral gap).
+	MeanDistRelError float64
+	MaxDistRelError  float64
+	// SpectralGap = η²_r − η²_{r+1}, the denominator of Theorem 2's bound.
+	SpectralGap float64
+}
+
+// CheckBounds runs the exact and sketch decompositions on the trailing
+// window of the volume matrix and reports the empirical error figures.
+func CheckBounds(volumes *mat.Matrix, windowLen, sketchLen, rank int, seed uint64) (*BoundsReport, error) {
+	rows, m := volumes.Rows(), volumes.Cols()
+	if windowLen < 2 || windowLen > rows {
+		return nil, fmt.Errorf("%w: window %d over %d rows", ErrConfig, windowLen, rows)
+	}
+	if rank < 1 || rank >= m {
+		return nil, fmt.Errorf("%w: rank %d with %d flows", ErrConfig, rank, m)
+	}
+
+	// Exact PCA on the trailing window.
+	win := mat.NewMatrix(windowLen, m)
+	lo := rows - windowLen
+	for i := 0; i < windowLen; i++ {
+		copy(win.RowView(i), volumes.RowView(lo+i))
+	}
+	exact, err := pca.Fit(win)
+	if err != nil {
+		return nil, fmt.Errorf("exact fit: %w", err)
+	}
+	exactDet, err := pca.NewDetector(exact, rank, 0.01)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sketch side: run a monitor over the same rows.
+	gen, err := randproj.NewGenerator(randproj.Config{Seed: seed, SketchLen: sketchLen, WindowLen: windowLen})
+	if err != nil {
+		return nil, err
+	}
+	flowIDs := make([]int, m)
+	for j := range flowIDs {
+		flowIDs[j] = j
+	}
+	mon, err := core.NewMonitor(core.MonitorConfig{
+		FlowIDs: flowIDs, WindowLen: windowLen, Epsilon: 0.01, Gen: gen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < windowLen; i++ {
+		if err := mon.Update(int64(lo+i+1), volumes.RowView(lo+i)); err != nil {
+			return nil, err
+		}
+	}
+	det, err := core.NewDetector(core.DetectorConfig{
+		NumFlows: m, WindowLen: windowLen, SketchLen: sketchLen,
+		Alpha: 0.01, Mode: core.RankFixed, FixedRank: rank,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := mon.Report()
+	if err := det.RebuildModel(rep.Sketches, rep.Means, rep.Interval); err != nil {
+		return nil, err
+	}
+	sk := det.Model()
+
+	report := &BoundsReport{SketchLen: sketchLen}
+
+	// Lemma 5: singular ratios for the leading rank components.
+	report.SingularRatios = make([]float64, rank)
+	for j := 0; j < rank; j++ {
+		if exact.Singular[j] > 0 {
+			report.SingularRatios[j] = sk.Singular[j] / exact.Singular[j]
+		}
+	}
+
+	// Lemma 6: covariance error. V = YᵀY of the centered window; Â = ẐᵀẐ.
+	y := win.Clone()
+	y.CenterColumns()
+	v := y.Gram()
+	z, err := core.AssembleSketchMatrix(rep.Sketches, sketchLen)
+	if err != nil {
+		return nil, err
+	}
+	a := z.Gram()
+	diff, err := v.Sub(a)
+	if err != nil {
+		return nil, err
+	}
+	yf := y.FrobeniusNorm()
+	if yf > 0 {
+		report.CovRelError = diff.FrobeniusNorm() / (yf * yf)
+	}
+
+	// Theorem 2: distance agreement across the window rows.
+	var sum, worst float64
+	var count int
+	for i := 0; i < windowLen; i++ {
+		row := win.Row(i)
+		de, err := exactDet.Distance(row)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := det.Distance(row)
+		if err != nil {
+			return nil, err
+		}
+		if de <= 1e-12 {
+			continue
+		}
+		rel := math.Abs(ds-de) / de
+		sum += rel
+		if rel > worst {
+			worst = rel
+		}
+		count++
+	}
+	if count > 0 {
+		report.MeanDistRelError = sum / float64(count)
+	}
+	report.MaxDistRelError = worst
+	report.SpectralGap = exact.Singular[rank-1]*exact.Singular[rank-1] -
+		exact.Singular[rank]*exact.Singular[rank]
+	return report, nil
+}

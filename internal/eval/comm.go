@@ -1,0 +1,62 @@
+package eval
+
+import "fmt"
+
+// CommModel estimates the communication cost of the distributed deployment,
+// quantifying the lazy protocol's contribution (the paper's point that the
+// design lets ISPs "balance the computation and the storage … and other
+// resources"). Sizes follow the wire types in internal/transport with an
+// 8-byte float/int encoding and a small per-message overhead.
+type CommModel struct {
+	// NumFlows is m, NumMonitors the number of monitors, SketchLen l.
+	NumFlows    int
+	NumMonitors int
+	SketchLen   int
+	// PerMessageOverhead models framing/headers; defaults to 64 bytes.
+	PerMessageOverhead int
+}
+
+// CommCost is the byte count breakdown over an evaluation horizon.
+type CommCost struct {
+	// VolumeBytes is the mandatory per-interval volume reporting (common
+	// to the exact and sketch methods — the NOC needs each x_t either way).
+	VolumeBytes int64
+	// LazyBytes is the sketch traffic under the lazy protocol (requests +
+	// responses for the observed number of fetches).
+	LazyBytes int64
+	// EagerBytes is the sketch traffic if monitors pushed sketches every
+	// interval instead.
+	EagerBytes int64
+}
+
+// Bytes computes the cost breakdown for a horizon of intervals during which
+// the lazy protocol performed fetches sketch pulls.
+func (m CommModel) Bytes(intervals, fetches int64) (CommCost, error) {
+	if m.NumFlows < 1 || m.NumMonitors < 1 || m.SketchLen < 1 {
+		return CommCost{}, fmt.Errorf("%w: comm model %+v", ErrConfig, m)
+	}
+	if intervals < 0 || fetches < 0 {
+		return CommCost{}, fmt.Errorf("%w: intervals %d, fetches %d", ErrConfig, intervals, fetches)
+	}
+	overhead := int64(m.PerMessageOverhead)
+	if overhead == 0 {
+		overhead = 64
+	}
+
+	// One volume report per monitor per interval: w flow ids + w volumes.
+	wPerMon := (m.NumFlows + m.NumMonitors - 1) / m.NumMonitors
+	volumeMsg := overhead + int64(wPerMon)*16
+	volume := int64(m.NumMonitors) * intervals * volumeMsg
+
+	// One fetch: a request to every monitor plus a response carrying each
+	// owned flow's sketch (l floats), mean and id.
+	requestMsg := overhead
+	responseMsg := overhead + int64(wPerMon)*(int64(m.SketchLen)*8+16)
+	perFetch := int64(m.NumMonitors) * (requestMsg + responseMsg)
+
+	return CommCost{
+		VolumeBytes: volume,
+		LazyBytes:   fetches * perFetch,
+		EagerBytes:  intervals * perFetch,
+	}, nil
+}

@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommModelBytes(t *testing.T) {
+	m := CommModel{NumFlows: 81, NumMonitors: 9, SketchLen: 200}
+	cost, err := m.Bytes(1000, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.VolumeBytes <= 0 || cost.LazyBytes <= 0 || cost.EagerBytes <= 0 {
+		t.Fatalf("cost = %+v", cost)
+	}
+	// Lazy/eager ratio equals fetches/intervals.
+	wantRatio := 25.0 / 1000.0
+	gotRatio := float64(cost.LazyBytes) / float64(cost.EagerBytes)
+	if gotRatio != wantRatio {
+		t.Fatalf("lazy/eager = %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestCommModelValidation(t *testing.T) {
+	bad := []CommModel{
+		{NumMonitors: 1, SketchLen: 1},
+		{NumFlows: 1, SketchLen: 1},
+		{NumFlows: 1, NumMonitors: 1},
+	}
+	for i, m := range bad {
+		if _, err := m.Bytes(1, 1); !errors.Is(err, ErrConfig) {
+			t.Fatalf("case %d: want ErrConfig, got %v", i, err)
+		}
+	}
+	ok := CommModel{NumFlows: 1, NumMonitors: 1, SketchLen: 1}
+	if _, err := ok.Bytes(-1, 0); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative intervals: %v", err)
+	}
+	if _, err := ok.Bytes(0, -1); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative fetches: %v", err)
+	}
+}
+
+// Property: costs are monotone in every count and lazy ≤ eager whenever
+// fetches ≤ intervals.
+func TestQuickCommMonotone(t *testing.T) {
+	f := func(flowsRaw, monsRaw, lRaw uint8, intervalsRaw, fetchesRaw uint16) bool {
+		m := CommModel{
+			NumFlows:    1 + int(flowsRaw)%100,
+			NumMonitors: 1,
+			SketchLen:   1 + int(lRaw)%500,
+		}
+		m.NumMonitors = 1 + int(monsRaw)%minOf(m.NumFlows, 16)
+		if m.NumMonitors > m.NumFlows {
+			m.NumMonitors = m.NumFlows
+		}
+		intervals := int64(intervalsRaw)
+		fetches := int64(fetchesRaw)
+		if fetches > intervals {
+			fetches = intervals
+		}
+		cost, err := m.Bytes(intervals, fetches)
+		if err != nil {
+			return false
+		}
+		if cost.LazyBytes > cost.EagerBytes {
+			return false
+		}
+		bigger, err := m.Bytes(intervals+1, fetches)
+		if err != nil {
+			return false
+		}
+		return bigger.VolumeBytes >= cost.VolumeBytes && bigger.EagerBytes >= cost.EagerBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minOf(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"fmt"
+
+	"streampca/internal/traffic"
+)
+
+// Series is one named time series of a figure.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// ExtractSeries pulls per-interval volume series for the named OD flows over
+// [from, to) — the Fig. 5 view of a coordinated anomaly.
+func ExtractSeries(tr *traffic.Trace, flowNames []string, from, to int) ([]Series, error) {
+	if from < 0 || to > tr.NumIntervals() || from >= to {
+		return nil, fmt.Errorf("%w: range [%d,%d) of %d", ErrInput, from, to, tr.NumIntervals())
+	}
+	if len(flowNames) == 0 {
+		return nil, fmt.Errorf("%w: no flows named", ErrInput)
+	}
+	out := make([]Series, 0, len(flowNames))
+	for _, name := range flowNames {
+		j, err := tr.FlowIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: name, Values: make([]float64, 0, to-from)}
+		for i := from; i < to; i++ {
+			s.Values = append(s.Values, tr.Volumes.At(i, j))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// BuildEvalTrace generates the workload used for the error-surface figures:
+// a month-shaped trace with a deterministic schedule of injected anomalies —
+// coordinated low-profile shifts (the paper's target), high-profile spikes
+// and one flash crowd — spread across the post-warmup region.
+func BuildEvalTrace(seed int64, numIntervals, perDay, warmup int) (*traffic.Trace, error) {
+	tr, err := traffic.Generate(traffic.GeneratorConfig{
+		NumIntervals:    numIntervals,
+		IntervalsPerDay: perDay,
+		Seed:            seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	usable := numIntervals - warmup
+	if usable < 40 {
+		return nil, fmt.Errorf("%w: only %d post-warmup intervals", ErrConfig, usable)
+	}
+	m := tr.NumFlows()
+	dur := perDay / 96 // ~15 min of anomaly per event
+	if dur < 2 {
+		dur = 2
+	}
+	// Eight events, evenly spaced through the evaluation region.
+	for e := 0; e < 8; e++ {
+		start := warmup + (e*2+1)*usable/17
+		end := start + dur
+		if end > numIntervals {
+			break
+		}
+		switch e % 4 {
+		case 0, 2:
+			flows := []int{(7 * e) % m, (13*e + 5) % m, (29*e + 11) % m, (41*e + 17) % m}
+			flows = dedupeInts(flows)
+			if err := tr.InjectCoordinated(flows, start, end, 0.8); err != nil {
+				return nil, err
+			}
+		case 1:
+			if err := tr.InjectSpike((11*e+3)%m, start, end, 5); err != nil {
+				return nil, err
+			}
+		case 3:
+			if err := tr.InjectFlashCrowd(e%len(tr.RouterNames), start, end, 2); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tr, nil
+}
+
+// dedupeInts removes duplicates preserving order.
+func dedupeInts(in []int) []int {
+	seen := make(map[int]struct{}, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Fig5Flows lists the OD flows the paper plots in Fig. 5.
+var Fig5Flows = []string{"ATLA→CHIC", "CHIC→KANS", "CHIC→SALT", "SEAT→SALT"}
+
+// BuildFig5Trace generates a trace with one coordinated low-profile anomaly
+// across the Fig. 5 flows and returns it together with the anomaly window.
+func BuildFig5Trace(seed int64, numIntervals int) (*traffic.Trace, int, int, error) {
+	tr, err := traffic.Generate(traffic.GeneratorConfig{
+		NumIntervals: numIntervals,
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	flows := make([]int, 0, len(Fig5Flows))
+	for _, name := range Fig5Flows {
+		j, err := tr.FlowIndex(name)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		flows = append(flows, j)
+	}
+	start := numIntervals * 3 / 4
+	end := start + numIntervals/48
+	if end <= start {
+		end = start + 1
+	}
+	// Low-profile: +60% of each flow's baseline, simultaneous — individually
+	// unremarkable, jointly a correlated shift (the paper's Fig. 5 shape).
+	if err := tr.InjectCoordinated(flows, start, end, 0.6); err != nil {
+		return nil, 0, 0, err
+	}
+	return tr, start, end, nil
+}

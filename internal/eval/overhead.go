@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"streampca/internal/mat"
+)
+
+// OverheadPoint is one x-position of Fig. 10: the NOC's PCA computation cost
+// for Lakhina's method (m²·n) vs the sketch method (m²·l), as the paper's
+// operation counts plus optionally measured wall-clock time for the actual
+// Gram + eigendecomposition pipeline.
+type OverheadPoint struct {
+	SketchLen int
+	// LakhinaOps and SketchOps are the paper's m²·n and m²·l counts.
+	LakhinaOps float64
+	SketchOps  float64
+	// LakhinaNs and SketchNs are measured nanoseconds for one model
+	// rebuild (0 when measurement is disabled).
+	LakhinaNs int64
+	SketchNs  int64
+}
+
+// Overhead produces the Fig. 10 series for a network of m flows and a
+// window of n intervals across the given sketch lengths. When measure is
+// true it also times real rebuilds (random data; the cost depends only on
+// shape).
+func Overhead(m, n int, sketchLens []int, measure bool) ([]OverheadPoint, error) {
+	if m < 1 || n < 2 {
+		return nil, fmt.Errorf("%w: m=%d n=%d", ErrConfig, m, n)
+	}
+	if len(sketchLens) == 0 {
+		return nil, fmt.Errorf("%w: no sketch lengths", ErrConfig)
+	}
+
+	var lakhinaNs int64
+	if measure {
+		var err error
+		lakhinaNs, err = timeRebuild(n, m)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]OverheadPoint, 0, len(sketchLens))
+	for _, l := range sketchLens {
+		if l < 1 {
+			return nil, fmt.Errorf("%w: sketch length %d", ErrConfig, l)
+		}
+		p := OverheadPoint{
+			SketchLen:  l,
+			LakhinaOps: float64(m) * float64(m) * float64(n),
+			SketchOps:  float64(m) * float64(m) * float64(l),
+			LakhinaNs:  lakhinaNs,
+		}
+		if measure {
+			ns, err := timeRebuild(l, m)
+			if err != nil {
+				return nil, err
+			}
+			p.SketchNs = ns
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// timeRebuild measures one Gram + eigendecomposition on a rows×m matrix.
+func timeRebuild(rows, m int) (int64, error) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.NewMatrix(rows, m)
+	for i := 0; i < rows; i++ {
+		r := x.RowView(i)
+		for j := range r {
+			r[j] = rng.NormFloat64()
+		}
+	}
+	start := time.Now()
+	if _, err := mat.SymEigen(x.Gram()); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Nanoseconds(), nil
+}

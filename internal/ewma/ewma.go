@@ -1,0 +1,143 @@
+// Package ewma implements a classical per-flow volume anomaly detector —
+// exponentially weighted moving average with k·σ control bands — as the
+// single-link baseline the paper's introduction argues against: it catches
+// high-profile volume anomalies on individual flows but is structurally
+// blind to coordinated low-profile anomalies, whose per-flow deviations stay
+// inside each flow's own band. The ablation benchmarks and the botnet
+// example contrast it with the subspace methods.
+package ewma
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the package.
+var (
+	// ErrConfig indicates an invalid detector configuration.
+	ErrConfig = errors.New("ewma: invalid configuration")
+	// ErrInput indicates structurally invalid input.
+	ErrInput = errors.New("ewma: invalid input")
+)
+
+// Config parameterizes a Detector.
+type Config struct {
+	// NumFlows is the number of per-flow trackers.
+	NumFlows int
+	// Lambda is the smoothing factor in (0, 1]; typical 0.05–0.3.
+	Lambda float64
+	// K is the control-band width in standard deviations; typical 3.
+	K float64
+	// Warmup is the number of intervals used purely for estimation before
+	// any flagging; defaults to 32.
+	Warmup int
+}
+
+// Detector tracks one EWMA mean and variance per flow.
+type Detector struct {
+	cfg   Config
+	mean  []float64
+	vari  []float64
+	seen  int
+	ready bool
+}
+
+// New validates cfg and returns an empty detector.
+func New(cfg Config) (*Detector, error) {
+	if cfg.NumFlows < 1 {
+		return nil, fmt.Errorf("%w: %d flows", ErrConfig, cfg.NumFlows)
+	}
+	if math.IsNaN(cfg.Lambda) || cfg.Lambda <= 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("%w: lambda %v", ErrConfig, cfg.Lambda)
+	}
+	if math.IsNaN(cfg.K) || cfg.K <= 0 {
+		return nil, fmt.Errorf("%w: k %v", ErrConfig, cfg.K)
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 32
+	}
+	if cfg.Warmup < 1 {
+		return nil, fmt.Errorf("%w: warmup %d", ErrConfig, cfg.Warmup)
+	}
+	return &Detector{
+		cfg:  cfg,
+		mean: make([]float64, cfg.NumFlows),
+		vari: make([]float64, cfg.NumFlows),
+	}, nil
+}
+
+// Result reports one observation's outcome.
+type Result struct {
+	// Ready is false during warm-up.
+	Ready bool
+	// Anomalous is true when at least one flow left its control band.
+	Anomalous bool
+	// Flagged lists the flows outside their bands (nil when none).
+	Flagged []int
+	// MaxZ is the largest per-flow |deviation|/σ observed.
+	MaxZ float64
+}
+
+// Observe updates the trackers with one interval's volumes and reports
+// which flows (if any) left their control bands. The current observation is
+// flagged against the bands BEFORE it is absorbed.
+func (d *Detector) Observe(volumes []float64) (Result, error) {
+	if len(volumes) != d.cfg.NumFlows {
+		return Result{}, fmt.Errorf("%w: %d volumes for %d flows", ErrInput, len(volumes), d.cfg.NumFlows)
+	}
+	for j, v := range volumes {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Result{}, fmt.Errorf("%w: non-finite volume for flow %d", ErrInput, j)
+		}
+	}
+
+	var res Result
+	if d.seen == 0 {
+		copy(d.mean, volumes)
+		d.seen++
+		return res, nil
+	}
+
+	lam := d.cfg.Lambda
+	ready := d.seen >= d.cfg.Warmup
+	res.Ready = ready
+	for j, v := range volumes {
+		dev := v - d.mean[j]
+		sigma := math.Sqrt(d.vari[j])
+		if ready && sigma > 0 {
+			z := math.Abs(dev) / sigma
+			if z > res.MaxZ {
+				res.MaxZ = z
+			}
+			if z > d.cfg.K {
+				res.Flagged = append(res.Flagged, j)
+			}
+		}
+		// Standard EWMA mean/variance recursion (Roberts; MacGregor).
+		d.mean[j] += lam * dev
+		d.vari[j] = (1 - lam) * (d.vari[j] + lam*dev*dev)
+	}
+	d.seen++
+	res.Anomalous = len(res.Flagged) > 0
+	return res, nil
+}
+
+// Mean returns the current EWMA mean of flow j.
+func (d *Detector) Mean(j int) (float64, error) {
+	if j < 0 || j >= d.cfg.NumFlows {
+		return 0, fmt.Errorf("%w: flow %d of %d", ErrInput, j, d.cfg.NumFlows)
+	}
+	return d.mean[j], nil
+}
+
+// StdDev returns the current EWMA standard deviation of flow j.
+func (d *Detector) StdDev(j int) (float64, error) {
+	if j < 0 || j >= d.cfg.NumFlows {
+		return 0, fmt.Errorf("%w: flow %d of %d", ErrInput, j, d.cfg.NumFlows)
+	}
+	return math.Sqrt(d.vari[j]), nil
+}
+
+// Seen returns the number of observations absorbed.
+func (d *Detector) Seen() int { return d.seen }

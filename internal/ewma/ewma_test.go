@@ -1,0 +1,218 @@
+package ewma
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streampca/internal/pca"
+	"streampca/internal/traffic"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{name: "valid", cfg: Config{NumFlows: 3, Lambda: 0.1, K: 3}, ok: true},
+		{name: "no flows", cfg: Config{Lambda: 0.1, K: 3}},
+		{name: "lambda 0", cfg: Config{NumFlows: 3, K: 3}},
+		{name: "lambda > 1", cfg: Config{NumFlows: 3, Lambda: 1.5, K: 3}},
+		{name: "k 0", cfg: Config{NumFlows: 3, Lambda: 0.1}},
+		{name: "negative warmup", cfg: Config{NumFlows: 3, Lambda: 0.1, K: 3, Warmup: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.cfg)
+			if tt.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tt.ok && !errors.Is(err, ErrConfig) {
+				t.Fatalf("want ErrConfig, got %v", err)
+			}
+		})
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	d, err := New(Config{NumFlows: 2, Lambda: 0.1, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Observe([]float64{1}); !errors.Is(err, ErrInput) {
+		t.Fatalf("short: %v", err)
+	}
+	if _, err := d.Observe([]float64{1, math.NaN()}); !errors.Is(err, ErrInput) {
+		t.Fatalf("NaN: %v", err)
+	}
+	if _, err := d.Mean(5); !errors.Is(err, ErrInput) {
+		t.Fatalf("mean index: %v", err)
+	}
+	if _, err := d.StdDev(-1); !errors.Is(err, ErrInput) {
+		t.Fatalf("stddev index: %v", err)
+	}
+}
+
+func TestTracksStationaryProcess(t *testing.T) {
+	d, err := New(Config{NumFlows: 1, Lambda: 0.1, K: 3, Warmup: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var alarms, ready int
+	for i := 0; i < 3000; i++ {
+		res, err := d.Observe([]float64{100 + 5*rng.NormFloat64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ready {
+			ready++
+			if res.Anomalous {
+				alarms++
+			}
+		}
+	}
+	mean, _ := d.Mean(0)
+	sd, _ := d.StdDev(0)
+	if math.Abs(mean-100) > 3 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if sd < 2 || sd > 10 {
+		t.Fatalf("sd = %v", sd)
+	}
+	if rate := float64(alarms) / float64(ready); rate > 0.02 {
+		t.Fatalf("false-alarm rate = %v", rate)
+	}
+	if d.Seen() != 3000 {
+		t.Fatalf("seen = %d", d.Seen())
+	}
+}
+
+func TestDetectsHighProfileSpike(t *testing.T) {
+	d, err := New(Config{NumFlows: 4, Lambda: 0.1, K: 4, Warmup: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	row := func() []float64 {
+		out := make([]float64, 4)
+		for j := range out {
+			out[j] = 1000 + 20*rng.NormFloat64()
+		}
+		return out
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := d.Observe(row()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spiked := row()
+	spiked[2] += 5000
+	res, err := d.Observe(spiked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Anomalous || len(res.Flagged) != 1 || res.Flagged[0] != 2 {
+		t.Fatalf("spike result = %+v", res)
+	}
+}
+
+// The motivating comparison (paper §I): a coordinated low-profile anomaly —
+// each flow shifted by well under its own noise band — is invisible to the
+// per-flow EWMA detector but caught by the subspace method.
+func TestMissesCoordinatedLowProfileThatPCACatches(t *testing.T) {
+	tr, err := traffic.Generate(traffic.GeneratorConfig{
+		Routers:         []string{"A", "B", "C", "D", "E"},
+		NumIntervals:    700,
+		IntervalsPerDay: 96,
+		Seed:            12,
+		LocalNoiseLevel: 0.08, // per-flow noise dominates a 15% shift
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []int{1, 7, 13, 19, 21, 23}
+	start, end := 600, 606
+	if err := tr.InjectCoordinated(flows, start, end, 0.15); err != nil {
+		t.Fatal(err)
+	}
+
+	ew, err := New(Config{NumFlows: tr.NumFlows(), Lambda: 0.1, K: 3.5, Warmup: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := pca.NewSlidingDetector(pca.SlidingConfig{
+		WindowLen: 400, NumFlows: tr.NumFlows(), Rank: 6, Alpha: 0.01, RefitEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ewmaHits, pcaHits int
+	for i := 0; i < tr.NumIntervals(); i++ {
+		row := tr.Volumes.Row(i)
+		eres, err := ew.Observe(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := sub.Observe(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= start && i < end {
+			if eres.Ready && eres.Anomalous {
+				ewmaHits++
+			}
+			if pres.Ready && pres.Anomalous {
+				pcaHits++
+			}
+		}
+	}
+	if pcaHits == 0 {
+		t.Fatal("subspace method must catch the coordinated anomaly")
+	}
+	if ewmaHits >= pcaHits {
+		t.Fatalf("EWMA (%d hits) should underperform PCA (%d hits) on coordinated low-profile anomalies",
+			ewmaHits, pcaHits)
+	}
+}
+
+// Property: the tracker is shift-equivariant — shifting all observations by
+// a constant shifts means and leaves flags unchanged.
+func TestQuickShiftEquivariance(t *testing.T) {
+	f := func(seed int64, shiftRaw uint16) bool {
+		shift := float64(shiftRaw)
+		mk := func() *Detector {
+			d, err := New(Config{NumFlows: 1, Lambda: 0.2, K: 3, Warmup: 10})
+			if err != nil {
+				return nil
+			}
+			return d
+		}
+		a, b := mk(), mk()
+		if a == nil || b == nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			x := 50 + 10*r.NormFloat64()
+			ra, errA := a.Observe([]float64{x})
+			rb, errB := b.Observe([]float64{x + shift})
+			if errA != nil || errB != nil {
+				return false
+			}
+			if ra.Anomalous != rb.Anomalous {
+				return false
+			}
+		}
+		ma, _ := a.Mean(0)
+		mb, _ := b.Mean(0)
+		return math.Abs((mb-ma)-shift) < 1e-6*math.Max(1, shift)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

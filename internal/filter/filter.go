@@ -1,0 +1,137 @@
+// Package filter implements communication-efficient local filtering in the
+// style of Huang et al. (INFOCOM'07), one of the distributed-monitoring
+// baselines the paper discusses (§II): a local monitor transmits its volume
+// vector only when it deviates from the last transmitted one by more than a
+// user-specified tolerance, and the NOC carries the last received values
+// forward for silent monitors. This trades detection fidelity for volume-
+// report bandwidth — an axis orthogonal to the sketch method, which reduces
+// the *model* (sketch) traffic instead; the two compose.
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the package.
+var (
+	// ErrConfig indicates an invalid filter configuration.
+	ErrConfig = errors.New("filter: invalid configuration")
+	// ErrInput indicates structurally invalid input.
+	ErrInput = errors.New("filter: invalid input")
+)
+
+// Config parameterizes the monitor-side filter.
+type Config struct {
+	// NumFlows is the local flow count.
+	NumFlows int
+	// Tolerance is the relative per-flow deviation that forces a send;
+	// e.g. 0.05 sends when any flow moved ≥ 5% from its last sent value.
+	Tolerance float64
+	// MaxSilence forces a send after this many suppressed intervals, so a
+	// silent monitor is distinguishable from a dead one. Defaults to 16.
+	MaxSilence int
+}
+
+// Monitor is the monitor-side filter state.
+type Monitor struct {
+	cfg        Config
+	lastSent   []float64
+	haveSent   bool
+	silent     int
+	sent       int64
+	suppressed int64
+}
+
+// NewMonitor validates cfg and returns an empty filter.
+func NewMonitor(cfg Config) (*Monitor, error) {
+	if cfg.NumFlows < 1 {
+		return nil, fmt.Errorf("%w: %d flows", ErrConfig, cfg.NumFlows)
+	}
+	if math.IsNaN(cfg.Tolerance) || cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("%w: tolerance %v", ErrConfig, cfg.Tolerance)
+	}
+	if cfg.MaxSilence == 0 {
+		cfg.MaxSilence = 16
+	}
+	if cfg.MaxSilence < 1 {
+		return nil, fmt.Errorf("%w: max silence %d", ErrConfig, cfg.MaxSilence)
+	}
+	return &Monitor{cfg: cfg, lastSent: make([]float64, cfg.NumFlows)}, nil
+}
+
+// Observe decides whether this interval's vector must be transmitted. When
+// it returns true the caller sends x and the filter records it as the new
+// reference; on false the interval is suppressed.
+func (m *Monitor) Observe(x []float64) (send bool, err error) {
+	if len(x) != m.cfg.NumFlows {
+		return false, fmt.Errorf("%w: %d volumes for %d flows", ErrInput, len(x), m.cfg.NumFlows)
+	}
+	for j, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false, fmt.Errorf("%w: non-finite volume for flow %d", ErrInput, j)
+		}
+	}
+	send = !m.haveSent || m.silent >= m.cfg.MaxSilence
+	if !send {
+		for j, v := range x {
+			ref := m.lastSent[j]
+			scale := math.Max(math.Abs(ref), 1)
+			if math.Abs(v-ref)/scale > m.cfg.Tolerance {
+				send = true
+				break
+			}
+		}
+	}
+	if send {
+		copy(m.lastSent, x)
+		m.haveSent = true
+		m.silent = 0
+		m.sent++
+	} else {
+		m.silent++
+		m.suppressed++
+	}
+	return send, nil
+}
+
+// Stats returns how many intervals were sent vs suppressed.
+func (m *Monitor) Stats() (sent, suppressed int64) { return m.sent, m.suppressed }
+
+// Reconstructor is the NOC-side carry-forward state for one monitor's flows.
+type Reconstructor struct {
+	last []float64
+	have bool
+}
+
+// NewReconstructor returns carry-forward state for numFlows flows.
+func NewReconstructor(numFlows int) (*Reconstructor, error) {
+	if numFlows < 1 {
+		return nil, fmt.Errorf("%w: %d flows", ErrConfig, numFlows)
+	}
+	return &Reconstructor{last: make([]float64, numFlows)}, nil
+}
+
+// Apply folds an interval's (possibly absent) report into the reconstructed
+// stream: pass the received vector, or nil for a suppressed interval, and
+// get back the vector the NOC should use. Returns ErrInput if the first
+// interval is already suppressed (nothing to carry forward).
+func (r *Reconstructor) Apply(report []float64) ([]float64, error) {
+	if report == nil {
+		if !r.have {
+			return nil, fmt.Errorf("%w: suppressed interval before any report", ErrInput)
+		}
+		out := make([]float64, len(r.last))
+		copy(out, r.last)
+		return out, nil
+	}
+	if len(report) != len(r.last) {
+		return nil, fmt.Errorf("%w: report of %d for %d flows", ErrInput, len(report), len(r.last))
+	}
+	copy(r.last, report)
+	r.have = true
+	out := make([]float64, len(report))
+	copy(out, report)
+	return out, nil
+}

@@ -1,0 +1,269 @@
+package filter
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streampca/internal/pca"
+	"streampca/internal/traffic"
+)
+
+func TestNewMonitorValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{name: "valid", cfg: Config{NumFlows: 2, Tolerance: 0.05}, ok: true},
+		{name: "no flows", cfg: Config{Tolerance: 0.05}},
+		{name: "zero tolerance", cfg: Config{NumFlows: 2}},
+		{name: "NaN tolerance", cfg: Config{NumFlows: 2, Tolerance: math.NaN()}},
+		{name: "bad silence", cfg: Config{NumFlows: 2, Tolerance: 0.05, MaxSilence: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewMonitor(tt.cfg)
+			if tt.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tt.ok && !errors.Is(err, ErrConfig) {
+				t.Fatalf("want ErrConfig, got %v", err)
+			}
+		})
+	}
+}
+
+func TestObserveFirstAlwaysSends(t *testing.T) {
+	m, err := NewMonitor(Config{NumFlows: 2, Tolerance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, err := m.Observe([]float64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !send {
+		t.Fatal("first interval must be sent")
+	}
+}
+
+func TestSuppressionAndTrigger(t *testing.T) {
+	m, err := NewMonitor(Config{NumFlows: 2, Tolerance: 0.10, MaxSilence: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Observe([]float64{100, 200}); err != nil {
+		t.Fatal(err)
+	}
+	// 5% drift: suppressed.
+	send, err := m.Observe([]float64{105, 205})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if send {
+		t.Fatal("within-tolerance interval must be suppressed")
+	}
+	// Deviation is measured from the LAST SENT vector, not the previous
+	// observation, so drift accumulates until it crosses the tolerance.
+	send, err = m.Observe([]float64{112, 205})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !send {
+		t.Fatal("accumulated 12% drift must trigger a send")
+	}
+	sent, suppressed := m.Stats()
+	if sent != 2 || suppressed != 1 {
+		t.Fatalf("stats = %d/%d", sent, suppressed)
+	}
+}
+
+func TestMaxSilenceHeartbeat(t *testing.T) {
+	m, err := NewMonitor(Config{NumFlows: 1, Tolerance: 0.5, MaxSilence: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Observe([]float64{100}); err != nil {
+		t.Fatal(err)
+	}
+	var pattern []bool
+	for i := 0; i < 8; i++ {
+		send, err := m.Observe([]float64{100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pattern = append(pattern, send)
+	}
+	// Three suppressions then a forced heartbeat, repeating.
+	want := []bool{false, false, false, true, false, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("heartbeat pattern = %v", pattern)
+		}
+	}
+}
+
+func TestObserveErrors(t *testing.T) {
+	m, _ := NewMonitor(Config{NumFlows: 2, Tolerance: 0.05})
+	if _, err := m.Observe([]float64{1}); !errors.Is(err, ErrInput) {
+		t.Fatalf("short: %v", err)
+	}
+	if _, err := m.Observe([]float64{1, math.Inf(1)}); !errors.Is(err, ErrInput) {
+		t.Fatalf("Inf: %v", err)
+	}
+}
+
+func TestReconstructor(t *testing.T) {
+	if _, err := NewReconstructor(0); !errors.Is(err, ErrConfig) {
+		t.Fatalf("zero flows: %v", err)
+	}
+	r, err := NewReconstructor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Apply(nil); !errors.Is(err, ErrInput) {
+		t.Fatalf("suppressed before first report: %v", err)
+	}
+	got, err := r.Apply([]float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 10 {
+		t.Fatalf("apply = %v", got)
+	}
+	carried, err := r.Apply(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carried[0] != 10 || carried[1] != 20 {
+		t.Fatalf("carry-forward = %v", carried)
+	}
+	// The returned slice is a copy.
+	carried[0] = 999
+	again, _ := r.Apply(nil)
+	if again[0] == 999 {
+		t.Fatal("carry-forward must not alias internal state")
+	}
+	if _, err := r.Apply([]float64{1}); !errors.Is(err, ErrInput) {
+		t.Fatalf("short report: %v", err)
+	}
+}
+
+// The bandwidth/fidelity trade-off: filtering saves a large fraction of the
+// volume reports while the subspace detector on the reconstructed stream
+// still catches a coordinated anomaly.
+func TestFilteredStreamStillDetects(t *testing.T) {
+	tr, err := traffic.Generate(traffic.GeneratorConfig{
+		Routers: []string{"A", "B", "C", "D"}, NumIntervals: 500,
+		IntervalsPerDay: 96, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end := 430, 436
+	if err := tr.InjectCoordinated([]int{1, 6, 11}, start, end, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	m := tr.NumFlows()
+
+	// Tolerance must sit above the per-interval noise+drift of the fastest
+	// flow (else every interval triggers) but far below the injected shift.
+	filt, err := NewMonitor(Config{NumFlows: m, Tolerance: 0.25, MaxSilence: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := NewReconstructor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := pca.NewSlidingDetector(pca.SlidingConfig{
+		WindowLen: 128, NumFlows: m, Rank: 4, Alpha: 0.01, RefitEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var hits int
+	for i := 0; i < tr.NumIntervals(); i++ {
+		row := tr.Volumes.Row(i)
+		send, err := filt.Observe(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var report []float64
+		if send {
+			report = row
+		}
+		seen, err := recon.Apply(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.Observe(seen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= start && i < end && res.Ready && res.Anomalous {
+			hits++
+		}
+	}
+	sent, suppressed := filt.Stats()
+	if suppressed == 0 {
+		t.Fatal("tolerance filter never suppressed anything")
+	}
+	saving := float64(suppressed) / float64(sent+suppressed)
+	if saving < 0.2 {
+		t.Fatalf("bandwidth saving only %v", saving)
+	}
+	if hits == 0 {
+		t.Fatalf("coordinated anomaly lost to filtering (saved %v of reports)", saving)
+	}
+}
+
+// Property: tolerance zero-suppression — with a huge tolerance everything
+// after the first interval is suppressed until the heartbeat; with a tiny
+// tolerance every changing interval is sent.
+func TestQuickToleranceExtremes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		loose, err := NewMonitor(Config{NumFlows: 1, Tolerance: 1e9, MaxSilence: 1000})
+		if err != nil {
+			return false
+		}
+		tight, err := NewMonitor(Config{NumFlows: 1, Tolerance: 1e-12, MaxSilence: 1000})
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for i := 0; i < 50; i++ {
+			v := r.Float64()*100 + 1
+			for v == prev {
+				v = r.Float64()*100 + 1
+			}
+			sendLoose, err := loose.Observe([]float64{v})
+			if err != nil {
+				return false
+			}
+			sendTight, err := tight.Observe([]float64{v})
+			if err != nil {
+				return false
+			}
+			if i == 0 {
+				if !sendLoose || !sendTight {
+					return false
+				}
+			} else {
+				if sendLoose || !sendTight {
+					return false
+				}
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package markov implements the paper's stated future-work extension
+// (§VII): layering a Markov-model anomaly detector on top of the
+// sketch-based statistics. The chain consumes a scalar stream — typically
+// the anomaly-distance series the sketch PCA detector emits each interval —
+// quantizes it into states by robust z-score, learns the state-transition
+// matrix over a sliding window, and flags transitions whose smoothed
+// probability falls below a threshold. This catches *temporal* anomalies
+// (sudden regime changes, oscillation, stuck-at behaviour) that a purely
+// spatial threshold cannot express.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the package.
+var (
+	// ErrConfig indicates an invalid chain configuration.
+	ErrConfig = errors.New("markov: invalid configuration")
+	// ErrInput indicates structurally invalid input.
+	ErrInput = errors.New("markov: invalid input")
+)
+
+// Config parameterizes a Chain.
+type Config struct {
+	// NumStates is the number of quantization states (≥ 2); values are
+	// bucketed by z-score against a running robust location/scale.
+	NumStates int
+	// WindowLen is the sliding window (in observations) over which
+	// transition counts are maintained.
+	WindowLen int
+	// MinProb flags a transition when its Laplace-smoothed probability
+	// under the learned matrix is below this value; typical 0.01–0.05.
+	MinProb float64
+	// Warmup is the number of observations before flagging starts;
+	// defaults to WindowLen.
+	Warmup int
+	// Lambda is the smoothing factor of the running location/scale
+	// estimates used by the quantizer; defaults to 0.05.
+	Lambda float64
+}
+
+// Chain is a sliding-window Markov-chain anomaly detector over a scalar
+// stream. It is not safe for concurrent use.
+type Chain struct {
+	cfg Config
+	// counts[a][b] is the number of a→b transitions inside the window.
+	counts [][]int
+	// ring stores the windowed state sequence for count eviction.
+	ring []int
+	head int
+	fill int
+	// Quantizer state.
+	mean  float64
+	vari  float64
+	seen  int
+	last  int // previous state
+	haveL bool
+}
+
+// New validates cfg and returns an empty chain.
+func New(cfg Config) (*Chain, error) {
+	if cfg.NumStates < 2 {
+		return nil, fmt.Errorf("%w: %d states", ErrConfig, cfg.NumStates)
+	}
+	if cfg.WindowLen < 4 {
+		return nil, fmt.Errorf("%w: window %d", ErrConfig, cfg.WindowLen)
+	}
+	if math.IsNaN(cfg.MinProb) || cfg.MinProb <= 0 || cfg.MinProb >= 1 {
+		return nil, fmt.Errorf("%w: min probability %v", ErrConfig, cfg.MinProb)
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.WindowLen
+	}
+	if cfg.Warmup < 1 {
+		return nil, fmt.Errorf("%w: warmup %d", ErrConfig, cfg.Warmup)
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 0.05
+	}
+	if cfg.Lambda < 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("%w: lambda %v", ErrConfig, cfg.Lambda)
+	}
+	counts := make([][]int, cfg.NumStates)
+	for i := range counts {
+		counts[i] = make([]int, cfg.NumStates)
+	}
+	return &Chain{
+		cfg:    cfg,
+		counts: counts,
+		ring:   make([]int, cfg.WindowLen),
+	}, nil
+}
+
+// Result reports one observation's outcome.
+type Result struct {
+	// Ready is false during warm-up.
+	Ready bool
+	// State is the quantized state of the observation.
+	State int
+	// Prob is the smoothed probability of the observed transition under
+	// the current matrix (1 for the very first observation).
+	Prob float64
+	// Anomalous is Ready && Prob < MinProb.
+	Anomalous bool
+}
+
+// Observe ingests one scalar (e.g. the current anomaly distance), returns
+// the transition verdict, and folds the observation into the model.
+func (c *Chain) Observe(x float64) (Result, error) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return Result{}, fmt.Errorf("%w: non-finite observation %v", ErrInput, x)
+	}
+	state := c.quantize(x)
+	res := Result{State: state, Prob: 1}
+
+	if c.haveL {
+		res.Prob = c.TransitionProb(c.last, state)
+		if c.seen >= c.cfg.Warmup {
+			res.Ready = true
+			res.Anomalous = res.Prob < c.cfg.MinProb
+		}
+		c.record(c.last, state)
+	}
+
+	// Update the quantizer after the verdict so the observation is judged
+	// against the pre-existing model.
+	c.updateScale(x)
+	c.last = state
+	c.haveL = true
+	c.seen++
+	return res, nil
+}
+
+// quantize maps x to a state by z-score: state 0 is z < −z0, the middle
+// states tile [−z0, z0], and the last state is z ≥ z0. The extreme bands
+// start at 3σ (matching the paper's 3σ convention), so they are genuinely
+// rare under the learned behaviour.
+func (c *Chain) quantize(x float64) int {
+	sigma := math.Sqrt(c.vari)
+	if c.seen < 2 || sigma == 0 {
+		return c.cfg.NumStates / 2
+	}
+	z := (x - c.mean) / sigma
+	const z0 = 3.0
+	if z < -z0 {
+		return 0
+	}
+	if z >= z0 {
+		return c.cfg.NumStates - 1
+	}
+	inner := c.cfg.NumStates - 2
+	if inner <= 0 {
+		// Two states: split at the mean.
+		if z < 0 {
+			return 0
+		}
+		return 1
+	}
+	idx := int((z + z0) / (2 * z0) * float64(inner))
+	if idx >= inner {
+		idx = inner - 1
+	}
+	return 1 + idx
+}
+
+// updateScale advances the running location/scale estimates.
+func (c *Chain) updateScale(x float64) {
+	if c.seen == 0 {
+		c.mean = x
+		return
+	}
+	lam := c.cfg.Lambda
+	dev := x - c.mean
+	c.mean += lam * dev
+	c.vari = (1 - lam) * (c.vari + lam*dev*dev)
+}
+
+// record adds transition a→b to the window, evicting the oldest.
+func (c *Chain) record(a, b int) {
+	if c.fill == c.cfg.WindowLen {
+		// ring stores flattened a*NumStates+b codes.
+		old := c.ring[c.head]
+		c.counts[old/c.cfg.NumStates][old%c.cfg.NumStates]--
+	}
+	c.ring[c.head] = a*c.cfg.NumStates + b
+	c.head = (c.head + 1) % c.cfg.WindowLen
+	if c.fill < c.cfg.WindowLen {
+		c.fill++
+	}
+	c.counts[a][b]++
+}
+
+// TransitionProb returns the Laplace-smoothed probability of a→b under the
+// current window counts.
+func (c *Chain) TransitionProb(a, b int) float64 {
+	if a < 0 || a >= c.cfg.NumStates || b < 0 || b >= c.cfg.NumStates {
+		return 0
+	}
+	var rowTotal int
+	for _, n := range c.counts[a] {
+		rowTotal += n
+	}
+	k := float64(c.cfg.NumStates)
+	return (float64(c.counts[a][b]) + 1) / (float64(rowTotal) + k)
+}
+
+// TransitionMatrix returns a copy of the smoothed transition matrix.
+func (c *Chain) TransitionMatrix() [][]float64 {
+	out := make([][]float64, c.cfg.NumStates)
+	for a := range out {
+		row := make([]float64, c.cfg.NumStates)
+		for b := range row {
+			row[b] = c.TransitionProb(a, b)
+		}
+		out[a] = row
+	}
+	return out
+}
+
+// Seen returns the number of observations ingested.
+func (c *Chain) Seen() int { return c.seen }

@@ -1,0 +1,221 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{name: "valid", cfg: Config{NumStates: 5, WindowLen: 100, MinProb: 0.02}, ok: true},
+		{name: "one state", cfg: Config{NumStates: 1, WindowLen: 100, MinProb: 0.02}},
+		{name: "tiny window", cfg: Config{NumStates: 5, WindowLen: 2, MinProb: 0.02}},
+		{name: "prob 0", cfg: Config{NumStates: 5, WindowLen: 100}},
+		{name: "prob 1", cfg: Config{NumStates: 5, WindowLen: 100, MinProb: 1}},
+		{name: "bad lambda", cfg: Config{NumStates: 5, WindowLen: 100, MinProb: 0.02, Lambda: 2}},
+		{name: "bad warmup", cfg: Config{NumStates: 5, WindowLen: 100, MinProb: 0.02, Warmup: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.cfg)
+			if tt.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tt.ok && !errors.Is(err, ErrConfig) {
+				t.Fatalf("want ErrConfig, got %v", err)
+			}
+		})
+	}
+}
+
+func TestObserveRejectsNonFinite(t *testing.T) {
+	c, err := New(Config{NumStates: 3, WindowLen: 16, MinProb: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Observe(math.NaN()); !errors.Is(err, ErrInput) {
+		t.Fatalf("NaN: %v", err)
+	}
+	if _, err := c.Observe(math.Inf(1)); !errors.Is(err, ErrInput) {
+		t.Fatalf("Inf: %v", err)
+	}
+}
+
+func TestStationaryStreamRarelyFlags(t *testing.T) {
+	c, err := New(Config{NumStates: 5, WindowLen: 256, MinProb: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var ready, alarms int
+	for i := 0; i < 4000; i++ {
+		res, err := c.Observe(100 + 5*rng.NormFloat64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ready {
+			ready++
+			if res.Anomalous {
+				alarms++
+			}
+		}
+	}
+	if ready == 0 {
+		t.Fatal("chain never became ready")
+	}
+	if rate := float64(alarms) / float64(ready); rate > 0.05 {
+		t.Fatalf("false-alarm rate %v on stationary data", rate)
+	}
+	if c.Seen() != 4000 {
+		t.Fatalf("seen = %d", c.Seen())
+	}
+}
+
+func TestRegimeChangeFlagged(t *testing.T) {
+	c, err := New(Config{NumStates: 5, WindowLen: 256, MinProb: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if _, err := c.Observe(100 + 3*rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Settle on the common central state so the jump is judged against a
+	// well-populated transition row (a rare predecessor state would keep
+	// the Laplace-smoothed probability above threshold by design).
+	if _, err := c.Observe(100); err != nil {
+		t.Fatal(err)
+	}
+	// A sudden jump far outside the learned band is a never-seen
+	// transition into the extreme state.
+	res, err := c.Observe(100 + 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ready || !res.Anomalous {
+		t.Fatalf("regime change missed: %+v", res)
+	}
+	if res.State != 4 {
+		t.Fatalf("jump quantized to state %d, want extreme state 4", res.State)
+	}
+}
+
+func TestPeriodicPatternLearned(t *testing.T) {
+	// A deterministic alternation low/high is learned as high-probability
+	// transitions; breaking the alternation is flagged.
+	c, err := New(Config{NumStates: 2, WindowLen: 128, MinProb: 0.05, Lambda: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(i int) float64 {
+		if i%2 == 0 {
+			return 10
+		}
+		return 20
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := c.Observe(val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The learned matrix strongly prefers switching.
+	m := c.TransitionMatrix()
+	if m[0][1] < 0.8 || m[1][0] < 0.8 {
+		t.Fatalf("alternation not learned: %v", m)
+	}
+	// Next value "should" be high (we ended on an odd index 999 → 20;
+	// i=1000 → 10... feed a repeat of the previous value instead).
+	res, err := c.Observe(val(999)) // stuck-at: repeats instead of switching
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ready || !res.Anomalous {
+		t.Fatalf("stuck-at transition not flagged: %+v", res)
+	}
+}
+
+func TestTransitionProbBounds(t *testing.T) {
+	c, err := New(Config{NumStates: 3, WindowLen: 16, MinProb: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := c.TransitionProb(-1, 0); p != 0 {
+		t.Fatalf("out-of-range prob = %v", p)
+	}
+	if p := c.TransitionProb(0, 3); p != 0 {
+		t.Fatalf("out-of-range prob = %v", p)
+	}
+	// Empty chain: uniform smoothing.
+	if p := c.TransitionProb(0, 1); math.Abs(p-1.0/3) > 1e-12 {
+		t.Fatalf("prior prob = %v, want 1/3", p)
+	}
+}
+
+// Property: every row of the smoothed transition matrix sums to 1, for any
+// observation stream.
+func TestQuickRowsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		c, err := New(Config{NumStates: 4, WindowLen: 32, MinProb: 0.02})
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			if _, err := c.Observe(r.NormFloat64() * 100); err != nil {
+				return false
+			}
+		}
+		for _, row := range c.TransitionMatrix() {
+			var s float64
+			for _, p := range row {
+				s += p
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: window eviction keeps total counts bounded by the window.
+func TestQuickWindowedCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		window := 16
+		c, err := New(Config{NumStates: 3, WindowLen: window, MinProb: 0.02})
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			if _, err := c.Observe(r.NormFloat64()); err != nil {
+				return false
+			}
+		}
+		var total int
+		for _, row := range c.counts {
+			for _, n := range row {
+				if n < 0 {
+					return false
+				}
+				total += n
+			}
+		}
+		return total == window
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym holds the eigendecomposition A = V·diag(Values)·Vᵀ of a symmetric
+// matrix. Values are sorted in descending order and Vectors' column j is the
+// unit eigenvector for Values[j].
+type EigenSym struct {
+	// Values are the eigenvalues in descending order.
+	Values []float64
+	// Vectors is the n×n orthonormal matrix whose columns are eigenvectors.
+	Vectors *Matrix
+}
+
+// maxJacobiSweeps bounds the cyclic Jacobi iteration. Convergence for
+// symmetric matrices is quadratic; well-conditioned problems finish in a
+// handful of sweeps and 64 is far beyond any realistic need.
+const maxJacobiSweeps = 64
+
+// SymEigen computes the eigendecomposition of the symmetric matrix a using
+// the cyclic Jacobi method. Only the upper triangle is read; the matrix is
+// not modified. It returns ErrShape for non-square input, ErrNotFinite for
+// NaN/Inf entries and ErrNoConverge if the off-diagonal mass does not vanish
+// within the sweep budget.
+func SymEigen(a *Matrix) (*EigenSym, error) {
+	n := a.rows
+	if n != a.cols {
+		return nil, fmt.Errorf("%w: eigendecomposition of %dx%d", ErrShape, a.rows, a.cols)
+	}
+	if !a.IsFinite() {
+		return nil, fmt.Errorf("%w: eigendecomposition input", ErrNotFinite)
+	}
+	if n == 0 {
+		return &EigenSym{Values: nil, Vectors: NewMatrix(0, 0)}, nil
+	}
+
+	// Work on a symmetrized copy so the caller's matrix stays intact and
+	// slight asymmetries from floating-point accumulation are averaged out.
+	w := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w.data[i*n+j] = 0.5 * (a.data[i*n+j] + a.data[j*n+i])
+		}
+	}
+	v := Identity(n)
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				x := w.data[i*n+j]
+				s += x * x
+			}
+		}
+		return s
+	}
+
+	normA := w.FrobeniusNorm()
+	if normA == 0 {
+		return finishEigen(w, v), nil
+	}
+	tol := 1e-28 * normA * normA
+
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		if offDiag() <= tol {
+			return finishEigen(w, v), nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.data[p*n+q]
+				if apq == 0 {
+					continue
+				}
+				app := w.data[p*n+p]
+				aqq := w.data[q*n+q]
+				// Skip rotations that cannot change the result at
+				// machine precision.
+				if math.Abs(apq) <= 1e-17*(math.Abs(app)+math.Abs(aqq)) {
+					w.data[p*n+q] = 0
+					w.data[q*n+p] = 0
+					continue
+				}
+				c, s := jacobiRotation(app, aqq, apq)
+				applySymRotation(w, p, q, c, s)
+				applyRightRotation(v, p, q, c, s)
+			}
+		}
+	}
+	if offDiag() <= tol*1e4 {
+		// Accept a slightly looser residual rather than fail outright;
+		// Jacobi stagnation this close to convergence is a rounding artifact.
+		return finishEigen(w, v), nil
+	}
+	return nil, fmt.Errorf("%w: jacobi eigendecomposition after %d sweeps", ErrNoConverge, maxJacobiSweeps)
+}
+
+// jacobiRotation returns (cos θ, sin θ) of the Givens rotation that
+// annihilates the (p,q) element of a symmetric 2×2 block
+// [[app apq],[apq aqq]], following Golub & Van Loan (8.4).
+func jacobiRotation(app, aqq, apq float64) (c, s float64) {
+	theta := (aqq - app) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c = 1 / math.Sqrt(1+t*t)
+	s = t * c
+	return c, s
+}
+
+// applySymRotation applies the two-sided rotation Jᵀ·W·J on rows/cols p, q.
+func applySymRotation(w *Matrix, p, q int, c, s float64) {
+	n := w.cols
+	app := w.data[p*n+p]
+	aqq := w.data[q*n+q]
+	apq := w.data[p*n+q]
+	for k := 0; k < n; k++ {
+		if k == p || k == q {
+			continue
+		}
+		akp := w.data[k*n+p]
+		akq := w.data[k*n+q]
+		w.data[k*n+p] = c*akp - s*akq
+		w.data[p*n+k] = w.data[k*n+p]
+		w.data[k*n+q] = s*akp + c*akq
+		w.data[q*n+k] = w.data[k*n+q]
+	}
+	w.data[p*n+p] = c*c*app - 2*s*c*apq + s*s*aqq
+	w.data[q*n+q] = s*s*app + 2*s*c*apq + c*c*aqq
+	w.data[p*n+q] = 0
+	w.data[q*n+p] = 0
+}
+
+// applyRightRotation applies V ← V·J where J rotates columns p and q.
+func applyRightRotation(v *Matrix, p, q int, c, s float64) {
+	n := v.cols
+	for k := 0; k < v.rows; k++ {
+		vkp := v.data[k*n+p]
+		vkq := v.data[k*n+q]
+		v.data[k*n+p] = c*vkp - s*vkq
+		v.data[k*n+q] = s*vkp + c*vkq
+	}
+}
+
+// finishEigen extracts the diagonal, sorts eigenpairs in descending
+// eigenvalue order and packages the result.
+func finishEigen(w, v *Matrix) *EigenSym {
+	n := w.rows
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{val: w.data[i*n+i], idx: i}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].val > pairs[b].val })
+
+	values := make([]float64, n)
+	vectors := NewMatrix(n, n)
+	for j, p := range pairs {
+		values[j] = p.val
+		for i := 0; i < n; i++ {
+			vectors.data[i*n+j] = v.data[i*n+p.idx]
+		}
+	}
+	return &EigenSym{Values: values, Vectors: vectors}
+}

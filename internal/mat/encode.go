@@ -1,0 +1,53 @@
+package mat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// matrixWireVersion tags the binary layout for forward compatibility.
+const matrixWireVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler (and therefore gob
+// support): version, dimensions, then row-major float64 data, all
+// little-endian.
+func (m *Matrix) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 4+8+8+8*len(m.data))
+	out = binary.LittleEndian.AppendUint32(out, matrixWireVersion)
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.rows))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.cols))
+	for _, v := range m.data {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Matrix) UnmarshalBinary(data []byte) error {
+	const header = 4 + 8 + 8
+	if len(data) < header {
+		return fmt.Errorf("%w: %d bytes, want at least %d", ErrShape, len(data), header)
+	}
+	if v := binary.LittleEndian.Uint32(data); v != matrixWireVersion {
+		return fmt.Errorf("%w: unsupported matrix wire version %d", ErrShape, v)
+	}
+	rows := binary.LittleEndian.Uint64(data[4:])
+	cols := binary.LittleEndian.Uint64(data[12:])
+	const maxDim = 1 << 24 // guards against corrupt headers allocating GiBs
+	if rows > maxDim || cols > maxDim {
+		return fmt.Errorf("%w: implausible dimensions %dx%d", ErrShape, rows, cols)
+	}
+	n := int(rows) * int(cols)
+	if len(data) != header+8*n {
+		return fmt.Errorf("%w: %d bytes for %dx%d matrix", ErrShape, len(data), rows, cols)
+	}
+	buf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		buf[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[header+8*i:]))
+	}
+	m.rows = int(rows)
+	m.cols = int(cols)
+	m.data = buf
+	return nil
+}

@@ -1,0 +1,396 @@
+// Package mat provides the dense linear-algebra substrate used by the
+// streaming-PCA library: column-major-free dense matrices, vectors,
+// Householder QR, a cyclic Jacobi symmetric eigensolver and a one-sided
+// Jacobi (Hestenes) singular value decomposition.
+//
+// The package is deliberately small and dependency-free (stdlib only). It is
+// tuned for the matrix sizes that occur in network-wide PCA detection —
+// tens-to-hundreds of aggregated flows — where the robustness of Jacobi
+// methods matters more than raw LAPACK-style throughput.
+//
+// All matrices use row-major storage. Dimensions are validated eagerly;
+// functions return errors rather than panicking for user-reachable failure
+// modes, per the project style guide.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Common errors returned by the package.
+var (
+	// ErrShape indicates incompatible or invalid matrix dimensions.
+	ErrShape = errors.New("mat: incompatible matrix shape")
+	// ErrSingular indicates a numerically singular system.
+	ErrSingular = errors.New("mat: singular matrix")
+	// ErrNoConverge indicates an iterative method exhausted its sweep budget.
+	ErrNoConverge = errors.New("mat: iteration did not converge")
+	// ErrNotFinite indicates a NaN or Inf was found where finite data is required.
+	ErrNotFinite = errors.New("mat: non-finite value")
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Use NewMatrix or NewMatrixFromRows
+// to construct one with content.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns an r×c matrix of zeros.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		r, c = 0, 0
+	}
+	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewMatrixFromRows builds a matrix from a slice of equally sized rows. The
+// data is copied, so the caller retains ownership of rows.
+func NewMatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(row), c)
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// NewMatrixFromData wraps a row-major backing slice as an r×c matrix. The
+// slice is used directly (not copied); len(data) must equal r*c.
+func NewMatrixFromData(r, c int, data []float64) (*Matrix, error) {
+	if r < 0 || c < 0 || len(data) != r*c {
+		return nil, fmt.Errorf("%w: %d values for %dx%d matrix", ErrShape, len(data), r, c)
+	}
+	return &Matrix{rows: r, cols: c, data: data}, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// RowView returns row i as a slice sharing the matrix's backing storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Matrix) RowView(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i. len(v) must equal Cols.
+func (m *Matrix) SetRow(i int, v []float64) error {
+	if len(v) != m.cols {
+		return fmt.Errorf("%w: row of length %d into %d columns", ErrShape, len(v), m.cols)
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], v)
+	return nil
+}
+
+// SetCol copies v into column j. len(v) must equal Rows.
+func (m *Matrix) SetCol(j int, v []float64) error {
+	if len(v) != m.rows {
+		return fmt.Errorf("%w: column of length %d into %d rows", ErrShape, len(v), m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*m.rows+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and o have the same shape and elementwise values
+// within absolute tolerance tol.
+func (m *Matrix) Equal(o *Matrix, tol float64) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-o.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every element is finite (no NaN/Inf).
+func (m *Matrix) IsFinite() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+	return m
+}
+
+// Add returns m + o as a new matrix.
+func (m *Matrix) Add(o *Matrix) (*Matrix, error) {
+	if m.rows != o.rows || m.cols != o.cols {
+		return nil, fmt.Errorf("%w: add %dx%d and %dx%d", ErrShape, m.rows, m.cols, o.rows, o.cols)
+	}
+	out := m.Clone()
+	for i, v := range o.data {
+		out.data[i] += v
+	}
+	return out, nil
+}
+
+// Sub returns m − o as a new matrix.
+func (m *Matrix) Sub(o *Matrix) (*Matrix, error) {
+	if m.rows != o.rows || m.cols != o.cols {
+		return nil, fmt.Errorf("%w: sub %dx%d and %dx%d", ErrShape, m.rows, m.cols, o.rows, o.cols)
+	}
+	out := m.Clone()
+	for i, v := range o.data {
+		out.data[i] -= v
+	}
+	return out, nil
+}
+
+// Mul returns the matrix product m·o as a new matrix.
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, m.rows, m.cols, o.rows, o.cols)
+	}
+	out := NewMatrix(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*o.cols : (i+1)*o.cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			okrow := o.data[k*o.cols : (k+1)*o.cols]
+			for j, ov := range okrow {
+				orow[j] += mv * ov
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("%w: mulvec %dx%d by vector of %d", ErrShape, m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// TMulVec returns mᵀ·v without materializing the transpose.
+func (m *Matrix) TMulVec(v []float64) ([]float64, error) {
+	if m.rows != len(v) {
+		return nil, fmt.Errorf("%w: tmulvec %dx%d by vector of %d", ErrShape, m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, rv := range row {
+			out[j] += vi * rv
+		}
+	}
+	return out, nil
+}
+
+// Gram returns mᵀ·m (the c×c Gram matrix) exploiting symmetry.
+func (m *Matrix) Gram() *Matrix {
+	out := NewMatrix(m.cols, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for a, ra := range row {
+			if ra == 0 {
+				continue
+			}
+			orow := out.data[a*m.cols : (a+1)*m.cols]
+			for b := a; b < m.cols; b++ {
+				orow[b] += ra * row[b]
+			}
+		}
+	}
+	// Mirror the upper triangle into the lower one.
+	for a := 0; a < m.cols; a++ {
+		for b := a + 1; b < m.cols; b++ {
+			out.data[b*m.cols+a] = out.data[a*m.cols+b]
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns the Frobenius norm sqrt(Σ m_ij²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	// Scaled accumulation to avoid overflow for large entries.
+	var scale, ssq float64 = 0, 1
+	for _, v := range m.data {
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty matrices).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if av := math.Abs(v); av > mx {
+			mx = av
+		}
+	}
+	return mx
+}
+
+// Trace returns the sum of diagonal elements; the matrix must be square.
+func (m *Matrix) Trace() (float64, error) {
+	if m.rows != m.cols {
+		return 0, fmt.Errorf("%w: trace of %dx%d", ErrShape, m.rows, m.cols)
+	}
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		s += m.data[i*m.cols+i]
+	}
+	return s, nil
+}
+
+// CenterColumns subtracts each column's mean from the column in place and
+// returns the vector of removed means. This is the Y = X − x̄ adjustment the
+// PCA methods require.
+func (m *Matrix) CenterColumns() []float64 {
+	means := make([]float64, m.cols)
+	if m.rows == 0 {
+		return means
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	inv := 1 / float64(m.rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+	return means
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Matrix) String() string {
+	const maxShow = 8
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(m.rows))
+	b.WriteByte('x')
+	b.WriteString(strconv.Itoa(m.cols))
+	b.WriteString(" [")
+	for i := 0; i < m.rows && i < maxShow; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.cols && j < maxShow; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strconv.FormatFloat(m.At(i, j), 'g', 5, 64))
+		}
+		if m.cols > maxShow {
+			b.WriteString(" …")
+		}
+	}
+	if m.rows > maxShow {
+		b.WriteString("; …")
+	}
+	b.WriteByte(']')
+	return b.String()
+}

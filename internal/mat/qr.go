@@ -1,0 +1,125 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR decomposition A = Q·R with Q n×m having
+// orthonormal columns (thin form, n ≥ m) and R m×m upper triangular.
+type QR struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// ComputeQR computes the thin QR decomposition of a (requires Rows ≥ Cols)
+// using Householder reflections.
+func ComputeQR(a *Matrix) (*QR, error) {
+	n, m := a.rows, a.cols
+	if n < m {
+		return nil, fmt.Errorf("%w: qr of %dx%d requires rows >= cols", ErrShape, n, m)
+	}
+	if !a.IsFinite() {
+		return nil, fmt.Errorf("%w: qr input", ErrNotFinite)
+	}
+	r := a.Clone()
+	// Accumulate Q as a full n×n product, then trim to thin form.
+	q := Identity(n)
+
+	for k := 0; k < m; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		var normX float64
+		for i := k; i < n; i++ {
+			x := r.data[i*m+k]
+			normX += x * x
+		}
+		normX = math.Sqrt(normX)
+		if normX == 0 {
+			continue
+		}
+		alpha := -math.Copysign(normX, r.data[k*m+k])
+		v := make([]float64, n-k)
+		v[0] = r.data[k*m+k] - alpha
+		for i := k + 1; i < n; i++ {
+			v[i-k] = r.data[i*m+k]
+		}
+		vnorm := Norm(v)
+		if vnorm == 0 {
+			continue
+		}
+		ScaleVec(v, 1/vnorm)
+
+		// R ← (I − 2vvᵀ)R on the trailing block.
+		for j := k; j < m; j++ {
+			var dot float64
+			for i := k; i < n; i++ {
+				dot += v[i-k] * r.data[i*m+j]
+			}
+			dot *= 2
+			for i := k; i < n; i++ {
+				r.data[i*m+j] -= dot * v[i-k]
+			}
+		}
+		// Q ← Q(I − 2vvᵀ).
+		for i := 0; i < n; i++ {
+			var dot float64
+			for j := k; j < n; j++ {
+				dot += q.data[i*n+j] * v[j-k]
+			}
+			dot *= 2
+			for j := k; j < n; j++ {
+				q.data[i*n+j] -= dot * v[j-k]
+			}
+		}
+	}
+
+	thinQ := NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		copy(thinQ.data[i*m:(i+1)*m], q.data[i*n:i*n+m])
+	}
+	thinR := NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			thinR.data[i*m+j] = r.data[i*m+j]
+		}
+	}
+	return &QR{Q: thinQ, R: thinR}, nil
+}
+
+// SolveUpperTriangular solves R·x = b for upper-triangular R by back
+// substitution. Returns ErrSingular when a diagonal entry is (near) zero.
+func SolveUpperTriangular(r *Matrix, b []float64) ([]float64, error) {
+	m := r.rows
+	if r.cols != m || len(b) != m {
+		return nil, fmt.Errorf("%w: triangular solve %dx%d with rhs %d", ErrShape, r.rows, r.cols, len(b))
+	}
+	x := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < m; j++ {
+			s -= r.data[i*m+j] * x[j]
+		}
+		d := r.data[i*m+i]
+		if math.Abs(d) < 1e-300 {
+			return nil, fmt.Errorf("%w: zero pivot at %d", ErrSingular, i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖a·x − b‖₂ via QR.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.rows {
+		return nil, fmt.Errorf("%w: least squares %dx%d with rhs %d", ErrShape, a.rows, a.cols, len(b))
+	}
+	qr, err := ComputeQR(a)
+	if err != nil {
+		return nil, err
+	}
+	qtb, err := qr.Q.TMulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	return SolveUpperTriangular(qr.R, qtb)
+}

@@ -1,0 +1,213 @@
+// Package monitor implements the long-running local-monitor service of
+// Fig. 1: it owns the per-flow sketch state (core.Monitor), pushes one
+// volume report to the NOC per interval, and answers the NOC's sketch pulls.
+//
+// One duplex connection to the NOC carries everything: the monitor sends
+// Hello then VolumeReports; the NOC sends SketchRequests, which the monitor
+// answers with SketchResponses; Alarms may arrive for operator visibility.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"streampca/internal/core"
+	"streampca/internal/randproj"
+	"streampca/internal/transport"
+)
+
+// Errors returned by the package.
+var (
+	// ErrConfig indicates an invalid service configuration.
+	ErrConfig = errors.New("monitor: invalid configuration")
+	// ErrNotConnected indicates an operation requiring a live NOC link.
+	ErrNotConnected = errors.New("monitor: not connected")
+	// ErrAlreadyConnected indicates a second Connect/Attach.
+	ErrAlreadyConnected = errors.New("monitor: already connected")
+)
+
+// Config parameterizes a monitor service.
+type Config struct {
+	// ID names the monitor (unique per deployment).
+	ID string
+	// FlowIDs lists the global flows this monitor measures.
+	FlowIDs []int
+	// WindowLen is n and Epsilon the VH parameter ε.
+	WindowLen int
+	Epsilon   float64
+	// Sketch configures the shared random projection. WindowLen is filled
+	// from the service's when unset.
+	Sketch randproj.Config
+	// OnAlarm, when set, is invoked for alarms pushed by the NOC.
+	OnAlarm func(transport.Alarm)
+}
+
+// Service is a local monitor. Create with New, wire with Connect (TCP) or
+// Attach (an existing connection, e.g. an in-memory pipe), feed with
+// ReportInterval, and stop with Close.
+type Service struct {
+	cfg Config
+	gen *randproj.Generator
+
+	mu   sync.Mutex
+	core *core.Monitor
+	conn *transport.Conn
+
+	readerDone chan struct{}
+}
+
+// New validates cfg and builds the sketch state.
+func New(cfg Config) (*Service, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("%w: empty monitor id", ErrConfig)
+	}
+	sketchCfg := cfg.Sketch
+	if sketchCfg.WindowLen == 0 {
+		sketchCfg.WindowLen = cfg.WindowLen
+	}
+	gen, err := randproj.NewGenerator(sketchCfg)
+	if err != nil {
+		return nil, fmt.Errorf("generator: %w", err)
+	}
+	cm, err := core.NewMonitor(core.MonitorConfig{
+		FlowIDs:   cfg.FlowIDs,
+		WindowLen: cfg.WindowLen,
+		Epsilon:   cfg.Epsilon,
+		Gen:       gen,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core monitor: %w", err)
+	}
+	return &Service{cfg: cfg, gen: gen, core: cm}, nil
+}
+
+// ID returns the monitor's identifier.
+func (s *Service) ID() string { return s.cfg.ID }
+
+// Connect dials the NOC, performs the Hello handshake and starts serving
+// sketch requests.
+func (s *Service) Connect(nocAddr string, timeout time.Duration) error {
+	conn, err := transport.Dial(nocAddr, timeout)
+	if err != nil {
+		return fmt.Errorf("connect NOC: %w", err)
+	}
+	if err := s.Attach(conn); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	return nil
+}
+
+// Attach adopts an established connection (used by tests and embedders),
+// sends the Hello and starts the reader.
+func (s *Service) Attach(conn *transport.Conn) error {
+	s.mu.Lock()
+	if s.conn != nil {
+		s.mu.Unlock()
+		return ErrAlreadyConnected
+	}
+	s.conn = conn
+	s.readerDone = make(chan struct{})
+	s.mu.Unlock()
+
+	hello := transport.Hello{
+		MonitorID: s.cfg.ID,
+		FlowIDs:   s.core.FlowIDs(),
+		SketchLen: s.gen.SketchLen(),
+		WindowLen: s.cfg.WindowLen,
+		Seed:      s.gen.Seed(),
+	}
+	if err := conn.Send(transport.Envelope{Hello: &hello}); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	go s.readLoop(conn, s.readerDone)
+	return nil
+}
+
+// readLoop serves NOC requests until the connection dies.
+func (s *Service) readLoop(conn *transport.Conn, done chan struct{}) {
+	defer close(done)
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch {
+		case env.Request != nil:
+			s.mu.Lock()
+			rep := s.core.Report()
+			s.mu.Unlock()
+			resp := transport.SketchResponse{
+				RequestID: env.Request.RequestID,
+				MonitorID: s.cfg.ID,
+				Report:    rep,
+			}
+			if err := conn.Send(transport.Envelope{Response: &resp}); err != nil {
+				return
+			}
+		case env.Alarm != nil:
+			if s.cfg.OnAlarm != nil {
+				s.cfg.OnAlarm(*env.Alarm)
+			}
+		case env.Error != nil:
+			// The NOC rejected us; nothing to do but stop.
+			return
+		default:
+			// Ignore unexpected but well-formed frames (forward compat).
+		}
+	}
+}
+
+// ReportInterval ingests interval t's volumes (indexed like Config.FlowIDs)
+// into the sketch state and pushes the volume report to the NOC.
+func (s *Service) ReportInterval(t int64, volumes []float64) error {
+	s.mu.Lock()
+	conn := s.conn
+	if conn == nil {
+		s.mu.Unlock()
+		return ErrNotConnected
+	}
+	if err := s.core.Update(t, volumes); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("sketch update: %w", err)
+	}
+	flowIDs := s.core.FlowIDs()
+	s.mu.Unlock()
+
+	report := transport.VolumeReport{
+		MonitorID: s.cfg.ID,
+		Interval:  t,
+		FlowIDs:   flowIDs,
+		Volumes:   append([]float64(nil), volumes...),
+	}
+	if err := conn.Send(transport.Envelope{Volume: &report}); err != nil {
+		return fmt.Errorf("volume report: %w", err)
+	}
+	return nil
+}
+
+// Report returns the current sketch state (local inspection).
+func (s *Service) Report() core.SketchReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Report()
+}
+
+// Close tears down the NOC connection and waits for the reader to exit.
+// Safe to call multiple times and before Connect.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	conn := s.conn
+	done := s.readerDone
+	s.conn = nil
+	s.readerDone = nil
+	s.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	err := conn.Close()
+	<-done
+	return err
+}

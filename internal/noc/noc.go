@@ -1,0 +1,488 @@
+// Package noc implements the Network Operation Center service of Fig. 1:
+// it accepts monitor connections, assembles per-interval network-wide
+// measurement vectors from their volume reports, and drives the lazy
+// sketch-PCA detection protocol (core.Detector) — pulling sketches from all
+// monitors only when a measurement exceeds the current threshold.
+package noc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"streampca/internal/core"
+	"streampca/internal/randproj"
+	"streampca/internal/transport"
+)
+
+// Errors returned by the package.
+var (
+	// ErrConfig indicates an invalid service configuration.
+	ErrConfig = errors.New("noc: invalid configuration")
+	// ErrFetchTimeout indicates a sketch pull did not complete in time.
+	ErrFetchTimeout = errors.New("noc: sketch fetch timed out")
+	// ErrCoverage indicates the registered monitors do not cover all flows.
+	ErrCoverage = errors.New("noc: incomplete flow coverage")
+)
+
+// Decision couples a detector decision with the interval it concerns.
+type Decision struct {
+	Interval int64
+	Vector   []float64
+	// Warmup is true for intervals before a full window has elapsed:
+	// detection was skipped and Result is zero.
+	Warmup bool
+	Result core.Decision
+}
+
+// Config parameterizes the NOC service.
+type Config struct {
+	// Detector configures the sketch-PCA detector (flows, window, sketch
+	// length, alpha, rank policy).
+	Detector core.DetectorConfig
+	// Seed is the shared randomness seed monitors must announce.
+	Seed uint64
+	// FetchTimeout bounds a sketch pull; defaults to 5s.
+	FetchTimeout time.Duration
+	// OnDecision, when set, receives every completed-interval decision.
+	// It is called from the processing goroutine; keep it fast.
+	OnDecision func(Decision)
+	// MaxPendingIntervals bounds partially assembled intervals kept while
+	// waiting for stragglers; defaults to 64.
+	MaxPendingIntervals int
+	// LocalSketches enables the paper's §V-A variant for thin monitors:
+	// the NOC maintains the variance histograms itself from the volume
+	// reports, so monitors need only run volume counters and are never
+	// asked for sketches. Costs the NOC O(m·log n) extra time per interval
+	// and O(m·log²n) space.
+	LocalSketches bool
+	// Epsilon is the VH parameter when LocalSketches is set; defaults to
+	// 0.01 (the paper's setting).
+	Epsilon float64
+}
+
+type monitorEntry struct {
+	id    string
+	flows []int
+	conn  *transport.Conn
+}
+
+type pendingFetch struct {
+	expect int
+	respCh chan *transport.SketchResponse
+}
+
+type intervalAccum struct {
+	volumes []float64
+	seen    map[int]struct{}
+}
+
+// Service is the NOC. Start it with Serve, stop with Shutdown.
+type Service struct {
+	cfg    Config
+	server *transport.Server
+
+	mu        sync.Mutex
+	monitors  map[*transport.Conn]*monitorEntry
+	flowOwner map[int]*transport.Conn
+	pending   map[uint64]*pendingFetch
+	nextReq   uint64
+	intervals map[int64]*intervalAccum
+
+	detMu sync.Mutex
+	det   *core.Detector
+	// localMon holds the NOC-side variance histograms when LocalSketches
+	// is enabled; accessed only from the processing goroutine.
+	localMon *core.Monitor
+
+	completeCh chan Decision // buffered channel feeding the processor
+	workCh     chan workItem
+	procDone   chan struct{}
+}
+
+type workItem struct {
+	interval int64
+	volumes  []float64
+}
+
+// New validates cfg and builds the service (not yet listening).
+func New(cfg Config) (*Service, error) {
+	det, err := core.NewDetector(cfg.Detector)
+	if err != nil {
+		return nil, fmt.Errorf("detector: %w", err)
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 5 * time.Second
+	}
+	if cfg.MaxPendingIntervals <= 0 {
+		cfg.MaxPendingIntervals = 64
+	}
+	var localMon *core.Monitor
+	if cfg.LocalSketches {
+		if cfg.Epsilon == 0 {
+			cfg.Epsilon = 0.01
+		}
+		gen, err := randproj.NewGenerator(randproj.Config{
+			Seed:      cfg.Seed,
+			SketchLen: cfg.Detector.SketchLen,
+			WindowLen: cfg.Detector.WindowLen,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("local sketch generator: %w", err)
+		}
+		flowIDs := make([]int, cfg.Detector.NumFlows)
+		for j := range flowIDs {
+			flowIDs[j] = j
+		}
+		localMon, err = core.NewMonitor(core.MonitorConfig{
+			FlowIDs:   flowIDs,
+			WindowLen: cfg.Detector.WindowLen,
+			Epsilon:   cfg.Epsilon,
+			Gen:       gen,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("local sketch state: %w", err)
+		}
+	}
+	return &Service{
+		cfg:       cfg,
+		monitors:  make(map[*transport.Conn]*monitorEntry),
+		flowOwner: make(map[int]*transport.Conn),
+		pending:   make(map[uint64]*pendingFetch),
+		intervals: make(map[int64]*intervalAccum),
+		det:       det,
+		localMon:  localMon,
+		workCh:    make(chan workItem, 256),
+		procDone:  make(chan struct{}),
+	}, nil
+}
+
+// Serve starts listening on addr and processing intervals.
+func (s *Service) Serve(addr string) error {
+	srv, err := transport.Listen(addr, s.handleConn)
+	if err != nil {
+		return err
+	}
+	s.server = srv
+	go s.processLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Service) Addr() string { return s.server.Addr() }
+
+// Shutdown stops the listener, drops all monitors and stops the processor.
+func (s *Service) Shutdown() {
+	if s.server != nil {
+		s.server.Shutdown()
+	}
+	close(s.workCh)
+	<-s.procDone
+}
+
+// HasModel reports whether the detector has built a model yet.
+func (s *Service) HasModel() bool {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	return s.det.HasModel()
+}
+
+// DetectorStats returns the lazy-protocol counters.
+func (s *Service) DetectorStats() (observations, fetches, alarms int64) {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	return s.det.Stats()
+}
+
+// Monitors returns the ids of currently registered monitors, sorted.
+func (s *Service) Monitors() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.monitors))
+	for _, e := range s.monitors {
+		out = append(out, e.id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// handleConn is the per-connection reader: Hello registration, then volume
+// reports and sketch responses until the peer drops.
+func (s *Service) handleConn(conn *transport.Conn) {
+	env, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	if env.Hello == nil {
+		_ = conn.Send(transport.Envelope{Error: &transport.ProtocolError{Msg: "first frame must be hello"}})
+		return
+	}
+	if err := s.register(conn, env.Hello); err != nil {
+		_ = conn.Send(transport.Envelope{Error: &transport.ProtocolError{Msg: err.Error()}})
+		return
+	}
+	defer s.unregister(conn)
+
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch {
+		case env.Volume != nil:
+			s.addVolumes(env.Volume)
+		case env.Response != nil:
+			s.routeResponse(env.Response)
+		default:
+			// Tolerate well-formed but unexpected frames.
+		}
+	}
+}
+
+// register validates a monitor's announced configuration and claims its flows.
+func (s *Service) register(conn *transport.Conn, h *transport.Hello) error {
+	d := s.cfg.Detector
+	if h.SketchLen != d.SketchLen {
+		return fmt.Errorf("%w: monitor %q sketch length %d, NOC %d", ErrConfig, h.MonitorID, h.SketchLen, d.SketchLen)
+	}
+	if h.WindowLen != d.WindowLen {
+		return fmt.Errorf("%w: monitor %q window %d, NOC %d", ErrConfig, h.MonitorID, h.WindowLen, d.WindowLen)
+	}
+	if h.Seed != s.cfg.Seed {
+		return fmt.Errorf("%w: monitor %q seed mismatch", ErrConfig, h.MonitorID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range h.FlowIDs {
+		if f < 0 || f >= d.NumFlows {
+			return fmt.Errorf("%w: monitor %q flow %d of %d", ErrConfig, h.MonitorID, f, d.NumFlows)
+		}
+		if owner, taken := s.flowOwner[f]; taken && owner != conn {
+			return fmt.Errorf("%w: flow %d already owned", ErrConfig, f)
+		}
+	}
+	entry := &monitorEntry{id: h.MonitorID, flows: append([]int(nil), h.FlowIDs...), conn: conn}
+	s.monitors[conn] = entry
+	for _, f := range h.FlowIDs {
+		s.flowOwner[f] = conn
+	}
+	return nil
+}
+
+func (s *Service) unregister(conn *transport.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, ok := s.monitors[conn]
+	if !ok {
+		return
+	}
+	delete(s.monitors, conn)
+	for _, f := range entry.flows {
+		if s.flowOwner[f] == conn {
+			delete(s.flowOwner, f)
+		}
+	}
+}
+
+// addVolumes folds a volume report into its interval accumulator; a complete
+// interval is queued for detection.
+func (s *Service) addVolumes(v *transport.VolumeReport) {
+	if len(v.FlowIDs) != len(v.Volumes) {
+		return // malformed; drop
+	}
+	m := s.cfg.Detector.NumFlows
+
+	s.mu.Lock()
+	acc, ok := s.intervals[v.Interval]
+	if !ok {
+		// Bound the number of partial intervals (drop the oldest).
+		if len(s.intervals) >= s.cfg.MaxPendingIntervals {
+			var oldest int64 = 1<<63 - 1
+			for iv := range s.intervals {
+				if iv < oldest {
+					oldest = iv
+				}
+			}
+			delete(s.intervals, oldest)
+		}
+		acc = &intervalAccum{volumes: make([]float64, m), seen: make(map[int]struct{}, m)}
+		s.intervals[v.Interval] = acc
+	}
+	for i, f := range v.FlowIDs {
+		if f < 0 || f >= m {
+			continue
+		}
+		if _, dup := acc.seen[f]; dup {
+			continue
+		}
+		acc.seen[f] = struct{}{}
+		acc.volumes[f] = v.Volumes[i]
+	}
+	complete := len(acc.seen) == m
+	var item workItem
+	if complete {
+		item = workItem{interval: v.Interval, volumes: acc.volumes}
+		delete(s.intervals, v.Interval)
+	}
+	s.mu.Unlock()
+
+	if complete {
+		select {
+		case s.workCh <- item:
+		default:
+			// Detector is saturated; drop the interval rather than stall
+			// every monitor connection.
+		}
+	}
+}
+
+// routeResponse hands a sketch response to the fetch waiting for it.
+func (s *Service) routeResponse(r *transport.SketchResponse) {
+	s.mu.Lock()
+	p, ok := s.pending[r.RequestID]
+	s.mu.Unlock()
+	if !ok {
+		return // late or unknown; ignore
+	}
+	select {
+	case p.respCh <- r:
+	default:
+	}
+}
+
+// processLoop serializes detection over completed intervals. Intervals
+// before a full window are reported as warm-up without running the detector
+// — models built from partial sketches would be unreliable.
+func (s *Service) processLoop() {
+	defer close(s.procDone)
+	for item := range s.workCh {
+		// §V-A variant: the NOC owns the histograms, so it can test the
+		// incoming vector BEFORE folding it in (detect-then-absorb, which
+		// also limits model poisoning by the anomalous interval itself);
+		// the fold happens after the decision below.
+		absorb := func() {
+			if s.localMon != nil && item.interval > s.localMon.Now() {
+				_ = s.localMon.Update(item.interval, item.volumes)
+			}
+		}
+		if item.interval < int64(s.cfg.Detector.WindowLen) {
+			absorb()
+			if s.cfg.OnDecision != nil {
+				s.cfg.OnDecision(Decision{Interval: item.interval, Vector: item.volumes, Warmup: true})
+			}
+			continue
+		}
+		fetch := s.fetchSketches
+		if s.localMon != nil {
+			fetch = s.fetchLocal
+		}
+		s.detMu.Lock()
+		res, err := s.det.Observe(item.volumes, fetch)
+		s.detMu.Unlock()
+		absorb()
+		if err != nil {
+			continue // fetch failed (e.g. monitor churn); next interval retries
+		}
+		if res.Anomalous {
+			s.broadcastAlarm(transport.Alarm{
+				Interval:  item.interval,
+				Distance:  res.Distance,
+				Threshold: res.Threshold,
+			})
+		}
+		if s.cfg.OnDecision != nil {
+			s.cfg.OnDecision(Decision{Interval: item.interval, Vector: item.volumes, Result: res})
+		}
+	}
+}
+
+// fetchLocal implements core.FetchFunc from the NOC-side histograms
+// (§V-A variant). Called only from the processing goroutine.
+func (s *Service) fetchLocal() ([][]float64, []float64, int64, error) {
+	rep := s.localMon.Report()
+	if err := rep.Validate(s.cfg.Detector.SketchLen); err != nil {
+		return nil, nil, 0, err
+	}
+	return rep.Sketches, rep.Means, rep.Interval, nil
+}
+
+// fetchSketches implements core.FetchFunc over the registered monitors.
+func (s *Service) fetchSketches() ([][]float64, []float64, int64, error) {
+	m := s.cfg.Detector.NumFlows
+
+	s.mu.Lock()
+	conns := make([]*transport.Conn, 0, len(s.monitors))
+	for c := range s.monitors {
+		conns = append(conns, c)
+	}
+	covered := len(s.flowOwner)
+	s.nextReq++
+	id := s.nextReq
+	p := &pendingFetch{expect: len(conns), respCh: make(chan *transport.SketchResponse, len(conns))}
+	s.pending[id] = p
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, id)
+		s.mu.Unlock()
+	}()
+
+	if covered < m {
+		return nil, nil, 0, fmt.Errorf("%w: %d of %d flows owned", ErrCoverage, covered, m)
+	}
+
+	for _, c := range conns {
+		if err := c.Send(transport.Envelope{Request: &transport.SketchRequest{RequestID: id}}); err != nil {
+			return nil, nil, 0, fmt.Errorf("sketch request: %w", err)
+		}
+	}
+
+	sketches := make([][]float64, m)
+	means := make([]float64, m)
+	var newest int64
+	timer := time.NewTimer(s.cfg.FetchTimeout)
+	defer timer.Stop()
+	for got := 0; got < p.expect; got++ {
+		select {
+		case r := <-p.respCh:
+			if err := r.Report.Validate(s.cfg.Detector.SketchLen); err != nil {
+				return nil, nil, 0, fmt.Errorf("monitor %q report: %w", r.MonitorID, err)
+			}
+			for i, f := range r.Report.FlowIDs {
+				if f < 0 || f >= m {
+					return nil, nil, 0, fmt.Errorf("%w: reported flow %d", ErrConfig, f)
+				}
+				sketches[f] = r.Report.Sketches[i]
+				means[f] = r.Report.Means[i]
+			}
+			if r.Report.Interval > newest {
+				newest = r.Report.Interval
+			}
+		case <-timer.C:
+			return nil, nil, 0, fmt.Errorf("%w after %v (%d/%d responses)",
+				ErrFetchTimeout, s.cfg.FetchTimeout, got, p.expect)
+		}
+	}
+	for f, sk := range sketches {
+		if sk == nil {
+			return nil, nil, 0, fmt.Errorf("%w: flow %d missing from responses", ErrCoverage, f)
+		}
+	}
+	return sketches, means, newest, nil
+}
+
+// broadcastAlarm pushes an alarm to every monitor.
+func (s *Service) broadcastAlarm(a transport.Alarm) {
+	s.mu.Lock()
+	conns := make([]*transport.Conn, 0, len(s.monitors))
+	for c := range s.monitors {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Send(transport.Envelope{Alarm: &a}) // best effort
+	}
+}

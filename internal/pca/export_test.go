@@ -1,0 +1,9 @@
+package pca
+
+import "streampca/internal/mat"
+
+// newMatrixFromRowsForTest bridges test data into the mat type without the
+// tests importing mat everywhere.
+func newMatrixFromRowsForTest(rows [][]float64) (*mat.Matrix, error) {
+	return mat.NewMatrixFromRows(rows)
+}

@@ -1,0 +1,143 @@
+package pca
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIncrementalMatchesBatchFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n, m := 40, 6
+	inc, err := NewIncremental(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lowRankData(rng, 120, m, 2, 1)
+	for i := 0; i < x.Rows(); i++ {
+		if err := inc.Push(x.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i < n-1 {
+			if inc.Full() {
+				t.Fatal("window full too early")
+			}
+			continue
+		}
+		if i%13 != 0 {
+			continue // compare on a sample of steps
+		}
+		got, err := inc.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Batch reference over the same window rows.
+		lo := i - n + 1
+		batch := make([][]float64, 0, n)
+		for r := lo; r <= i; r++ {
+			batch = append(batch, x.Row(r))
+		}
+		bm, err := newMatrixFromRowsForTest(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Fit(bm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Singular {
+			tol := 1e-6 * math.Max(1, want.Singular[0])
+			if math.Abs(got.Singular[j]-want.Singular[j]) > tol {
+				t.Fatalf("step %d: η_%d = %v, want %v", i, j, got.Singular[j], want.Singular[j])
+			}
+		}
+		for j := range want.Means {
+			if math.Abs(got.Means[j]-want.Means[j]) > 1e-8*math.Max(1, math.Abs(want.Means[j])) {
+				t.Fatalf("step %d: mean_%d = %v, want %v", i, j, got.Means[j], want.Means[j])
+			}
+		}
+	}
+}
+
+func TestIncrementalLargeMagnitudeStability(t *testing.T) {
+	// Volumes around 1e8 with small fluctuations: the reference shift must
+	// keep the Gram matrix accurate.
+	rng := rand.New(rand.NewSource(9))
+	n, m := 64, 4
+	inc, err := NewIncremental(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, 3*n)
+	for i := range rows {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = 1e8 + 1e5*rng.NormFloat64()
+		}
+		rows[i] = row
+		if err := inc.Push(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := inc.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := newMatrixFromRowsForTest(rows[len(rows)-n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Fit(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want.Singular {
+		rel := math.Abs(got.Singular[j]-want.Singular[j]) / math.Max(1, want.Singular[0])
+		if rel > 1e-5 {
+			t.Fatalf("η_%d relative error %v", j, rel)
+		}
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	if _, err := NewIncremental(1, 2); !errors.Is(err, ErrInput) {
+		t.Fatalf("tiny window: %v", err)
+	}
+	inc, err := NewIncremental(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Push([]float64{1}); !errors.Is(err, ErrInput) {
+		t.Fatalf("short vector: %v", err)
+	}
+	if err := inc.Push([]float64{1, math.NaN()}); !errors.Is(err, ErrInput) {
+		t.Fatalf("NaN: %v", err)
+	}
+	if _, err := inc.Model(); !errors.Is(err, ErrInput) {
+		t.Fatalf("model before full: %v", err)
+	}
+	if inc.Len() != 0 {
+		t.Fatalf("len = %d after rejected pushes", inc.Len())
+	}
+}
+
+func TestWindowOldest(t *testing.T) {
+	w, err := NewWindow(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Oldest(); !errors.Is(err, ErrInput) {
+		t.Fatalf("empty oldest: %v", err)
+	}
+	_ = w.Push([]float64{1})
+	_ = w.Push([]float64{2})
+	_ = w.Push([]float64{3})
+	got, err := w.Oldest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("oldest = %v, want 2", got[0])
+	}
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// decayingSpectrum builds a plausible singular-value profile η_j ~ c·ρ^j.
+func decayingSpectrum(m int, top, decay float64) []float64 {
+	out := make([]float64, m)
+	v := top
+	for i := range out {
+		out[i] = v
+		v *= decay
+	}
+	return out
+}
+
+func TestQStatisticBasic(t *testing.T) {
+	sv := decayingSpectrum(10, 100, 0.6)
+	q, err := QStatistic(sv, 500, 3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		t.Fatalf("threshold = %v", q)
+	}
+}
+
+func TestQStatisticErrors(t *testing.T) {
+	sv := decayingSpectrum(5, 10, 0.5)
+	if _, err := QStatistic(nil, 100, 1, 0.01); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := QStatistic(sv, 100, -1, 0.01); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("negative rank: %v", err)
+	}
+	if _, err := QStatistic(sv, 100, 6, 0.01); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("rank > m: %v", err)
+	}
+	if _, err := QStatistic(sv, 1, 1, 0.01); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("window 1: %v", err)
+	}
+	if _, err := QStatistic(sv, 100, 1, 2); !errors.Is(err, ErrProbRange) {
+		t.Fatalf("alpha 2: %v", err)
+	}
+}
+
+func TestQStatisticFullRankResidualEmpty(t *testing.T) {
+	sv := decayingSpectrum(4, 10, 0.5)
+	q, err := QStatistic(sv, 100, 4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 0 {
+		t.Fatalf("empty residual threshold = %v, want 0", q)
+	}
+}
+
+func TestQStatisticZeroResidualEnergy(t *testing.T) {
+	sv := []float64{10, 5, 0, 0}
+	q, err := QStatistic(sv, 100, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 0 {
+		t.Fatalf("zero-energy residual threshold = %v, want 0", q)
+	}
+}
+
+// The threshold must shrink as alpha grows (a 10% false-alarm budget accepts
+// a lower bar than a 0.1% budget).
+func TestQStatisticMonotoneInAlpha(t *testing.T) {
+	sv := decayingSpectrum(12, 50, 0.7)
+	prev := math.Inf(1)
+	for _, alpha := range []float64{0.001, 0.01, 0.05, 0.1, 0.2} {
+		q, err := QStatistic(sv, 1000, 4, alpha)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if q > prev {
+			t.Fatalf("threshold not monotone: Q(%v) = %v > previous %v", alpha, q, prev)
+		}
+		prev = q
+	}
+}
+
+// The threshold should grow with the residual energy.
+func TestQStatisticGrowsWithResidualEnergy(t *testing.T) {
+	small := []float64{100, 50, 1, 0.5, 0.25}
+	large := []float64{100, 50, 10, 5, 2.5}
+	qs, err := QStatistic(small, 200, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ql, err := QStatistic(large, 200, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ql <= qs {
+		t.Fatalf("Q(large residual) = %v should exceed Q(small residual) = %v", ql, qs)
+	}
+}
+
+// Empirical false-alarm calibration: for Gaussian residual data the SPE of
+// held-out samples should exceed Q_alpha at roughly rate alpha.
+func TestQStatisticCalibrationOnGaussianData(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n, m, r := 4000, 8, 0
+	// All components are residual (r = 0), unit variance everywhere.
+	sv := make([]float64, m)
+	for j := range sv {
+		sv[j] = math.Sqrt(float64(n - 1)) // σ_j² = 1
+	}
+	q, err := QStatistic(sv, n, r, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exceed int
+	trials := 20000
+	for i := 0; i < trials; i++ {
+		var d2 float64
+		for j := 0; j < m; j++ {
+			x := rng.NormFloat64()
+			d2 += x * x
+		}
+		if math.Sqrt(d2) > q {
+			exceed++
+		}
+	}
+	rate := float64(exceed) / float64(trials)
+	if rate < 0.02 || rate > 0.10 {
+		t.Fatalf("empirical exceedance %v, want ≈0.05", rate)
+	}
+}
+
+func TestResidualVariances(t *testing.T) {
+	out, err := ResidualVariances([]float64{3, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1) > 1e-12 || math.Abs(out[1]-4.0/9) > 1e-12 {
+		t.Fatalf("variances = %v", out)
+	}
+	if _, err := ResidualVariances([]float64{1}, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("window 1: %v", err)
+	}
+}
+
+// Property: Q is finite and non-negative for arbitrary decaying spectra.
+func TestQuickQStatisticFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(20)
+		sv := make([]float64, m)
+		v := 1 + r.Float64()*1000
+		for i := range sv {
+			sv[i] = v
+			v *= 0.3 + 0.6*r.Float64()
+		}
+		rank := r.Intn(m)
+		alpha := 0.001 + 0.3*r.Float64()
+		q, err := QStatistic(sv, 2+r.Intn(5000), rank, alpha)
+		if err != nil {
+			return false
+		}
+		return q >= 0 && !math.IsNaN(q) && !math.IsInf(q, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

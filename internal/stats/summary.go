@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count    int
+	Mean     float64
+	Variance float64 // unbiased sample variance (divides by n−1)
+	StdDev   float64
+	Min      float64
+	Max      float64
+}
+
+// Summarize computes descriptive statistics of data in a single pass using
+// Welford's algorithm for numerical stability.
+func Summarize(data []float64) (Summary, error) {
+	if len(data) == 0 {
+		return Summary{}, fmt.Errorf("%w: empty sample", ErrBadInput)
+	}
+	s := Summary{Count: len(data), Min: data[0], Max: data[0]}
+	var m2 float64
+	for i, x := range data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Summary{}, fmt.Errorf("%w: non-finite sample value at %d", ErrBadInput, i)
+		}
+		delta := x - s.Mean
+		s.Mean += delta / float64(i+1)
+		m2 += delta * (x - s.Mean)
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	if s.Count > 1 {
+		s.Variance = m2 / float64(s.Count-1)
+	}
+	s.StdDev = math.Sqrt(s.Variance)
+	return s, nil
+}
+
+// Quantile returns the q-th sample quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+func Quantile(data []float64, q float64) (float64, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("%w: empty sample", ErrBadInput)
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("%w: quantile %v", ErrBadInput, q)
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the sample median.
+func Median(data []float64) (float64, error) {
+	v, err := Quantile(data, 0.5)
+	if err != nil {
+		return 0, fmt.Errorf("median: %w", err)
+	}
+	return v, nil
+}

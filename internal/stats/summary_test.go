@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 8 || math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample variance = 32/7.
+	if math.Abs(s.Variance-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v", s.Variance)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Summarize([]float64{1, math.NaN()}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("NaN: %v", err)
+	}
+	if _, err := Summarize([]float64{math.Inf(1)}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("Inf: %v", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Variance != 0 || s.Mean != 42 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(data, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Input must not be reordered.
+	shuffled := []float64{5, 1, 4, 2, 3}
+	if _, err := Quantile(shuffled, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if shuffled[0] != 5 {
+		t.Fatal("Quantile must not mutate input")
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Quantile([]float64{1}, -0.1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("q<0: %v", err)
+	}
+	if _, err := Quantile([]float64{1}, math.NaN()); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("NaN q: %v", err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("median = %v", got)
+	}
+	got, err = Median([]float64{4, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+// Property: Welford summary agrees with the naive two-pass computation.
+func TestQuickSummarizeMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = r.NormFloat64() * 100
+		}
+		s, err := Summarize(data)
+		if err != nil {
+			return false
+		}
+		var mean float64
+		for _, x := range data {
+			mean += x
+		}
+		mean /= float64(n)
+		var varSum float64
+		for _, x := range data {
+			d := x - mean
+			varSum += d * d
+		}
+		wantVar := 0.0
+		if n > 1 {
+			wantVar = varSum / float64(n-1)
+		}
+		tol := 1e-8 * math.Max(1, wantVar)
+		return math.Abs(s.Mean-mean) < 1e-9*math.Max(1, math.Abs(mean)) &&
+			math.Abs(s.Variance-wantVar) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuickQuantileMonotoneBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = r.NormFloat64()
+		}
+		q1, q2 := r.Float64(), r.Float64()
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, err1 := Quantile(data, q1)
+		v2, err2 := Quantile(data, q2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		s, _ := Summarize(data)
+		return v1 <= v2+1e-12 && v1 >= s.Min-1e-12 && v2 <= s.Max+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

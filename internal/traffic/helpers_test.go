@@ -1,0 +1,21 @@
+package traffic
+
+import (
+	"streampca/internal/flow"
+	"streampca/internal/mat"
+)
+
+// symEigenForTest returns the eigenvalues of a symmetric matrix, keeping the
+// traffic tests decoupled from the eigensolver's full API.
+func symEigenForTest(g *mat.Matrix) ([]float64, error) {
+	eig, err := mat.SymEigen(g)
+	if err != nil {
+		return nil, err
+	}
+	return eig.Values, nil
+}
+
+// newAggForTest builds a plain aggregator without router names.
+func newAggForTest(tbl *flow.Table, routers int) (*flow.Aggregator, error) {
+	return flow.NewAggregator(tbl, routers, nil)
+}

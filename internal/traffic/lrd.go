@@ -1,0 +1,177 @@
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrLRDConfig indicates invalid long-range-dependence parameters.
+var ErrLRDConfig = errors.New("traffic: invalid LRD configuration")
+
+// FGN generates n samples of fractional Gaussian noise with Hurst parameter
+// H ∈ (0, 1) and unit marginal variance, using the Hosking (Durbin–Levinson)
+// method. The method is exact but O(n²); use it for validation and
+// moderate-length series, and MultiScaleNoise for long generator runs.
+func FGN(n int, hurst float64, rng *rand.Rand) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: n = %d", ErrLRDConfig, n)
+	}
+	if math.IsNaN(hurst) || hurst <= 0 || hurst >= 1 {
+		return nil, fmt.Errorf("%w: hurst = %v", ErrLRDConfig, hurst)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+
+	// Autocovariance of fGn: γ(k) = ½(|k+1|^{2H} − 2|k|^{2H} + |k−1|^{2H}).
+	gamma := make([]float64, n)
+	twoH := 2 * hurst
+	for k := 0; k < n; k++ {
+		fk := float64(k)
+		gamma[k] = 0.5 * (math.Pow(fk+1, twoH) - 2*math.Pow(fk, twoH) + math.Pow(math.Abs(fk-1), twoH))
+	}
+
+	out := make([]float64, n)
+	phi := make([]float64, n)
+	prevPhi := make([]float64, n)
+	v := gamma[0]
+	out[0] = rng.NormFloat64() * math.Sqrt(v)
+
+	for i := 1; i < n; i++ {
+		// Durbin–Levinson step: new reflection coefficient.
+		var acc float64
+		for j := 1; j < i; j++ {
+			acc += prevPhi[j] * gamma[i-j]
+		}
+		phiII := (gamma[i] - acc) / v
+		phi[i] = phiII
+		for j := 1; j < i; j++ {
+			phi[j] = prevPhi[j] - phiII*prevPhi[i-j]
+		}
+		v *= 1 - phiII*phiII
+		if v < 0 {
+			v = 0
+		}
+
+		var mean float64
+		for j := 1; j <= i; j++ {
+			mean += phi[j] * out[i-j]
+		}
+		out[i] = mean + rng.NormFloat64()*math.Sqrt(v)
+		copy(prevPhi[:i+1], phi[:i+1])
+	}
+	return out, nil
+}
+
+// MultiScaleNoise approximates long-range-dependent noise as a weighted sum
+// of AR(1) (Ornstein–Uhlenbeck-like) components with geometrically spread
+// time constants. The superposition reproduces slowly decaying correlations
+// over the covered range of scales at O(components) per sample, making it
+// suitable for month-long trace generation.
+type MultiScaleNoise struct {
+	state   []float64
+	phi     []float64
+	sigma   []float64
+	weights []float64
+	rng     *rand.Rand
+}
+
+// NewMultiScaleNoise builds a noise source with the given number of
+// components; time constants are 4^c intervals for component c. The output
+// has approximately unit variance. rng must not be nil.
+func NewMultiScaleNoise(components int, rng *rand.Rand) (*MultiScaleNoise, error) {
+	if components < 1 {
+		return nil, fmt.Errorf("%w: %d components", ErrLRDConfig, components)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrLRDConfig)
+	}
+	m := &MultiScaleNoise{
+		state:   make([]float64, components),
+		phi:     make([]float64, components),
+		sigma:   make([]float64, components),
+		weights: make([]float64, components),
+		rng:     rng,
+	}
+	var wsum float64
+	for c := 0; c < components; c++ {
+		tau := math.Pow(4, float64(c))
+		m.phi[c] = math.Exp(-1 / tau)
+		// Innovation variance giving each component unit variance.
+		m.sigma[c] = math.Sqrt(1 - m.phi[c]*m.phi[c])
+		// Slowly decaying weights mimic the 1/f spectral profile.
+		m.weights[c] = math.Pow(0.75, float64(c))
+		wsum += m.weights[c] * m.weights[c]
+		// Start at stationarity.
+		m.state[c] = rng.NormFloat64()
+	}
+	norm := 1 / math.Sqrt(wsum)
+	for c := range m.weights {
+		m.weights[c] *= norm
+	}
+	return m, nil
+}
+
+// Step advances the process one interval and returns the next sample.
+func (m *MultiScaleNoise) Step() float64 {
+	var out float64
+	for c := range m.state {
+		m.state[c] = m.phi[c]*m.state[c] + m.sigma[c]*m.rng.NormFloat64()
+		out += m.weights[c] * m.state[c]
+	}
+	return out
+}
+
+// EstimateHurst estimates the Hurst parameter of data with the aggregated-
+// variance method: for block sizes b the variance of block means scales as
+// b^{2H−2}; H is recovered by least-squares on the log-log plot.
+func EstimateHurst(data []float64) (float64, error) {
+	if len(data) < 64 {
+		return 0, fmt.Errorf("%w: need at least 64 samples, got %d", ErrLRDConfig, len(data))
+	}
+	var xs, ys []float64
+	for b := 1; b <= len(data)/8; b *= 2 {
+		nBlocks := len(data) / b
+		means := make([]float64, nBlocks)
+		for i := 0; i < nBlocks; i++ {
+			var s float64
+			for j := i * b; j < (i+1)*b; j++ {
+				s += data[j]
+			}
+			means[i] = s / float64(b)
+		}
+		// Variance of block means.
+		var mean float64
+		for _, v := range means {
+			mean += v
+		}
+		mean /= float64(nBlocks)
+		var variance float64
+		for _, v := range means {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(nBlocks)
+		if variance <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(b)))
+		ys = append(ys, math.Log(variance))
+	}
+	if len(xs) < 3 {
+		return 0, fmt.Errorf("%w: degenerate series", ErrLRDConfig)
+	}
+	// Least-squares slope.
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	fn := float64(len(xs))
+	slope := (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
+	return slope/2 + 1, nil
+}

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is a framed, bidirectional message connection. Sends are serialized
+// internally; Recv must be called from a single reader goroutine.
+type Conn struct {
+	raw io.ReadWriteCloser
+
+	sendMu sync.Mutex
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewConn wraps an established stream (net.Conn or an in-memory pipe).
+func NewConn(raw io.ReadWriteCloser) *Conn {
+	registerTypes()
+	return &Conn{
+		raw: raw,
+		enc: gob.NewEncoder(raw),
+		dec: gob.NewDecoder(raw),
+	}
+}
+
+// Dial connects to a NOC or monitor endpoint over TCP.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	return NewConn(c), nil
+}
+
+// Send writes one envelope. It is safe for concurrent use.
+func (c *Conn) Send(e Envelope) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.enc.Encode(&e); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+			return fmt.Errorf("%w: %v", ErrClosed, err)
+		}
+		return fmt.Errorf("send: %w", err)
+	}
+	return nil
+}
+
+// Recv reads the next envelope. Only one goroutine may call Recv.
+func (c *Conn) Recv() (Envelope, error) {
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+			return Envelope{}, fmt.Errorf("%w: %v", ErrClosed, err)
+		}
+		return Envelope{}, fmt.Errorf("recv: %w", err)
+	}
+	if err := e.Validate(); err != nil {
+		return Envelope{}, err
+	}
+	return e, nil
+}
+
+// Close tears the connection down; subsequent Sends and Recvs fail.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.closeErr = c.raw.Close()
+	})
+	return c.closeErr
+}
+
+// Pipe returns two in-memory connected Conns with the same semantics as a
+// TCP pair — the test transport.
+func Pipe() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}

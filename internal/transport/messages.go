@@ -1,0 +1,122 @@
+// Package transport defines the wire protocol between local monitors and the
+// NOC (Fig. 1): gob-encoded messages over a single duplex TCP connection per
+// monitor. Monitors push per-interval volume reports; the NOC pulls sketches
+// on demand (the lazy protocol of §IV-C); alarms flow back for visibility.
+//
+// An in-memory pipe transport with identical semantics backs the integration
+// tests, so protocol logic is exercised without sockets.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"streampca/internal/core"
+)
+
+// Errors returned by the package.
+var (
+	// ErrClosed indicates the connection was closed.
+	ErrClosed = errors.New("transport: connection closed")
+	// ErrBadMessage indicates a structurally invalid message.
+	ErrBadMessage = errors.New("transport: bad message")
+)
+
+// Hello announces a monitor to the NOC. It must be the first message on a
+// connection.
+type Hello struct {
+	// MonitorID names the monitor for logs and routing.
+	MonitorID string
+	// FlowIDs lists the global flow indices the monitor owns.
+	FlowIDs []int
+	// SketchLen and WindowLen let the NOC verify configuration agreement.
+	SketchLen int
+	WindowLen int
+	// Seed lets the NOC verify the shared randomness agreement.
+	Seed uint64
+}
+
+// VolumeReport carries one interval's volumes for a monitor's flows
+// (the volume counter's per-interval report to the NOC, §IV-A).
+type VolumeReport struct {
+	MonitorID string
+	Interval  int64
+	FlowIDs   []int
+	Volumes   []float64
+}
+
+// SketchRequest asks a monitor for its current sketch state.
+type SketchRequest struct {
+	RequestID uint64
+}
+
+// SketchResponse answers a SketchRequest.
+type SketchResponse struct {
+	RequestID uint64
+	MonitorID string
+	Report    core.SketchReport
+}
+
+// Alarm notifies monitors (or other subscribers) of a detected anomaly.
+type Alarm struct {
+	Interval  int64
+	Distance  float64
+	Threshold float64
+}
+
+// ProtocolError reports a fatal protocol-level problem to the peer before
+// the connection is dropped.
+type ProtocolError struct {
+	Msg string
+}
+
+// Envelope is the single message frame exchanged on the wire; exactly one
+// payload field is set.
+type Envelope struct {
+	Hello    *Hello
+	Volume   *VolumeReport
+	Request  *SketchRequest
+	Response *SketchResponse
+	Alarm    *Alarm
+	Error    *ProtocolError
+}
+
+// Validate checks that exactly one payload is present.
+func (e *Envelope) Validate() error {
+	count := 0
+	if e.Hello != nil {
+		count++
+	}
+	if e.Volume != nil {
+		count++
+	}
+	if e.Request != nil {
+		count++
+	}
+	if e.Response != nil {
+		count++
+	}
+	if e.Alarm != nil {
+		count++
+	}
+	if e.Error != nil {
+		count++
+	}
+	if count != 1 {
+		return fmt.Errorf("%w: %d payloads set", ErrBadMessage, count)
+	}
+	return nil
+}
+
+// registerTypes makes the payload types known to gob; called from the codec
+// constructors so importing the package has no side effects beyond gob's own
+// registry (which is append-only and idempotent for identical types).
+func registerTypes() {
+	gob.Register(Hello{})
+	gob.Register(VolumeReport{})
+	gob.Register(SketchRequest{})
+	gob.Register(SketchResponse{})
+	gob.Register(Alarm{})
+	gob.Register(ProtocolError{})
+}

@@ -1,0 +1,101 @@
+package vh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Snapshot is a serializable checkpoint of a histogram's state. All fields
+// are exported so encoding/gob (or JSON) round-trips it; the configuration
+// (window length, ε, generator) is NOT captured — a restored histogram must
+// be constructed with the same Config, most importantly the same shared
+// random seed, or the sketch sums would be meaningless.
+type Snapshot struct {
+	// Now is the time of the most recent update.
+	Now int64
+	// Started mirrors whether any update has been ingested.
+	Started bool
+	// WindowLen and SketchLen record the configuration the snapshot was
+	// taken under, for validation at restore time.
+	WindowLen int
+	SketchLen int
+	// Buckets is the bucket list, oldest first.
+	Buckets []Bucket
+}
+
+// Snapshot captures the current state for checkpointing. The returned value
+// shares no storage with the histogram.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Now:       h.now,
+		Started:   h.started,
+		WindowLen: h.cfg.WindowLen,
+		SketchLen: h.sketchL,
+		Buckets:   h.Buckets(),
+	}
+}
+
+// Restore replaces the histogram's state with a snapshot taken from a
+// histogram with the same configuration. The incremental totals are
+// recomputed, so a corrupted snapshot fails loudly rather than silently
+// skewing sketches.
+func (h *Histogram) Restore(s Snapshot) error {
+	if s.WindowLen != h.cfg.WindowLen {
+		return fmt.Errorf("%w: snapshot window %d, histogram %d", ErrConfig, s.WindowLen, h.cfg.WindowLen)
+	}
+	if s.SketchLen != h.sketchL {
+		return fmt.Errorf("%w: snapshot sketch length %d, histogram %d", ErrConfig, s.SketchLen, h.sketchL)
+	}
+	var prev int64 = math.MinInt64
+	var count int64
+	var sum float64
+	totalZ := make([]float64, h.sketchL)
+	totalR := make([]float64, h.sketchL)
+	for i := range s.Buckets {
+		b := &s.Buckets[i]
+		if b.Timestamp <= prev {
+			return fmt.Errorf("%w: bucket %d timestamp %d not increasing", ErrConfig, i, b.Timestamp)
+		}
+		prev = b.Timestamp
+		if b.Count < 1 {
+			return fmt.Errorf("%w: bucket %d count %d", ErrConfig, i, b.Count)
+		}
+		if b.Var < 0 || math.IsNaN(b.Var) || math.IsInf(b.Var, 0) ||
+			math.IsNaN(b.Mean) || math.IsInf(b.Mean, 0) {
+			return fmt.Errorf("%w: bucket %d has invalid statistics", ErrConfig, i)
+		}
+		if len(b.Z) != h.sketchL || len(b.R) != h.sketchL {
+			return fmt.Errorf("%w: bucket %d sketch arrays of %d/%d, want %d",
+				ErrConfig, i, len(b.Z), len(b.R), h.sketchL)
+		}
+		count += b.Count
+		sum += float64(b.Count) * b.Mean
+		for k := range b.Z {
+			if math.IsNaN(b.Z[k]) || math.IsInf(b.Z[k], 0) || math.IsNaN(b.R[k]) || math.IsInf(b.R[k], 0) {
+				return fmt.Errorf("%w: bucket %d has non-finite sketch sums", ErrConfig, i)
+			}
+			totalZ[k] += b.Z[k]
+			totalR[k] += b.R[k]
+		}
+	}
+	if s.Started && len(s.Buckets) > 0 && s.Buckets[len(s.Buckets)-1].Timestamp > s.Now {
+		return fmt.Errorf("%w: newest bucket is in the future", ErrConfig)
+	}
+
+	// Deep-copy the buckets so the snapshot stays independent.
+	h.buckets = make([]Bucket, len(s.Buckets))
+	for i, b := range s.Buckets {
+		h.buckets[i] = Bucket{Timestamp: b.Timestamp, Count: b.Count, Mean: b.Mean, Var: b.Var}
+		if h.sketchL > 0 {
+			h.buckets[i].Z = append([]float64(nil), b.Z...)
+			h.buckets[i].R = append([]float64(nil), b.R...)
+		}
+	}
+	h.now = s.Now
+	h.started = s.Started
+	h.totalCount = count
+	h.totalSum = sum
+	h.totalZ = totalZ
+	h.totalR = totalR
+	return nil
+}

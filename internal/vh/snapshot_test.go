@@ -1,0 +1,162 @@
+package vh
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	g := newSketchGen(t, 6, 64)
+	cfg := Config{WindowLen: 64, Epsilon: 0.1, Gen: g}
+	h := mustHist(t, cfg)
+	rng := rand.New(rand.NewSource(3))
+	for i := 1; i <= 100; i++ {
+		if err := h.Update(int64(i), 500+20*rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := h.Snapshot()
+
+	// Gob round-trip, as a monitor checkpoint would do.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := mustHist(t, cfg)
+	if err := restored.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != h.Count() || restored.Now() != h.Now() {
+		t.Fatalf("restored count/now = %d/%d, want %d/%d",
+			restored.Count(), restored.Now(), h.Count(), h.Now())
+	}
+	if math.Abs(restored.EstimateMean()-h.EstimateMean()) > 1e-12 {
+		t.Fatal("restored mean differs")
+	}
+	if math.Abs(restored.EstimateVariance()-h.EstimateVariance()) > 1e-9 {
+		t.Fatal("restored variance differs")
+	}
+	a, b := h.Sketch(), restored.Sketch()
+	for k := range a {
+		// The restored totals are recomputed from the buckets, so the
+		// floating-point accumulation order differs from the incremental
+		// path; agreement is to rounding of the ~Σ|x·r| magnitudes.
+		if math.Abs(a[k]-b[k]) > 1e-8*math.Max(1, math.Abs(a[k])) {
+			t.Fatalf("restored sketch differs at %d: %v vs %v", k, a[k], b[k])
+		}
+	}
+
+	// Both continue identically.
+	for i := 101; i <= 160; i++ {
+		x := 500 + 20*rng.NormFloat64()
+		if err := h.Update(int64(i), x); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Update(int64(i), x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b = h.Sketch(), restored.Sketch()
+	for k := range a {
+		if math.Abs(a[k]-b[k]) > 1e-9 {
+			t.Fatalf("post-restore sketches diverged at %d", k)
+		}
+	}
+}
+
+func TestSnapshotIsIndependentCopy(t *testing.T) {
+	g := newSketchGen(t, 2, 8)
+	h := mustHist(t, Config{WindowLen: 8, Epsilon: 0.1, Gen: g})
+	if err := h.Update(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	snap := h.Snapshot()
+	snap.Buckets[0].Mean = 999
+	snap.Buckets[0].Z[0] = 999
+	if h.EstimateMean() == 999 {
+		t.Fatal("snapshot must not alias histogram state")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	g := newSketchGen(t, 3, 16)
+	cfg := Config{WindowLen: 16, Epsilon: 0.1, Gen: g}
+	h := mustHist(t, cfg)
+	feed(t, h, []float64{1, 2, 3, 4})
+	good := h.Snapshot()
+
+	fresh := func() *Histogram { return mustHist(t, cfg) }
+
+	bad := good
+	bad.WindowLen = 99
+	if err := fresh().Restore(bad); !errors.Is(err, ErrConfig) {
+		t.Fatalf("window mismatch: %v", err)
+	}
+	bad = good
+	bad.SketchLen = 99
+	if err := fresh().Restore(bad); !errors.Is(err, ErrConfig) {
+		t.Fatalf("sketch mismatch: %v", err)
+	}
+
+	corrupt := h.Snapshot()
+	corrupt.Buckets[1].Timestamp = corrupt.Buckets[0].Timestamp
+	if err := fresh().Restore(corrupt); !errors.Is(err, ErrConfig) {
+		t.Fatalf("non-increasing timestamps: %v", err)
+	}
+
+	corrupt = h.Snapshot()
+	corrupt.Buckets[0].Count = 0
+	if err := fresh().Restore(corrupt); !errors.Is(err, ErrConfig) {
+		t.Fatalf("zero count: %v", err)
+	}
+
+	corrupt = h.Snapshot()
+	corrupt.Buckets[0].Var = math.NaN()
+	if err := fresh().Restore(corrupt); !errors.Is(err, ErrConfig) {
+		t.Fatalf("NaN variance: %v", err)
+	}
+
+	corrupt = h.Snapshot()
+	corrupt.Buckets[0].Z = corrupt.Buckets[0].Z[:1]
+	if err := fresh().Restore(corrupt); !errors.Is(err, ErrConfig) {
+		t.Fatalf("short sketch array: %v", err)
+	}
+
+	corrupt = h.Snapshot()
+	corrupt.Buckets[0].Z[0] = math.Inf(1)
+	if err := fresh().Restore(corrupt); !errors.Is(err, ErrConfig) {
+		t.Fatalf("non-finite sketch sum: %v", err)
+	}
+
+	corrupt = h.Snapshot()
+	corrupt.Now = 1 // newest bucket is now "in the future"
+	if err := fresh().Restore(corrupt); !errors.Is(err, ErrConfig) {
+		t.Fatalf("future bucket: %v", err)
+	}
+}
+
+func TestRestoreEmptySnapshot(t *testing.T) {
+	g := newSketchGen(t, 2, 8)
+	cfg := Config{WindowLen: 8, Epsilon: 0.1, Gen: g}
+	src := mustHist(t, cfg)
+	dst := mustHist(t, cfg)
+	feed(t, dst, []float64{1, 2}) // pre-existing state is replaced
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count() != 0 || dst.NumBuckets() != 0 {
+		t.Fatal("restore of empty snapshot must clear state")
+	}
+	if err := dst.Update(1, 7); err != nil {
+		t.Fatalf("update after empty restore: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package volume implements the Volume Counter module of the local monitor
+// (paper §IV-A): a per-flow byte counter for the current measurement
+// interval. The ISP's aggregation layer reports (FlowID, Size) pairs; at the
+// end of each interval the counter emits the traffic-volume vector and
+// resets.
+package volume
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by the package.
+var (
+	// ErrFlowRange indicates a flow index outside [0, NumFlows).
+	ErrFlowRange = errors.New("volume: flow index out of range")
+	// ErrConfig indicates an invalid counter configuration.
+	ErrConfig = errors.New("volume: invalid configuration")
+)
+
+// Counter accumulates per-flow traffic volumes for one interval at a time.
+// It is safe for concurrent use: packet ingestion may run on several
+// goroutines while interval rollover happens on another.
+type Counter struct {
+	mu       sync.Mutex
+	buckets  []float64
+	packets  []int64
+	interval int64
+}
+
+// NewCounter returns a counter for numFlows aggregated flows.
+func NewCounter(numFlows int) (*Counter, error) {
+	if numFlows <= 0 {
+		return nil, fmt.Errorf("%w: %d flows", ErrConfig, numFlows)
+	}
+	return &Counter{
+		buckets: make([]float64, numFlows),
+		packets: make([]int64, numFlows),
+	}, nil
+}
+
+// NumFlows returns the number of aggregated flows tracked.
+func (c *Counter) NumFlows() int { return len(c.buckets) }
+
+// Interval returns the index of the interval currently accumulating.
+func (c *Counter) Interval() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.interval
+}
+
+// Add records size bytes for the given flow in the current interval.
+func (c *Counter) Add(flowID int, size float64) error {
+	if flowID < 0 || flowID >= len(c.buckets) {
+		return fmt.Errorf("%w: %d of %d", ErrFlowRange, flowID, len(c.buckets))
+	}
+	if size < 0 {
+		return fmt.Errorf("%w: negative size %v", ErrConfig, size)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buckets[flowID] += size
+	c.packets[flowID]++
+	return nil
+}
+
+// Snapshot holds the volumes accumulated during one closed interval.
+type Snapshot struct {
+	// Interval is the index of the interval the snapshot covers.
+	Interval int64
+	// Volumes[j] is the total bytes of flow j during the interval.
+	Volumes []float64
+	// Packets[j] is the packet count of flow j during the interval.
+	Packets []int64
+}
+
+// Roll closes the current interval: it returns a snapshot of the accumulated
+// volumes and resets every bucket to zero for the next interval, whose index
+// becomes Interval+1.
+func (c *Counter) Roll() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := Snapshot{
+		Interval: c.interval,
+		Volumes:  make([]float64, len(c.buckets)),
+		Packets:  make([]int64, len(c.packets)),
+	}
+	copy(snap.Volumes, c.buckets)
+	copy(snap.Packets, c.packets)
+	for j := range c.buckets {
+		c.buckets[j] = 0
+		c.packets[j] = 0
+	}
+	c.interval++
+	return snap
+}
+
+// Peek returns a copy of the volumes accumulated so far in the open interval
+// without closing it.
+func (c *Counter) Peek() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]float64, len(c.buckets))
+	copy(out, c.buckets)
+	return out
+}

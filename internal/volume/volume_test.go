@@ -1,0 +1,142 @@
+package volume
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCounterValidation(t *testing.T) {
+	if _, err := NewCounter(0); !errors.Is(err, ErrConfig) {
+		t.Fatalf("zero flows: %v", err)
+	}
+	if _, err := NewCounter(-3); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative flows: %v", err)
+	}
+	c, err := NewCounter(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumFlows() != 5 {
+		t.Fatalf("NumFlows = %d", c.NumFlows())
+	}
+}
+
+func TestAddAndRoll(t *testing.T) {
+	c, err := NewCounter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Roll()
+	if snap.Interval != 0 {
+		t.Fatalf("interval = %d", snap.Interval)
+	}
+	if snap.Volumes[0] != 150 || snap.Volumes[1] != 0 || snap.Volumes[2] != 7 {
+		t.Fatalf("volumes = %v", snap.Volumes)
+	}
+	if snap.Packets[0] != 2 || snap.Packets[2] != 1 {
+		t.Fatalf("packets = %v", snap.Packets)
+	}
+	// After roll the buckets are empty and the interval advanced.
+	if c.Interval() != 1 {
+		t.Fatalf("interval after roll = %d", c.Interval())
+	}
+	next := c.Roll()
+	if next.Interval != 1 || next.Volumes[0] != 0 {
+		t.Fatalf("second snapshot = %+v", next)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	c, _ := NewCounter(2)
+	if err := c.Add(-1, 1); !errors.Is(err, ErrFlowRange) {
+		t.Fatalf("negative flow: %v", err)
+	}
+	if err := c.Add(2, 1); !errors.Is(err, ErrFlowRange) {
+		t.Fatalf("flow too large: %v", err)
+	}
+	if err := c.Add(0, -5); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative size: %v", err)
+	}
+}
+
+func TestPeekDoesNotReset(t *testing.T) {
+	c, _ := NewCounter(1)
+	_ = c.Add(0, 10)
+	if got := c.Peek(); got[0] != 10 {
+		t.Fatalf("peek = %v", got)
+	}
+	if got := c.Peek(); got[0] != 10 {
+		t.Fatal("peek must not reset")
+	}
+	p := c.Peek()
+	p[0] = 999
+	if got := c.Peek(); got[0] != 10 {
+		t.Fatal("peek must return a copy")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	c, _ := NewCounter(4)
+	var wg sync.WaitGroup
+	workers, perWorker := 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := c.Add(w%4, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := c.Roll()
+	var total float64
+	for _, v := range snap.Volumes {
+		total += v
+	}
+	if total != float64(workers*perWorker) {
+		t.Fatalf("total = %v, want %d", total, workers*perWorker)
+	}
+}
+
+// Property: the snapshot total equals the sum of added sizes, for any
+// sequence of valid adds.
+func TestQuickConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		c, err := NewCounter(7)
+		if err != nil {
+			return false
+		}
+		var want float64
+		for i, s := range sizes {
+			sz := float64(s)
+			if err := c.Add(i%7, sz); err != nil {
+				return false
+			}
+			want += sz
+		}
+		snap := c.Roll()
+		var got float64
+		for _, v := range snap.Volumes {
+			got += v
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
