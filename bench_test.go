@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"streampca/internal/core"
 	"streampca/internal/eval"
@@ -17,6 +18,7 @@ import (
 	"streampca/internal/filter"
 	"streampca/internal/markov"
 	"streampca/internal/mat"
+	"streampca/internal/obs"
 	"streampca/internal/pca"
 	"streampca/internal/randproj"
 	"streampca/internal/stats"
@@ -169,6 +171,56 @@ func BenchmarkLocalMonitorUpdate(b *testing.B) {
 					if err := mon.Update(int64(i+1), volumes); err != nil {
 						b.Fatal(err)
 					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkInstrumentedSketchUpdate is BenchmarkLocalMonitorUpdate plus the
+// exact per-interval observability work internal/monitor performs (latency
+// histogram observe, interval counter, VH state-size and last-interval
+// gauges). Comparing the two quantifies the instrumentation overhead, which
+// must stay under ~5%; EXPERIMENTS.md records the measured numbers.
+func BenchmarkInstrumentedSketchUpdate(b *testing.B) {
+	const w = 9 // flows per monitor, matching BenchmarkLocalMonitorUpdate
+	for _, n := range []int{512, 4096} {
+		for _, l := range []int{32, 200} {
+			b.Run(fmt.Sprintf("n=%d/l=%d", n, l), func(b *testing.B) {
+				gen, err := randproj.NewGenerator(randproj.Config{Seed: 1, SketchLen: l, WindowLen: n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				flowIDs := make([]int, w)
+				for j := range flowIDs {
+					flowIDs[j] = j
+				}
+				mon, err := core.NewMonitor(core.MonitorConfig{
+					FlowIDs: flowIDs, WindowLen: n, Epsilon: 0.1, Gen: gen,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reg := obs.NewRegistry()
+				updateSeconds := reg.Histogram("streampca_monitor_update_seconds", "", nil)
+				intervals := reg.Counter("streampca_monitor_intervals_total", "")
+				vhBuckets := reg.Gauge("streampca_monitor_vh_buckets", "")
+				lastInterval := reg.Gauge("streampca_monitor_last_interval", "")
+				rng := rand.New(rand.NewSource(2))
+				volumes := make([]float64, w)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := range volumes {
+						volumes[j] = 1000 + 50*rng.NormFloat64()
+					}
+					start := time.Now()
+					if err := mon.Update(int64(i+1), volumes); err != nil {
+						b.Fatal(err)
+					}
+					updateSeconds.Observe(time.Since(start).Seconds())
+					vhBuckets.Set(float64(mon.NumBucketsTotal()))
+					intervals.Inc()
+					lastInterval.Set(float64(i + 1))
 				}
 			})
 		}

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1+ check: everything CI (or a reviewer) needs to trust a change.
+#   ./ci.sh          vet + build + full test suite + race on the concurrent packages
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (transport, monitor, noc) =="
+go test -race ./internal/transport/... ./internal/monitor/... ./internal/noc/...
+
+echo "ci.sh: all checks passed"

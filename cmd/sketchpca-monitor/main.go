@@ -19,12 +19,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"streampca/internal/monitor"
+	"streampca/internal/obs"
 	"streampca/internal/randproj"
 	"streampca/internal/transport"
 )
@@ -48,6 +50,8 @@ func run(args []string, in io.Reader) error {
 		epsilon = fs.Float64("epsilon", 0.01, "variance-histogram ε")
 		seed    = fs.Uint64("seed", 42, "shared randomness seed")
 		dialTO  = fs.Duration("dial-timeout", 5*time.Second, "NOC dial timeout")
+		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
+		statsEv = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,11 +75,13 @@ func run(args []string, in io.Reader) error {
 	}
 
 	svc, err := monitor.New(monitor.Config{
-		ID:        *id,
-		FlowIDs:   flows,
-		WindowLen: *window,
-		Epsilon:   *epsilon,
-		Sketch:    randproj.Config{Seed: *seed, SketchLen: *sketch, WindowLen: *window},
+		ID:          *id,
+		FlowIDs:     flows,
+		WindowLen:   *window,
+		Epsilon:     *epsilon,
+		Sketch:      randproj.Config{Seed: *seed, SketchLen: *sketch, WindowLen: *window},
+		Log:         obs.NewLogger(os.Stderr, slog.LevelInfo, "monitor"),
+		MetricsAddr: *metrics,
 		OnAlarm: func(a transport.Alarm) {
 			fmt.Fprintf(os.Stderr, "%s: ALARM interval=%d distance=%.4g threshold=%.4g\n",
 				*id, a.Interval, a.Distance, a.Threshold)
@@ -89,6 +95,25 @@ func run(args []string, in io.Reader) error {
 	}
 	defer func() { _ = svc.Close() }()
 	fmt.Fprintf(os.Stderr, "%s: connected to %s, feeding %d flows from stdin\n", *id, *nocAddr, len(flows))
+	if addr := svc.DiagAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "%s: diagnostics on http://%s/metrics\n", *id, addr)
+	}
+	if *statsEv > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			ticker := time.NewTicker(*statsEv)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					svc.LogSummary()
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
 
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)

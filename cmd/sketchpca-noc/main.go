@@ -14,13 +14,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"streampca/internal/core"
 	"streampca/internal/noc"
+	"streampca/internal/obs"
 )
 
 func main() {
@@ -57,6 +60,8 @@ func run(args []string) error {
 		energy   = fs.Float64("energy", 0.9, "retained energy for -rank-mode energy")
 		seed     = fs.Uint64("seed", 42, "shared randomness seed")
 		quiet    = fs.Bool("quiet", false, "print only alarms, not every decision")
+		metrics  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
+		statsEvr = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,7 +72,10 @@ func run(args []string) error {
 		return err
 	}
 
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, "noc")
 	svc, err := noc.New(noc.Config{
+		Log:         logger,
+		MetricsAddr: *metrics,
 		Detector: core.DetectorConfig{
 			NumFlows:   *flows,
 			WindowLen:  *window,
@@ -98,11 +106,31 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "sketchpca-noc: listening on %s (m=%d n=%d l=%d)\n",
 		svc.Addr(), *flows, *window, *sketch)
+	if addr := svc.DiagAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "sketchpca-noc: diagnostics on http://%s/metrics\n", addr)
+	}
+
+	stopStats := make(chan struct{})
+	if *statsEvr > 0 {
+		go func() {
+			ticker := time.NewTicker(*statsEvr)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					svc.LogSummary()
+				case <-stopStats:
+					return
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "sketchpca-noc: shutting down")
+	close(stopStats)
 	svc.Shutdown()
 	obs, fetches, alarms := svc.DetectorStats()
 	fmt.Fprintf(os.Stderr, "sketchpca-noc: %d observations, %d sketch fetches, %d alarms\n",

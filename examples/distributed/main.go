@@ -4,10 +4,14 @@
 // network-wide vectors and pulls sketches lazily; alarms are broadcast back
 // to every monitor.
 //
+// Pass -metrics-addr 127.0.0.1:9090 to watch the NOC's /metrics,
+// /healthz and /debug/pprof while the scenario streams.
+//
 //	go run ./examples/distributed
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sync/atomic"
@@ -22,12 +26,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	metricsAddr := flag.String("metrics-addr", "", "serve NOC diagnostics (/metrics, /healthz, /debug/pprof) on this address")
+	flag.Parse()
+	if err := run(*metricsAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(metricsAddr string) error {
 	const (
 		perDay    = traffic.IntervalsPerDay5Min
 		windowLen = perDay / 2
@@ -58,8 +64,9 @@ func run() error {
 			Mode:      core.RankFixed,
 			FixedRank: 6,
 		},
-		Seed:       seed,
-		OnDecision: func(d noc.Decision) { decisions <- d },
+		Seed:        seed,
+		OnDecision:  func(d noc.Decision) { decisions <- d },
+		MetricsAddr: metricsAddr,
 	})
 	if err != nil {
 		return err
@@ -69,6 +76,9 @@ func run() error {
 	}
 	defer nocSvc.Shutdown()
 	fmt.Printf("NOC listening on %s\n", nocSvc.Addr())
+	if addr := nocSvc.DiagAddr(); addr != "" {
+		fmt.Printf("NOC diagnostics on http://%s/metrics\n", addr)
+	}
 
 	// Monitors, partitioning the flows round-robin.
 	var alarmsSeen atomic.Int64

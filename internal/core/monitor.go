@@ -100,6 +100,17 @@ func (m *Monitor) NumFlows() int { return len(m.flowIDs) }
 // Now returns the interval of the most recent update.
 func (m *Monitor) Now() int64 { return m.now }
 
+// NumBucketsTotal sums the variance-histogram bucket counts across all
+// assigned flows — the O(w·log² n) sketch-state size the paper bounds,
+// cheap enough to poll every interval for a state-size gauge.
+func (m *Monitor) NumBucketsTotal() int {
+	total := 0
+	for _, h := range m.hists {
+		total += h.NumBuckets()
+	}
+	return total
+}
+
 // Update ingests the volumes of interval t; volumes[i] belongs to
 // FlowIDs()[i]. Intervals must be strictly increasing.
 func (m *Monitor) Update(t int64, volumes []float64) error {

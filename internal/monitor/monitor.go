@@ -10,10 +10,12 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"streampca/internal/core"
+	"streampca/internal/obs"
 	"streampca/internal/randproj"
 	"streampca/internal/transport"
 )
@@ -42,6 +44,49 @@ type Config struct {
 	Sketch randproj.Config
 	// OnAlarm, when set, is invoked for alarms pushed by the NOC.
 	OnAlarm func(transport.Alarm)
+	// Obs is the metrics registry the service instruments into; nil creates
+	// a private registry (instrumentation is always on — it is a handful of
+	// atomic ops per interval, see BenchmarkInstrumentedSketchUpdate).
+	Obs *obs.Registry
+	// Log receives structured logs; nil discards them.
+	Log *slog.Logger
+	// MetricsAddr, when non-empty, serves /metrics, /healthz and
+	// /debug/pprof on that address for this monitor's registry. The server
+	// lives until Close. Empty (the default) opens no listener.
+	MetricsAddr string
+}
+
+// metrics is the monitor's instrumentation surface. All names are under
+// streampca_monitor_ and documented in README.md "Observability".
+type metrics struct {
+	// updateSeconds times the O(w·log n) per-interval sketch update.
+	updateSeconds *obs.Histogram
+	intervals     *obs.Counter
+	reportErrors  *obs.Counter
+	sketchReqs    *obs.Counter
+	alarmsRecv    *obs.Counter
+	// vhBuckets tracks the O(w·log² n) variance-histogram state size.
+	vhBuckets    *obs.Gauge
+	lastInterval *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		updateSeconds: reg.Histogram("streampca_monitor_update_seconds",
+			"Per-interval sketch-update latency (the paper's O(w log n) step).", nil),
+		intervals: reg.Counter("streampca_monitor_intervals_total",
+			"Intervals ingested via ReportInterval."),
+		reportErrors: reg.Counter("streampca_monitor_report_errors_total",
+			"Sketch updates or volume-report sends that failed."),
+		sketchReqs: reg.Counter("streampca_monitor_sketch_requests_total",
+			"Sketch pulls served to the NOC (§IV-C lazy protocol)."),
+		alarmsRecv: reg.Counter("streampca_monitor_alarms_received_total",
+			"Alarm broadcasts received from the NOC."),
+		vhBuckets: reg.Gauge("streampca_monitor_vh_buckets",
+			"Variance-histogram buckets summed over assigned flows (O(w log^2 n) space)."),
+		lastInterval: reg.Gauge("streampca_monitor_last_interval",
+			"Most recent interval folded into the sketch state."),
+	}
 }
 
 // Service is a local monitor. Create with New, wire with Connect (TCP) or
@@ -50,6 +95,13 @@ type Config struct {
 type Service struct {
 	cfg Config
 	gen *randproj.Generator
+	log *slog.Logger
+
+	reg     *obs.Registry
+	health  *obs.Health
+	met     *metrics
+	wireMet *transport.Metrics
+	diag    *obs.Server
 
 	mu   sync.Mutex
 	core *core.Monitor
@@ -80,7 +132,48 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core monitor: %w", err)
 	}
-	return &Service{cfg: cfg, gen: gen, core: cm}, nil
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.Nop()
+	}
+	s := &Service{
+		cfg:     cfg,
+		gen:     gen,
+		log:     log.With("monitor", cfg.ID),
+		reg:     reg,
+		health:  obs.NewHealth(),
+		met:     newMetrics(reg),
+		wireMet: transport.NewMetrics(reg),
+		core:    cm,
+	}
+	s.health.Set("monitor", obs.StatusOK, "sketch state ready")
+	s.health.Set("noc-link", obs.StatusDegraded, "not connected")
+	if cfg.MetricsAddr != "" {
+		diag, err := obs.StartServer(cfg.MetricsAddr, reg, s.health, s.log)
+		if err != nil {
+			return nil, err
+		}
+		s.diag = diag
+	}
+	return s, nil
+}
+
+// Registry exposes the metrics registry (shared when Config.Obs was set).
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Health exposes the component health tracker backing /healthz.
+func (s *Service) Health() *obs.Health { return s.health }
+
+// DiagAddr returns the diagnostics server address, or "" when disabled.
+func (s *Service) DiagAddr() string {
+	if s.diag == nil {
+		return ""
+	}
+	return s.diag.Addr()
 }
 
 // ID returns the monitor's identifier.
@@ -89,8 +182,9 @@ func (s *Service) ID() string { return s.cfg.ID }
 // Connect dials the NOC, performs the Hello handshake and starts serving
 // sketch requests.
 func (s *Service) Connect(nocAddr string, timeout time.Duration) error {
-	conn, err := transport.Dial(nocAddr, timeout)
+	conn, err := transport.DialWithMetrics(nocAddr, timeout, s.wireMet)
 	if err != nil {
+		s.health.Set("noc-link", obs.StatusDown, err.Error())
 		return fmt.Errorf("connect NOC: %w", err)
 	}
 	if err := s.Attach(conn); err != nil {
@@ -120,8 +214,11 @@ func (s *Service) Attach(conn *transport.Conn) error {
 		Seed:      s.gen.Seed(),
 	}
 	if err := conn.Send(transport.Envelope{Hello: &hello}); err != nil {
+		s.health.Set("noc-link", obs.StatusDown, err.Error())
 		return fmt.Errorf("hello: %w", err)
 	}
+	s.health.Set("noc-link", obs.StatusOK, "registered with NOC")
+	s.log.Info("attached to NOC", "flows", len(hello.FlowIDs), "window", hello.WindowLen, "sketch", hello.SketchLen)
 	go s.readLoop(conn, s.readerDone)
 	return nil
 }
@@ -136,6 +233,7 @@ func (s *Service) readLoop(conn *transport.Conn, done chan struct{}) {
 		}
 		switch {
 		case env.Request != nil:
+			s.met.sketchReqs.Inc()
 			s.mu.Lock()
 			rep := s.core.Report()
 			s.mu.Unlock()
@@ -148,11 +246,16 @@ func (s *Service) readLoop(conn *transport.Conn, done chan struct{}) {
 				return
 			}
 		case env.Alarm != nil:
+			s.met.alarmsRecv.Inc()
+			s.log.Warn("alarm from NOC", "interval", env.Alarm.Interval,
+				"distance", env.Alarm.Distance, "threshold", env.Alarm.Threshold)
 			if s.cfg.OnAlarm != nil {
 				s.cfg.OnAlarm(*env.Alarm)
 			}
 		case env.Error != nil:
 			// The NOC rejected us; nothing to do but stop.
+			s.health.Set("noc-link", obs.StatusDown, env.Error.Msg)
+			s.log.Error("NOC rejected connection", "err", env.Error.Msg)
 			return
 		default:
 			// Ignore unexpected but well-formed frames (forward compat).
@@ -169,12 +272,18 @@ func (s *Service) ReportInterval(t int64, volumes []float64) error {
 		s.mu.Unlock()
 		return ErrNotConnected
 	}
+	start := time.Now()
 	if err := s.core.Update(t, volumes); err != nil {
 		s.mu.Unlock()
+		s.met.reportErrors.Inc()
 		return fmt.Errorf("sketch update: %w", err)
 	}
+	s.met.updateSeconds.Observe(time.Since(start).Seconds())
+	s.met.vhBuckets.Set(float64(s.core.NumBucketsTotal()))
 	flowIDs := s.core.FlowIDs()
 	s.mu.Unlock()
+	s.met.intervals.Inc()
+	s.met.lastInterval.Set(float64(t))
 
 	report := transport.VolumeReport{
 		MonitorID: s.cfg.ID,
@@ -183,9 +292,56 @@ func (s *Service) ReportInterval(t int64, volumes []float64) error {
 		Volumes:   append([]float64(nil), volumes...),
 	}
 	if err := conn.Send(transport.Envelope{Volume: &report}); err != nil {
+		s.met.reportErrors.Inc()
+		s.health.Set("noc-link", obs.StatusDown, err.Error())
 		return fmt.Errorf("volume report: %w", err)
 	}
 	return nil
+}
+
+// Stats is the monitor's counterpart to the NOC's DetectorStats: a snapshot
+// of the per-daemon counters for periodic one-line summaries.
+type Stats struct {
+	// Intervals is the number of intervals ingested, SketchRequests the
+	// sketch pulls served, AlarmsReceived the NOC broadcasts seen and
+	// ReportErrors the failed updates/sends.
+	Intervals      int64
+	SketchRequests int64
+	AlarmsReceived int64
+	ReportErrors   int64
+	// LastInterval is the newest interval in the sketch state and VHBuckets
+	// its current total bucket count.
+	LastInterval int64
+	VHBuckets    int
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	last := s.core.Now()
+	buckets := s.core.NumBucketsTotal()
+	s.mu.Unlock()
+	return Stats{
+		Intervals:      s.met.intervals.Value(),
+		SketchRequests: s.met.sketchReqs.Value(),
+		AlarmsReceived: s.met.alarmsRecv.Value(),
+		ReportErrors:   s.met.reportErrors.Value(),
+		LastInterval:   last,
+		VHBuckets:      buckets,
+	}
+}
+
+// LogSummary emits the one-line slog summary daemons print periodically.
+func (s *Service) LogSummary() {
+	st := s.Stats()
+	s.log.Info("monitor stats",
+		"intervals", st.Intervals,
+		"sketch_requests", st.SketchRequests,
+		"alarms", st.AlarmsReceived,
+		"report_errors", st.ReportErrors,
+		"last_interval", st.LastInterval,
+		"vh_buckets", st.VHBuckets,
+	)
 }
 
 // Report returns the current sketch state (local inspection).
@@ -204,10 +360,16 @@ func (s *Service) Close() error {
 	s.conn = nil
 	s.readerDone = nil
 	s.mu.Unlock()
+	if s.diag != nil {
+		_ = s.diag.Close()
+	}
+	s.health.Set("monitor", obs.StatusDown, "closed")
+	s.health.Set("noc-link", obs.StatusDown, "closed")
 	if conn == nil {
 		return nil
 	}
 	err := conn.Close()
 	<-done
+	s.LogSummary()
 	return err
 }

@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streampca/internal/obs"
+	"streampca/internal/transport"
+)
+
+// TestStatsAndInstrumentation exercises the registry-backed counters behind
+// Stats() across the full protocol surface: interval ingestion, sketch
+// pulls, and alarm broadcasts.
+func TestStatsAndInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	alarmCh := make(chan transport.Alarm, 1)
+	cfg := testConfig()
+	cfg.Obs = reg
+	cfg.OnAlarm = func(a transport.Alarm) { alarmCh <- a }
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local, remote := transport.Pipe()
+	recvCh := startReader(remote)
+	if err := svc.Attach(local); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	expectFrame(t, recvCh) // hello
+
+	for i := 1; i <= 3; i++ {
+		if err := svc.ReportInterval(int64(i), []float64{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		expectFrame(t, recvCh) // volume report
+	}
+
+	if err := remote.Send(transport.Envelope{Request: &transport.SketchRequest{RequestID: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if resp := expectFrame(t, recvCh); resp.Response == nil || resp.Response.RequestID != 9 {
+		t.Fatalf("expected sketch response, got %+v", resp)
+	}
+
+	if err := remote.Send(transport.Envelope{Alarm: &transport.Alarm{Interval: 3, Distance: 5, Threshold: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-alarmCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("alarm callback never fired")
+	}
+
+	st := svc.Stats()
+	if st.Intervals != 3 || st.SketchRequests != 1 || st.AlarmsReceived != 1 ||
+		st.ReportErrors != 0 || st.LastInterval != 3 || st.VHBuckets == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// The update-latency histogram saw one sample per interval.
+	h := reg.Histogram("streampca_monitor_update_seconds", "", nil)
+	if snap := h.Snapshot(); snap.Count != 3 {
+		t.Fatalf("update histogram count = %d, want 3", snap.Count)
+	}
+	// And the whole surface renders as Prometheus text.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"streampca_monitor_update_seconds_bucket",
+		"streampca_monitor_intervals_total 3",
+		"streampca_monitor_vh_buckets",
+		"streampca_transport_messages_total",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestDiagServerLifecycle checks MetricsAddr spins up /metrics and Close
+// tears it down.
+func TestDiagServerLifecycle(t *testing.T) {
+	cfg := testConfig()
+	cfg.MetricsAddr = "127.0.0.1:0"
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := svc.DiagAddr()
+	if addr == "" {
+		t.Fatal("diagnostics server not started")
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the port must be released (no listener left behind).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err := transport.Dial(addr, 100*time.Millisecond)
+		if err != nil {
+			break
+		}
+		_ = c.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("diagnostics server still listening after Close")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

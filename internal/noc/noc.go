@@ -8,11 +8,13 @@ package noc
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"streampca/internal/core"
+	"streampca/internal/obs"
 	"streampca/internal/randproj"
 	"streampca/internal/transport"
 )
@@ -61,6 +63,72 @@ type Config struct {
 	// Epsilon is the VH parameter when LocalSketches is set; defaults to
 	// 0.01 (the paper's setting).
 	Epsilon float64
+	// Obs is the metrics registry the service instruments into; nil creates
+	// a private registry (instrumentation is always on).
+	Obs *obs.Registry
+	// Log receives structured logs; nil discards them.
+	Log *slog.Logger
+	// MetricsAddr, when non-empty, serves /metrics, /healthz and
+	// /debug/pprof on that address once Serve is called; Shutdown closes
+	// it. Empty (the default) opens no listener.
+	MetricsAddr string
+}
+
+// metrics is the NOC's instrumentation surface. All names are under
+// streampca_noc_ and documented in README.md "Observability".
+type metrics struct {
+	observations *obs.Counter
+	// retrains counts lazy-protocol model rebuilds; retrainSeconds times
+	// the O(m²·log n) rebuild (fetch RTT excluded) and fetchSeconds the
+	// §IV-C sketch-pull round trip.
+	retrains       *obs.Counter
+	retrainSeconds *obs.Histogram
+	fetchSeconds   *obs.Histogram
+	fetchErrors    *obs.Counter
+	alarms         *obs.Counter
+	alarmSends     *obs.Counter
+	// spe and threshold expose the latest squared-prediction-error distance
+	// d(y) and the Q-statistic control limit δ it was compared against.
+	spe       *obs.Gauge
+	threshold *obs.Gauge
+	monitors  *obs.Gauge
+	rejects   *obs.Counter
+	warmups   *obs.Counter
+	intervals *obs.Counter
+	drops     *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		observations: reg.Counter("streampca_noc_observations_total",
+			"Completed intervals run through the lazy detection protocol."),
+		retrains: reg.Counter("streampca_noc_retrains_total",
+			"Model rebuilds triggered by the lazy protocol (§IV-C fetch+retrain)."),
+		retrainSeconds: reg.Histogram("streampca_noc_retrain_seconds",
+			"Sketch-PCA model rebuild latency, fetch round-trip excluded (O(m^2 log n)).", nil),
+		fetchSeconds: reg.Histogram("streampca_noc_fetch_seconds",
+			"Sketch-pull round-trip latency across all monitors (§IV-C).", nil),
+		fetchErrors: reg.Counter("streampca_noc_fetch_errors_total",
+			"Sketch pulls that failed (timeout, coverage gap, bad report)."),
+		alarms: reg.Counter("streampca_noc_alarms_total",
+			"Anomaly alarms raised after a fresh-model re-check."),
+		alarmSends: reg.Counter("streampca_noc_alarm_broadcasts_total",
+			"Per-monitor alarm broadcast sends attempted."),
+		spe: reg.Gauge("streampca_noc_spe",
+			"Latest anomaly distance d(y) (residual-subspace magnitude)."),
+		threshold: reg.Gauge("streampca_noc_threshold",
+			"Current Q-statistic control limit delta_alpha."),
+		monitors: reg.Gauge("streampca_noc_monitors_connected",
+			"Currently registered local monitors."),
+		rejects: reg.Counter("streampca_noc_registrations_rejected_total",
+			"Monitor registrations refused (config or flow-ownership mismatch)."),
+		warmups: reg.Counter("streampca_noc_warmup_intervals_total",
+			"Completed intervals skipped during window warm-up."),
+		intervals: reg.Counter("streampca_noc_intervals_total",
+			"Completed network-wide measurement vectors assembled."),
+		drops: reg.Counter("streampca_noc_dropped_intervals_total",
+			"Intervals discarded (straggler eviction or saturated detector)."),
+	}
 }
 
 type monitorEntry struct {
@@ -83,6 +151,13 @@ type intervalAccum struct {
 type Service struct {
 	cfg    Config
 	server *transport.Server
+	log    *slog.Logger
+
+	reg     *obs.Registry
+	health  *obs.Health
+	met     *metrics
+	wireMet *transport.Metrics
+	diag    *obs.Server
 
 	mu        sync.Mutex
 	monitors  map[*transport.Conn]*monitorEntry
@@ -100,6 +175,11 @@ type Service struct {
 	completeCh chan Decision // buffered channel feeding the processor
 	workCh     chan workItem
 	procDone   chan struct{}
+
+	// serving records whether processLoop was started; Shutdown must not
+	// wait on procDone otherwise. shutdownOnce makes Shutdown idempotent.
+	serving      bool
+	shutdownOnce sync.Once
 }
 
 type workItem struct {
@@ -146,8 +226,21 @@ func New(cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("local sketch state: %w", err)
 		}
 	}
-	return &Service{
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.Nop()
+	}
+	s := &Service{
 		cfg:       cfg,
+		log:       log,
+		reg:       reg,
+		health:    obs.NewHealth(),
+		met:       newMetrics(reg),
+		wireMet:   transport.NewMetrics(reg),
 		monitors:  make(map[*transport.Conn]*monitorEntry),
 		flowOwner: make(map[int]*transport.Conn),
 		pending:   make(map[uint64]*pendingFetch),
@@ -156,16 +249,49 @@ func New(cfg Config) (*Service, error) {
 		localMon:  localMon,
 		workCh:    make(chan workItem, 256),
 		procDone:  make(chan struct{}),
-	}, nil
+	}
+	s.health.Set("noc", obs.StatusDegraded, "not serving yet")
+	s.health.Set("detector", obs.StatusDegraded, "no model built")
+	return s, nil
 }
 
-// Serve starts listening on addr and processing intervals.
+// Registry exposes the metrics registry (shared when Config.Obs was set).
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Health exposes the component health tracker backing /healthz.
+func (s *Service) Health() *obs.Health { return s.health }
+
+// DiagAddr returns the diagnostics server address, or "" when disabled.
+func (s *Service) DiagAddr() string {
+	if s.diag == nil {
+		return ""
+	}
+	return s.diag.Addr()
+}
+
+// Serve starts listening on addr and processing intervals; when
+// Config.MetricsAddr is set it also starts the diagnostics HTTP server.
 func (s *Service) Serve(addr string) error {
-	srv, err := transport.Listen(addr, s.handleConn)
+	srv, err := transport.ListenWithMetrics(addr, s.handleConn, s.wireMet)
 	if err != nil {
 		return err
 	}
+	if s.cfg.MetricsAddr != "" {
+		diag, err := obs.StartServer(s.cfg.MetricsAddr, s.reg, s.health, s.log)
+		if err != nil {
+			srv.Shutdown()
+			return err
+		}
+		s.diag = diag
+	}
+	s.mu.Lock()
 	s.server = srv
+	s.serving = true
+	s.mu.Unlock()
+	s.health.Set("noc", obs.StatusOK, "serving")
+	s.log.Info("NOC serving", "addr", srv.Addr(),
+		"flows", s.cfg.Detector.NumFlows, "window", s.cfg.Detector.WindowLen,
+		"sketch", s.cfg.Detector.SketchLen)
 	go s.processLoop()
 	return nil
 }
@@ -173,13 +299,44 @@ func (s *Service) Serve(addr string) error {
 // Addr returns the bound listen address.
 func (s *Service) Addr() string { return s.server.Addr() }
 
-// Shutdown stops the listener, drops all monitors and stops the processor.
+// Shutdown stops the listener, drops all monitors, stops the processor and
+// closes the diagnostics server after flushing a final stats summary. It is
+// idempotent and safe to call even if Serve was never invoked.
 func (s *Service) Shutdown() {
-	if s.server != nil {
-		s.server.Shutdown()
-	}
-	close(s.workCh)
-	<-s.procDone
+	s.shutdownOnce.Do(func() {
+		s.mu.Lock()
+		srv, serving := s.server, s.serving
+		s.mu.Unlock()
+		if srv != nil {
+			// Shutdown waits for every handleConn to return, so no sender
+			// can race the close of workCh below.
+			srv.Shutdown()
+		}
+		close(s.workCh)
+		if serving {
+			<-s.procDone
+		}
+		s.health.Set("noc", obs.StatusDown, "shut down")
+		s.LogSummary()
+		if s.diag != nil {
+			_ = s.diag.Close()
+		}
+	})
+}
+
+// LogSummary emits the one-line slog stats summary daemons print
+// periodically; Shutdown flushes it once more as the final snapshot.
+func (s *Service) LogSummary() {
+	observations, fetches, alarms := s.DetectorStats()
+	s.log.Info("noc stats",
+		"observations", observations,
+		"fetches", fetches,
+		"alarms", alarms,
+		"intervals", s.met.intervals.Value(),
+		"dropped", s.met.drops.Value(),
+		"fetch_errors", s.met.fetchErrors.Value(),
+		"monitors", int64(s.met.monitors.Value()),
+	)
 }
 
 // HasModel reports whether the detector has built a model yet.
@@ -189,11 +346,13 @@ func (s *Service) HasModel() bool {
 	return s.det.HasModel()
 }
 
-// DetectorStats returns the lazy-protocol counters.
+// DetectorStats returns the lazy-protocol counters. It is a compatibility
+// shim over the registry-backed metrics: observations maps to
+// streampca_noc_observations_total, fetches to streampca_noc_retrains_total
+// (every successful fetch triggers exactly one rebuild) and alarms to
+// streampca_noc_alarms_total.
 func (s *Service) DetectorStats() (observations, fetches, alarms int64) {
-	s.detMu.Lock()
-	defer s.detMu.Unlock()
-	return s.det.Stats()
+	return s.met.observations.Value(), s.met.retrains.Value(), s.met.alarms.Value()
 }
 
 // Monitors returns the ids of currently registered monitors, sorted.
@@ -220,6 +379,8 @@ func (s *Service) handleConn(conn *transport.Conn) {
 		return
 	}
 	if err := s.register(conn, env.Hello); err != nil {
+		s.met.rejects.Inc()
+		s.log.Warn("monitor rejected", "monitor", env.Hello.MonitorID, "err", err)
 		_ = conn.Send(transport.Envelope{Error: &transport.ProtocolError{Msg: err.Error()}})
 		return
 	}
@@ -268,6 +429,9 @@ func (s *Service) register(conn *transport.Conn, h *transport.Hello) error {
 	for _, f := range h.FlowIDs {
 		s.flowOwner[f] = conn
 	}
+	s.met.monitors.Set(float64(len(s.monitors)))
+	s.log.Info("monitor registered", "monitor", h.MonitorID, "flows", len(h.FlowIDs),
+		"covered", len(s.flowOwner), "of", d.NumFlows)
 	return nil
 }
 
@@ -284,6 +448,8 @@ func (s *Service) unregister(conn *transport.Conn) {
 			delete(s.flowOwner, f)
 		}
 	}
+	s.met.monitors.Set(float64(len(s.monitors)))
+	s.log.Info("monitor dropped", "monitor", entry.id, "flows", len(entry.flows))
 }
 
 // addVolumes folds a volume report into its interval accumulator; a complete
@@ -306,6 +472,7 @@ func (s *Service) addVolumes(v *transport.VolumeReport) {
 				}
 			}
 			delete(s.intervals, oldest)
+			s.met.drops.Inc()
 		}
 		acc = &intervalAccum{volumes: make([]float64, m), seen: make(map[int]struct{}, m)}
 		s.intervals[v.Interval] = acc
@@ -329,11 +496,13 @@ func (s *Service) addVolumes(v *transport.VolumeReport) {
 	s.mu.Unlock()
 
 	if complete {
+		s.met.intervals.Inc()
 		select {
 		case s.workCh <- item:
 		default:
 			// Detector is saturated; drop the interval rather than stall
 			// every monitor connection.
+			s.met.drops.Inc()
 		}
 	}
 }
@@ -369,6 +538,7 @@ func (s *Service) processLoop() {
 		}
 		if item.interval < int64(s.cfg.Detector.WindowLen) {
 			absorb()
+			s.met.warmups.Inc()
 			if s.cfg.OnDecision != nil {
 				s.cfg.OnDecision(Decision{Interval: item.interval, Vector: item.volumes, Warmup: true})
 			}
@@ -378,14 +548,46 @@ func (s *Service) processLoop() {
 		if s.localMon != nil {
 			fetch = s.fetchLocal
 		}
+		// Time the fetch round trip separately from the whole observation;
+		// on a refresh, observe-minus-fetch is the rebuild cost (the
+		// O(m²·log n) retrain the paper bounds).
+		var fetchDur time.Duration
+		timedFetch := func() ([][]float64, []float64, int64, error) {
+			t0 := time.Now()
+			sketches, means, interval, err := fetch()
+			fetchDur = time.Since(t0)
+			s.met.fetchSeconds.Observe(fetchDur.Seconds())
+			if err != nil {
+				s.met.fetchErrors.Inc()
+			}
+			return sketches, means, interval, err
+		}
+		s.met.observations.Inc()
+		start := time.Now()
 		s.detMu.Lock()
-		res, err := s.det.Observe(item.volumes, fetch)
+		res, err := s.det.Observe(item.volumes, timedFetch)
 		s.detMu.Unlock()
+		total := time.Since(start)
 		absorb()
 		if err != nil {
+			s.log.Warn("observation failed", "interval", item.interval, "err", err)
 			continue // fetch failed (e.g. monitor churn); next interval retries
 		}
+		if res.Refreshed {
+			s.met.retrains.Inc()
+			retrain := total - fetchDur
+			if retrain < 0 {
+				retrain = 0
+			}
+			s.met.retrainSeconds.Observe(retrain.Seconds())
+			s.health.Set("detector", obs.StatusOK, "model fresh")
+		}
+		s.met.spe.Set(res.Distance)
+		s.met.threshold.Set(res.Threshold)
 		if res.Anomalous {
+			s.met.alarms.Inc()
+			s.log.Warn("anomaly detected", "interval", item.interval,
+				"distance", res.Distance, "threshold", res.Threshold)
 			s.broadcastAlarm(transport.Alarm{
 				Interval:  item.interval,
 				Distance:  res.Distance,
@@ -483,6 +685,7 @@ func (s *Service) broadcastAlarm(a transport.Alarm) {
 	}
 	s.mu.Unlock()
 	for _, c := range conns {
+		s.met.alarmSends.Inc()
 		_ = c.Send(transport.Envelope{Alarm: &a}) // best effort
 	}
 }

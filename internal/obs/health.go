@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Status is a component health state. Worst-of aggregation: one Down
+// component makes the whole process Down.
+type Status string
+
+// Health states, from best to worst.
+const (
+	StatusOK       Status = "ok"
+	StatusDegraded Status = "degraded"
+	StatusDown     Status = "down"
+)
+
+func (s Status) rank() int {
+	switch s {
+	case StatusOK:
+		return 0
+	case StatusDegraded:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// ComponentHealth is one component's reported state.
+type ComponentHealth struct {
+	Status Status `json:"status"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Health tracks per-component status for the /healthz endpoint.
+type Health struct {
+	mu         sync.Mutex
+	components map[string]ComponentHealth
+}
+
+// NewHealth returns an empty health tracker.
+func NewHealth() *Health {
+	return &Health{components: make(map[string]ComponentHealth)}
+}
+
+// Set records component's current state.
+func (h *Health) Set(component string, s Status, detail string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.components[component] = ComponentHealth{Status: s, Detail: detail}
+}
+
+// Snapshot returns the aggregate status and a copy of the component map.
+// An empty tracker is OK (nothing has failed).
+func (h *Health) Snapshot() (Status, map[string]ComponentHealth) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	overall := StatusOK
+	out := make(map[string]ComponentHealth, len(h.components))
+	for name, c := range h.components {
+		out[name] = c
+		if c.Status.rank() > overall.rank() {
+			overall = c.Status
+		}
+	}
+	return overall, out
+}
+
+// healthResponse is the /healthz JSON body.
+type healthResponse struct {
+	Status     Status                     `json:"status"`
+	Components map[string]ComponentHealth `json:"components"`
+}
+
+// ServeHTTP answers /healthz: 200 while no component is Down, 503 otherwise,
+// with a JSON body listing every component. Keys are emitted sorted so the
+// body is byte-stable for tests and diffing.
+func (h *Health) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	overall, comps := h.Snapshot()
+	code := http.StatusOK
+	if overall == StatusDown {
+		code = http.StatusServiceUnavailable
+	}
+	// json.Marshal sorts map keys, so the body is deterministic already;
+	// the explicit sort documents the dependency.
+	names := make([]string, 0, len(comps))
+	for n := range comps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(healthResponse{Status: overall, Components: comps})
+}

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a text-format slog.Logger writing to w at the given
+// level, tagging every record with component. Components pass it down so a
+// multi-service process (e.g. examples/distributed) interleaves lines that
+// are still attributable.
+func NewLogger(w io.Writer, level slog.Leveler, component string) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(h).With("component", component)
+}
+
+// Nop returns a logger that discards every record; services use it when no
+// logger is configured so call sites never nil-check.
+func Nop() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }

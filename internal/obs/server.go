@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the diagnostics HTTP endpoint: /metrics (Prometheus text
+// format), /healthz (JSON component status) and /debug/pprof/*. It binds
+// its own mux so importing net/http/pprof's default-mux side effects is
+// avoided and two services in one process can each run their own server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	log *slog.Logger
+}
+
+// StartServer listens on addr (e.g. "127.0.0.1:9090", port 0 for ephemeral)
+// and serves diagnostics for reg and health in a background goroutine.
+// A nil reg or health disables the respective endpoint with 404; log may be
+// nil.
+func StartServer(addr string, reg *Registry, health *Health, log *slog.Logger) (*Server, error) {
+	if log == nil {
+		log = Nop()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.WritePrometheus(w); err != nil {
+				log.Warn("metrics write failed", "err", err)
+			}
+		})
+	}
+	if health != nil {
+		mux.Handle("/healthz", health)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		log: log,
+	}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Warn("diagnostics server stopped", "err", err)
+		}
+	}()
+	log.Info("diagnostics server listening", "addr", ln.Addr().String())
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and interrupts in-flight requests.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -14,6 +14,7 @@ import (
 // internally; Recv must be called from a single reader goroutine.
 type Conn struct {
 	raw io.ReadWriteCloser
+	m   *Metrics
 
 	sendMu sync.Mutex
 	enc    *gob.Encoder
@@ -25,21 +26,38 @@ type Conn struct {
 
 // NewConn wraps an established stream (net.Conn or an in-memory pipe).
 func NewConn(raw io.ReadWriteCloser) *Conn {
+	return NewConnWithMetrics(raw, nil)
+}
+
+// NewConnWithMetrics wraps an established stream and records wire traffic on
+// m (nil disables instrumentation).
+func NewConnWithMetrics(raw io.ReadWriteCloser, m *Metrics) *Conn {
 	registerTypes()
+	stream := raw
+	if m != nil {
+		stream = &countingStream{raw: raw, m: m}
+	}
+	m.connOpened()
 	return &Conn{
-		raw: raw,
-		enc: gob.NewEncoder(raw),
-		dec: gob.NewDecoder(raw),
+		raw: stream,
+		m:   m,
+		enc: gob.NewEncoder(stream),
+		dec: gob.NewDecoder(stream),
 	}
 }
 
 // Dial connects to a NOC or monitor endpoint over TCP.
 func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	return DialWithMetrics(addr, timeout, nil)
+}
+
+// DialWithMetrics is Dial with wire instrumentation on m.
+func DialWithMetrics(addr string, timeout time.Duration, m *Metrics) (*Conn, error) {
 	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
-	return NewConn(c), nil
+	return NewConnWithMetrics(c, m), nil
 }
 
 // Send writes one envelope. It is safe for concurrent use.
@@ -50,11 +68,13 @@ func (c *Conn) Send(e Envelope) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	if err := c.enc.Encode(&e); err != nil {
+		c.m.encodeError()
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
 			return fmt.Errorf("%w: %v", ErrClosed, err)
 		}
 		return fmt.Errorf("send: %w", err)
 	}
+	c.m.sentMsg(e.TypeName())
 	return nil
 }
 
@@ -65,11 +85,14 @@ func (c *Conn) Recv() (Envelope, error) {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
 			return Envelope{}, fmt.Errorf("%w: %v", ErrClosed, err)
 		}
+		c.m.decodeError()
 		return Envelope{}, fmt.Errorf("recv: %w", err)
 	}
 	if err := e.Validate(); err != nil {
+		c.m.decodeError()
 		return Envelope{}, err
 	}
+	c.m.recvMsg(e.TypeName())
 	return e, nil
 }
 
@@ -77,6 +100,7 @@ func (c *Conn) Recv() (Envelope, error) {
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
 		c.closeErr = c.raw.Close()
+		c.m.connClosed()
 	})
 	return c.closeErr
 }
@@ -84,6 +108,11 @@ func (c *Conn) Close() error {
 // Pipe returns two in-memory connected Conns with the same semantics as a
 // TCP pair — the test transport.
 func Pipe() (*Conn, *Conn) {
+	return PipeWithMetrics(nil, nil)
+}
+
+// PipeWithMetrics is Pipe with per-end instrumentation (either may be nil).
+func PipeWithMetrics(ma, mb *Metrics) (*Conn, *Conn) {
 	a, b := net.Pipe()
-	return NewConn(a), NewConn(b)
+	return NewConnWithMetrics(a, ma), NewConnWithMetrics(b, mb)
 }

@@ -15,6 +15,7 @@ type Handler func(*Conn)
 type Server struct {
 	listener net.Listener
 	handler  Handler
+	metrics  *Metrics
 
 	mu    sync.Mutex
 	conns map[*Conn]struct{}
@@ -25,6 +26,12 @@ type Server struct {
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0").
 func Listen(addr string, handler Handler) (*Server, error) {
+	return ListenWithMetrics(addr, handler, nil)
+}
+
+// ListenWithMetrics is Listen with wire instrumentation: every accepted
+// connection records its traffic on m (nil disables).
+func ListenWithMetrics(addr string, handler Handler, m *Metrics) (*Server, error) {
 	if handler == nil {
 		return nil, fmt.Errorf("%w: nil handler", ErrBadMessage)
 	}
@@ -35,6 +42,7 @@ func Listen(addr string, handler Handler) (*Server, error) {
 	s := &Server{
 		listener: ln,
 		handler:  handler,
+		metrics:  m,
 		conns:    make(map[*Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -52,7 +60,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		conn := NewConn(raw)
+		conn := NewConnWithMetrics(raw, s.metrics)
 		s.mu.Lock()
 		if s.done {
 			s.mu.Unlock()
