@@ -384,10 +384,14 @@ func BenchmarkDetectorDistance(b *testing.B) {
 	}
 }
 
-// BenchmarkSymEigen and BenchmarkSVD size the linear-algebra substrate.
+// BenchmarkSymEigen and BenchmarkSVD size the linear-algebra substrate. The
+// legacy sizes (n=20, 81) run serial; the PR2 sizes (n=64, 256) sweep the
+// worker count of the round-robin Jacobi solver — scripts/bench.sh parses
+// these into BENCH_PR2.json. n=64 sits below the parEigenMinN fallback, so
+// its worker variants document the (flat) serial-fallback cost.
 func BenchmarkSymEigen(b *testing.B) {
-	for _, n := range []int{20, 81} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+	bench := func(n, workers int) func(b *testing.B) {
+		return func(b *testing.B) {
 			rng := rand.New(rand.NewSource(7))
 			a := mat.NewMatrix(n, n)
 			for i := 0; i < n; i++ {
@@ -399,7 +403,76 @@ func BenchmarkSymEigen(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := mat.SymEigen(a); err != nil {
+				if _, err := mat.SymEigenWorkers(a, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, n := range []int{20, 81} {
+		b.Run(fmt.Sprintf("n=%d", n), bench(n, 1))
+	}
+	for _, n := range []int{64, 256} {
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("m=%d/workers=%d", n, w), bench(n, w))
+		}
+	}
+}
+
+// BenchmarkGram sweeps the row-parallel Gram kernel over the PR2 grid: the
+// sketch matrix shape is l×m with l=200 (the paper's default sketch length)
+// and m the network-wide flow count.
+func BenchmarkGram(b *testing.B) {
+	const l = 200
+	rng := rand.New(rand.NewSource(14))
+	for _, m := range []int{64, 256} {
+		z := mat.NewMatrix(l, m)
+		for i := 0; i < l; i++ {
+			row := z.RowView(i)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("m=%d/workers=%d", m, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = z.GramWorkers(w)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMonitorUpdate sweeps the sharded per-interval sketch update over
+// the worker grid at a fat-monitor flow count (1024 flows on one box is the
+// regime the parallel update path targets).
+func BenchmarkMonitorUpdate(b *testing.B) {
+	const flows = 1024
+	const window = 4096
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("flows=%d/workers=%d", flows, w), func(b *testing.B) {
+			gen, err := randproj.NewGenerator(randproj.Config{Seed: 1, SketchLen: 100, WindowLen: window})
+			if err != nil {
+				b.Fatal(err)
+			}
+			flowIDs := make([]int, flows)
+			for j := range flowIDs {
+				flowIDs[j] = j
+			}
+			mon, err := core.NewMonitor(core.MonitorConfig{
+				FlowIDs: flowIDs, WindowLen: window, Epsilon: 0.1, Gen: gen, Workers: w,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			volumes := make([]float64, flows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range volumes {
+					volumes[j] = 1000 + 50*rng.NormFloat64()
+				}
+				if err := mon.Update(int64(i+1), volumes); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -14,7 +14,17 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (transport, monitor, noc) =="
-go test -race ./internal/transport/... ./internal/monitor/... ./internal/noc/...
+echo "== go test -race (par, transport, monitor, noc) =="
+go test -race ./internal/par/... ./internal/transport/... ./internal/monitor/... ./internal/noc/...
+
+# The parallel kernels promise identical results for any worker count and any
+# scheduling; re-run their determinism property tests under the race detector
+# at two GOMAXPROCS settings so shard handoffs actually interleave.
+echo "== go test -race, GOMAXPROCS=2 and 4 (par, mat, core, randproj) =="
+GOMAXPROCS=2 go test -race ./internal/par/... ./internal/mat/... ./internal/core/... ./internal/randproj/...
+GOMAXPROCS=4 go test -race ./internal/par/... ./internal/mat/... ./internal/core/... ./internal/randproj/...
+
+echo "== bench smoke (1 iteration per benchmark) =="
+go test . ./internal/... -run 'XXXnone' -bench . -benchtime 1x > /dev/null
 
 echo "ci.sh: all checks passed"

@@ -52,6 +52,7 @@ func run(args []string, in io.Reader) error {
 		dialTO  = fs.Duration("dial-timeout", 5*time.Second, "NOC dial timeout")
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
 		statsEv = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
+		workers = fs.Int("workers", 0, "worker goroutines for the sketch-update path (0 = all CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +81,7 @@ func run(args []string, in io.Reader) error {
 		WindowLen:   *window,
 		Epsilon:     *epsilon,
 		Sketch:      randproj.Config{Seed: *seed, SketchLen: *sketch, WindowLen: *window},
+		Workers:     *workers,
 		Log:         obs.NewLogger(os.Stderr, slog.LevelInfo, "monitor"),
 		MetricsAddr: *metrics,
 		OnAlarm: func(a transport.Alarm) {

@@ -62,6 +62,7 @@ func run(args []string) error {
 		quiet    = fs.Bool("quiet", false, "print only alarms, not every decision")
 		metrics  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
 		statsEvr = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
+		workers  = fs.Int("workers", 0, "worker goroutines for the retrain kernels (0 = all CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +86,8 @@ func run(args []string) error {
 			FixedRank:  *rank,
 			EnergyFrac: *energy,
 		},
-		Seed: *seed,
+		Seed:    *seed,
+		Workers: *workers,
 		OnDecision: func(d noc.Decision) {
 			if d.Result.Anomalous {
 				fmt.Printf("ALARM,interval=%d,distance=%.4g,threshold=%.4g\n",

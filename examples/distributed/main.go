@@ -27,13 +27,14 @@ import (
 
 func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve NOC diagnostics (/metrics, /healthz, /debug/pprof) on this address")
+	workers := flag.Int("workers", 0, "worker goroutines for sketch updates and retrains (0 = all CPUs)")
 	flag.Parse()
-	if err := run(*metricsAddr); err != nil {
+	if err := run(*metricsAddr, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(metricsAddr string) error {
+func run(metricsAddr string, workers int) error {
 	const (
 		perDay    = traffic.IntervalsPerDay5Min
 		windowLen = perDay / 2
@@ -65,6 +66,7 @@ func run(metricsAddr string) error {
 			FixedRank: 6,
 		},
 		Seed:        seed,
+		Workers:     workers,
 		OnDecision:  func(d noc.Decision) { decisions <- d },
 		MetricsAddr: metricsAddr,
 	})
@@ -94,6 +96,7 @@ func run(metricsAddr string) error {
 			WindowLen: windowLen,
 			Epsilon:   0.02,
 			Sketch:    randproj.Config{Seed: seed, SketchLen: sketchLen, WindowLen: windowLen},
+			Workers:   workers,
 			OnAlarm: func(a transport.Alarm) {
 				alarmsSeen.Add(1)
 			},

@@ -28,6 +28,10 @@ type ClusterConfig struct {
 	Mode       RankMode
 	FixedRank  int
 	EnergyFrac float64
+	// Workers bounds the goroutines each monitor and the detector use for
+	// their sharded hot paths; 0 (or negative) selects
+	// runtime.GOMAXPROCS(0). Results are identical for any value.
+	Workers int
 }
 
 // Cluster is an in-process assembly of monitors and a NOC detector.
@@ -78,6 +82,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			WindowLen: cfg.WindowLen,
 			Epsilon:   cfg.Epsilon,
 			Gen:       gen,
+			Workers:   cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("monitor %d: %w", i, err)
@@ -93,6 +98,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Mode:       cfg.Mode,
 		FixedRank:  cfg.FixedRank,
 		EnergyFrac: cfg.EnergyFrac,
+		Workers:    cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("detector: %w", err)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"streampca/internal/mat"
+	"streampca/internal/par"
 	"streampca/internal/stats"
 )
 
@@ -53,6 +54,10 @@ type DetectorConfig struct {
 	// EnergyFrac is the retained-energy fraction for RankEnergy
 	// (defaults to 0.9, the paper's "90% energy" observation).
 	EnergyFrac float64
+	// Workers bounds the goroutines used by the model rebuild's matrix
+	// kernels (Gram product and eigendecomposition); 0 (or negative)
+	// selects runtime.GOMAXPROCS(0). Results are identical for any value.
+	Workers int
 }
 
 // Model is a fitted sketch-PCA model at the NOC.
@@ -116,6 +121,7 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown rank mode %d", ErrConfig, int(cfg.Mode))
 	}
+	cfg.Workers = par.Workers(cfg.Workers)
 	return &Detector{cfg: cfg}, nil
 }
 
@@ -172,7 +178,9 @@ func (d *Detector) RebuildModel(sketches [][]float64, means []float64, builtAt i
 	}
 	// PCA on Ẑ via the m×m Gram matrix: eigenvalues are λ̂², eigenvectors
 	// are the right singular vectors â — the only pieces the detector needs.
-	eig, err := mat.SymEigen(z.Gram())
+	// Both kernels shard across the configured workers with bit-identical
+	// results for any worker count.
+	eig, err := mat.SymEigenWorkers(z.GramWorkers(d.cfg.Workers), d.cfg.Workers)
 	if err != nil {
 		return fmt.Errorf("sketch eigendecomposition: %w", err)
 	}
@@ -228,14 +236,21 @@ func (d *Detector) chooseRank(z *mat.Matrix, components *mat.Matrix, sv []float6
 	case RankThreeSigma:
 		// Examine Ẑ·â_j one component at a time; the first projection with
 		// an element beyond 3σ_j starts the anomalous subspace (§IV-D).
+		// col and proj are reused across components: the old per-component
+		// Col+MulVec pair allocated two vectors per j, which dominated the
+		// rebuild profile at large m.
 		l := z.Rows()
+		col := make([]float64, components.Rows())
+		proj := make([]float64, l)
 		for j := 0; j < len(sv); j++ {
 			if sv[j] == 0 {
 				return j, nil
 			}
 			sigma := sv[j] / math.Sqrt(float64(l))
-			proj, err := z.MulVec(components.Col(j))
-			if err != nil {
+			if err := components.ColInto(j, col); err != nil {
+				return 0, err
+			}
+			if err := z.MulVecTo(proj, col); err != nil {
 				return 0, err
 			}
 			for _, v := range proj {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"streampca/internal/par"
 	"streampca/internal/randproj"
 	"streampca/internal/vh"
 )
@@ -45,15 +46,26 @@ type MonitorConfig struct {
 	// Gen is the shared random-number generator; required so sketches from
 	// different monitors combine at the NOC.
 	Gen *randproj.Generator
+	// Workers bounds the goroutines used to shard per-flow histogram
+	// updates across the assigned flows; 0 (or negative) selects
+	// runtime.GOMAXPROCS(0). Results are identical for any value.
+	Workers int
 }
 
 // Monitor maintains one variance histogram per assigned flow.
 // It is not safe for concurrent use; callers (internal/monitor) serialize.
+// Internally Update shards the per-flow histogram work across Workers
+// goroutines — each flow's histogram is touched by exactly one shard, so the
+// resulting state is identical for any worker count.
 type Monitor struct {
 	flowIDs []int
 	hists   []*vh.Histogram
 	gen     *randproj.Generator
-	now     int64
+	workers int
+	// rowScratch holds the interval's shared projection row r_{t,·}; reused
+	// across updates to keep the per-interval path allocation-free.
+	rowScratch []float64
+	now        int64
 }
 
 // NewMonitor validates cfg and builds the per-flow histograms.
@@ -83,9 +95,11 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 		hists[i] = h
 	}
 	return &Monitor{
-		flowIDs: append([]int(nil), cfg.FlowIDs...),
-		hists:   hists,
-		gen:     cfg.Gen,
+		flowIDs:    append([]int(nil), cfg.FlowIDs...),
+		hists:      hists,
+		gen:        cfg.Gen,
+		workers:    par.Workers(cfg.Workers),
+		rowScratch: make([]float64, cfg.Gen.SketchLen()),
 	}, nil
 }
 
@@ -111,19 +125,37 @@ func (m *Monitor) NumBucketsTotal() int {
 	return total
 }
 
+// updateGrain is the minimum flows per shard in Update; below it the
+// per-flow histogram work cannot amortize fork/join.
+const updateGrain = 32
+
 // Update ingests the volumes of interval t; volumes[i] belongs to
 // FlowIDs()[i]. Intervals must be strictly increasing.
+//
+// The per-flow histogram updates are sharded across the monitor's workers.
+// Each histogram belongs to exactly one shard and the shared row is
+// read-only, so the resulting state is identical for any worker count. On
+// error the lowest-indexed failing flow is reported and flows in other
+// shards may already have absorbed the interval; callers treat an Update
+// error as fatal for the monitor (all current ones do).
 func (m *Monitor) Update(t int64, volumes []float64) error {
 	if len(volumes) != len(m.flowIDs) {
 		return fmt.Errorf("%w: %d volumes for %d flows", ErrInput, len(volumes), len(m.flowIDs))
 	}
 	// The random row r_{t,·} is shared by every flow at interval t; compute
-	// it once.
-	row := m.gen.Row(t)
-	for i, v := range volumes {
-		if err := m.hists[i].UpdateWithRow(t, v, row); err != nil {
-			return fmt.Errorf("flow %d: %w", m.flowIDs[i], err)
+	// it once into the reusable scratch buffer.
+	m.gen.RowInto(t, m.rowScratch)
+	row := m.rowScratch
+	err := par.ForErr(m.workers, len(volumes), updateGrain, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := m.hists[i].UpdateWithRow(t, volumes[i], row); err != nil {
+				return fmt.Errorf("flow %d: %w", m.flowIDs[i], err)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	m.now = t
 	return nil

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"streampca/internal/randproj"
+)
+
+// TestMonitorUpdateDeterministic feeds the same volume stream to monitors
+// configured with different worker counts and requires exactly equal sketch
+// state: each flow's histogram is owned by one shard, so worker count must
+// change scheduling only, never results.
+func TestMonitorUpdateDeterministic(t *testing.T) {
+	const (
+		numFlows  = 90
+		windowLen = 64
+		intervals = 100
+	)
+	gen, err := randproj.NewGenerator(randproj.Config{Seed: 7, SketchLen: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flowIDs := make([]int, numFlows)
+	for i := range flowIDs {
+		flowIDs[i] = i
+	}
+	rng := rand.New(rand.NewSource(99))
+	stream := make([][]float64, intervals)
+	for i := range stream {
+		stream[i] = make([]float64, numFlows)
+		for j := range stream[i] {
+			stream[i][j] = 100 + 10*rng.NormFloat64()
+		}
+	}
+
+	run := func(workers int) SketchReport {
+		mon, err := NewMonitor(MonitorConfig{
+			FlowIDs:   flowIDs,
+			WindowLen: windowLen,
+			Epsilon:   0.05,
+			Gen:       gen,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, vols := range stream {
+			if err := mon.Update(int64(i+1), vols); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return mon.Report()
+	}
+
+	ref := run(1)
+	for _, w := range []int{2, 7, runtime.GOMAXPROCS(0)} {
+		got := run(w)
+		if got.Interval != ref.Interval {
+			t.Fatalf("workers=%d: interval %d != %d", w, got.Interval, ref.Interval)
+		}
+		for i := range ref.FlowIDs {
+			if got.Means[i] != ref.Means[i] {
+				t.Fatalf("workers=%d flow %d: mean %v != %v", w, i, got.Means[i], ref.Means[i])
+			}
+			if got.Counts[i] != ref.Counts[i] {
+				t.Fatalf("workers=%d flow %d: count %d != %d", w, i, got.Counts[i], ref.Counts[i])
+			}
+			if got.Buckets[i] != ref.Buckets[i] {
+				t.Fatalf("workers=%d flow %d: buckets %d != %d", w, i, got.Buckets[i], ref.Buckets[i])
+			}
+			for k := range ref.Sketches[i] {
+				if got.Sketches[i][k] != ref.Sketches[i][k] {
+					t.Fatalf("workers=%d flow %d sketch[%d]: %v != %v",
+						w, i, k, got.Sketches[i][k], ref.Sketches[i][k])
+				}
+			}
+		}
+	}
+}
+
+// TestMonitorUpdateErrorDeterministic: a non-monotone interval must produce
+// the same (lowest-flow) error regardless of worker count.
+func TestMonitorUpdateErrorDeterministic(t *testing.T) {
+	gen, err := randproj.NewGenerator(randproj.Config{Seed: 7, SketchLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flowIDs := make([]int, 70)
+	for i := range flowIDs {
+		flowIDs[i] = i
+	}
+	var refMsg string
+	for _, w := range []int{1, 2, 7} {
+		mon, err := NewMonitor(MonitorConfig{
+			FlowIDs: flowIDs, WindowLen: 16, Epsilon: 0.1, Gen: gen, Workers: w,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vols := make([]float64, len(flowIDs))
+		if err := mon.Update(5, vols); err != nil {
+			t.Fatal(err)
+		}
+		err = mon.Update(5, vols) // not strictly increasing → every flow fails
+		if err == nil {
+			t.Fatalf("workers=%d: want error for repeated interval", w)
+		}
+		if refMsg == "" {
+			refMsg = err.Error()
+		} else if err.Error() != refMsg {
+			t.Fatalf("workers=%d: error %q differs from serial %q", w, err.Error(), refMsg)
+		}
+	}
+}
+
+// TestDetectorRebuildDeterministic: the full rebuild (Gram + eigensolver +
+// rank + threshold) must be identical across worker counts.
+func TestDetectorRebuildDeterministic(t *testing.T) {
+	const (
+		numFlows  = 100
+		sketchLen = 40
+	)
+	rng := rand.New(rand.NewSource(123))
+	sketches := make([][]float64, numFlows)
+	means := make([]float64, numFlows)
+	for j := range sketches {
+		sketches[j] = make([]float64, sketchLen)
+		for k := range sketches[j] {
+			sketches[j][k] = rng.NormFloat64() * 50
+		}
+		means[j] = 100 + rng.NormFloat64()
+	}
+
+	run := func(workers int) *Model {
+		det, err := NewDetector(DetectorConfig{
+			NumFlows:  numFlows,
+			WindowLen: 256,
+			SketchLen: sketchLen,
+			Alpha:     0.01,
+			Mode:      RankThreeSigma,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.RebuildModel(sketches, means, 42); err != nil {
+			t.Fatal(err)
+		}
+		return det.Model()
+	}
+
+	ref := run(1)
+	for _, w := range []int{2, 7, runtime.GOMAXPROCS(0)} {
+		got := run(w)
+		if got.Rank != ref.Rank {
+			t.Fatalf("workers=%d: rank %d != %d", w, got.Rank, ref.Rank)
+		}
+		if got.Threshold != ref.Threshold {
+			t.Fatalf("workers=%d: threshold %v != %v", w, got.Threshold, ref.Threshold)
+		}
+		for j := range ref.Singular {
+			if got.Singular[j] != ref.Singular[j] {
+				t.Fatalf("workers=%d: singular value %d differs", w, j)
+			}
+		}
+		for i := 0; i < numFlows; i++ {
+			for j := 0; j < numFlows; j++ {
+				if got.Components.At(i, j) != ref.Components.At(i, j) {
+					t.Fatalf("workers=%d: component (%d,%d) differs", w, i, j)
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"streampca/internal/par"
 )
 
 // EigenSym holds the eigendecomposition A = V·diag(Values)·Vᵀ of a symmetric
@@ -16,17 +18,38 @@ type EigenSym struct {
 	Vectors *Matrix
 }
 
-// maxJacobiSweeps bounds the cyclic Jacobi iteration. Convergence for
-// symmetric matrices is quadratic; well-conditioned problems finish in a
-// handful of sweeps and 64 is far beyond any realistic need.
+// maxJacobiSweeps bounds the Jacobi iteration. Convergence for symmetric
+// matrices is quadratic; well-conditioned problems finish in a handful of
+// sweeps and 64 is far beyond any realistic need.
 const maxJacobiSweeps = 64
 
-// SymEigen computes the eigendecomposition of the symmetric matrix a using
-// the cyclic Jacobi method. Only the upper triangle is read; the matrix is
-// not modified. It returns ErrShape for non-square input, ErrNotFinite for
-// NaN/Inf entries and ErrNoConverge if the off-diagonal mass does not vanish
-// within the sweep budget.
+// parEigenMinN is the smallest dimension for which the rotation rounds are
+// sharded across workers; below it the per-round work (≈4n² flops) is too
+// small to amortize a fork/join barrier and the rounds run inline.
+const parEigenMinN = 96
+
+// SymEigen computes the eigendecomposition of the symmetric matrix a. It is
+// SymEigenWorkers with a single worker; the two share every code path, so
+// results are identical.
 func SymEigen(a *Matrix) (*EigenSym, error) {
+	return SymEigenWorkers(a, 1)
+}
+
+// SymEigenWorkers computes the eigendecomposition of the symmetric matrix a
+// using a round-robin (parallel-ordering) Jacobi method: each sweep visits
+// every pivot pair once, organized into n−1 rounds of ⌊n/2⌋ mutually
+// disjoint pairs. Within a round all rotation angles are computed from the
+// round-start matrix, then applied in two phases — first to columns, then to
+// rows — so rotations of disjoint pairs touch disjoint memory and shard
+// across up to `workers` goroutines (0 = auto). The schedule, the angles and
+// the application order are all independent of the worker count, making the
+// result bit-identical for any value of workers.
+//
+// Only the upper triangle is read; the matrix is not modified. It returns
+// ErrShape for non-square input, ErrNotFinite for NaN/Inf entries and
+// ErrNoConverge if the off-diagonal mass does not vanish within the sweep
+// budget.
+func SymEigenWorkers(a *Matrix, workers int) (*EigenSym, error) {
 	n := a.rows
 	if n != a.cols {
 		return nil, fmt.Errorf("%w: eigendecomposition of %dx%d", ErrShape, a.rows, a.cols)
@@ -65,29 +88,58 @@ func SymEigen(a *Matrix) (*EigenSym, error) {
 	}
 	tol := 1e-28 * normA * normA
 
+	// Small-input fallback: the rounds still run, but strictly inline.
+	if n < parEigenMinN {
+		workers = 1
+	}
+	pool := par.NewPool(workers)
+	defer pool.Close()
+	// Grain in pairs: each pair costs ≈8n multiply-adds per phase.
+	grain := 1 + shardWork/(8*n)
+
+	// Round-robin tournament schedule. slots is n rounded up to even; the
+	// extra slot (index ≥ n) is a bye. Position 0 is fixed, the rest rotate.
+	slots := n
+	if slots%2 == 1 {
+		slots++
+	}
+	idx := make([]int, slots)
+	rots := make([]rotation, 0, slots/2)
+
 	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
 		if offDiag() <= tol {
 			return finishEigen(w, v), nil
 		}
-		for p := 0; p < n-1; p++ {
-			for q := p + 1; q < n; q++ {
-				apq := w.data[p*n+q]
-				if apq == 0 {
-					continue
+		// Reset the schedule each sweep so the pivot order is a pure
+		// function of n.
+		for i := range idx {
+			idx[i] = i
+		}
+		for round := 0; round < slots-1; round++ {
+			rots = planRound(w, idx, rots[:0])
+			if len(rots) > 0 {
+				// Phase 1: column rotations of W and V (each pair owns
+				// columns p and q; pairs are disjoint).
+				pool.For(len(rots), grain, func(lo, hi int) {
+					for _, r := range rots[lo:hi] {
+						rotateColumns(w, r)
+						rotateColumns(v, r)
+					}
+				})
+				// Phase 2: row rotations of W (disjoint rows per pair).
+				pool.For(len(rots), grain, func(lo, hi int) {
+					for _, r := range rots[lo:hi] {
+						rotateRows(w, r)
+					}
+				})
+				// The pivot entries are annihilated analytically; zero them
+				// exactly rather than keeping rounding residue.
+				for _, r := range rots {
+					w.data[r.p*n+r.q] = 0
+					w.data[r.q*n+r.p] = 0
 				}
-				app := w.data[p*n+p]
-				aqq := w.data[q*n+q]
-				// Skip rotations that cannot change the result at
-				// machine precision.
-				if math.Abs(apq) <= 1e-17*(math.Abs(app)+math.Abs(aqq)) {
-					w.data[p*n+q] = 0
-					w.data[q*n+p] = 0
-					continue
-				}
-				c, s := jacobiRotation(app, aqq, apq)
-				applySymRotation(w, p, q, c, s)
-				applyRightRotation(v, p, q, c, s)
 			}
+			advanceRoundRobin(idx)
 		}
 	}
 	if offDiag() <= tol*1e4 {
@@ -96,6 +148,53 @@ func SymEigen(a *Matrix) (*EigenSym, error) {
 		return finishEigen(w, v), nil
 	}
 	return nil, fmt.Errorf("%w: jacobi eigendecomposition after %d sweeps", ErrNoConverge, maxJacobiSweeps)
+}
+
+// rotation is one planned Jacobi rotation on the (disjoint) pair p < q.
+type rotation struct {
+	p, q int
+	c, s float64
+}
+
+// planRound computes the rotation angles for the current round's disjoint
+// pairs from the round-start matrix, appending to dst. Pairs whose pivot is
+// negligible at machine precision are zeroed in place and skipped.
+func planRound(w *Matrix, idx []int, dst []rotation) []rotation {
+	n := w.cols
+	slots := len(idx)
+	for i := 0; i < slots/2; i++ {
+		p, q := idx[i], idx[slots-1-i]
+		if p >= n || q >= n {
+			continue // bye slot on odd n
+		}
+		if p > q {
+			p, q = q, p
+		}
+		apq := w.data[p*n+q]
+		if apq == 0 {
+			continue
+		}
+		app := w.data[p*n+p]
+		aqq := w.data[q*n+q]
+		// Skip rotations that cannot change the result at machine precision.
+		if math.Abs(apq) <= 1e-17*(math.Abs(app)+math.Abs(aqq)) {
+			w.data[p*n+q] = 0
+			w.data[q*n+p] = 0
+			continue
+		}
+		c, s := jacobiRotation(app, aqq, apq)
+		dst = append(dst, rotation{p: p, q: q, c: c, s: s})
+	}
+	return dst
+}
+
+// advanceRoundRobin rotates the schedule one step: position 0 stays fixed,
+// the remaining entries shift cyclically (the classic tournament scheme that
+// pairs every index with every other exactly once per n−1 rounds).
+func advanceRoundRobin(idx []int) {
+	last := idx[len(idx)-1]
+	copy(idx[2:], idx[1:len(idx)-1])
+	idx[1] = last
 }
 
 // jacobiRotation returns (cos θ, sin θ) of the Givens rotation that
@@ -114,30 +213,31 @@ func jacobiRotation(app, aqq, apq float64) (c, s float64) {
 	return c, s
 }
 
-// applySymRotation applies the two-sided rotation Jᵀ·W·J on rows/cols p, q.
-func applySymRotation(w *Matrix, p, q int, c, s float64) {
-	n := w.cols
-	app := w.data[p*n+p]
-	aqq := w.data[q*n+q]
-	apq := w.data[p*n+q]
-	for k := 0; k < n; k++ {
-		if k == p || k == q {
-			continue
-		}
-		akp := w.data[k*n+p]
-		akq := w.data[k*n+q]
-		w.data[k*n+p] = c*akp - s*akq
-		w.data[p*n+k] = w.data[k*n+p]
-		w.data[k*n+q] = s*akp + c*akq
-		w.data[q*n+k] = w.data[k*n+q]
+// rotateColumns applies M ← M·J in place, where J rotates columns p and q.
+func rotateColumns(m *Matrix, r rotation) {
+	n := m.cols
+	for k := 0; k < m.rows; k++ {
+		row := m.data[k*n:]
+		mp, mq := row[r.p], row[r.q]
+		row[r.p] = r.c*mp - r.s*mq
+		row[r.q] = r.s*mp + r.c*mq
 	}
-	w.data[p*n+p] = c*c*app - 2*s*c*apq + s*s*aqq
-	w.data[q*n+q] = s*s*app + 2*s*c*apq + c*c*aqq
-	w.data[p*n+q] = 0
-	w.data[q*n+p] = 0
 }
 
-// applyRightRotation applies V ← V·J where J rotates columns p and q.
+// rotateRows applies M ← Jᵀ·M in place, where Jᵀ mixes rows p and q.
+func rotateRows(m *Matrix, r rotation) {
+	n := m.cols
+	prow := m.data[r.p*n : r.p*n+n]
+	qrow := m.data[r.q*n : r.q*n+n]
+	for k := 0; k < n; k++ {
+		mp, mq := prow[k], qrow[k]
+		prow[k] = r.c*mp - r.s*mq
+		qrow[k] = r.s*mp + r.c*mq
+	}
+}
+
+// applyRightRotation applies V ← V·J where J rotates columns p and q (shared
+// with the one-sided Jacobi SVD).
 func applyRightRotation(v *Matrix, p, q int, c, s float64) {
 	n := v.cols
 	for k := 0; k < v.rows; k++ {

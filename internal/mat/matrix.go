@@ -113,10 +113,21 @@ func (m *Matrix) RowView(i int) []float64 {
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = m.data[i*m.cols+j]
-	}
+	m.ColInto(j, out)
 	return out
+}
+
+// ColInto copies column j into dst, which must have length Rows. It is the
+// allocation-free variant of Col for hot loops that scan many columns (e.g.
+// the detector's 3σ rank scan reusing one scratch column).
+func (m *Matrix) ColInto(j int, dst []float64) error {
+	if len(dst) != m.rows {
+		return fmt.Errorf("%w: column of %d rows into buffer of %d", ErrShape, m.rows, len(dst))
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = m.data[i*m.cols+j]
+	}
+	return nil
 }
 
 // SetRow copies v into row i. len(v) must equal Cols.
@@ -215,41 +226,36 @@ func (m *Matrix) Sub(o *Matrix) (*Matrix, error) {
 
 // Mul returns the matrix product m·o as a new matrix.
 func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
-	if m.cols != o.rows {
-		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, m.rows, m.cols, o.rows, o.cols)
-	}
-	out := NewMatrix(m.rows, o.cols)
-	for i := 0; i < m.rows; i++ {
-		mrow := m.data[i*m.cols : (i+1)*m.cols]
-		orow := out.data[i*o.cols : (i+1)*o.cols]
-		for k, mv := range mrow {
-			if mv == 0 {
-				continue
-			}
-			okrow := o.data[k*o.cols : (k+1)*o.cols]
-			for j, ov := range okrow {
-				orow[j] += mv * ov
-			}
-		}
-	}
-	return out, nil
+	return m.MulWorkers(o, 1)
 }
 
 // MulVec returns the matrix-vector product m·v.
 func (m *Matrix) MulVec(v []float64) ([]float64, error) {
-	if m.cols != len(v) {
-		return nil, fmt.Errorf("%w: mulvec %dx%d by vector of %d", ErrShape, m.rows, m.cols, len(v))
-	}
 	out := make([]float64, m.rows)
+	if err := m.MulVecTo(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecTo computes m·v into dst (length Rows) without allocating. dst must
+// not alias v.
+func (m *Matrix) MulVecTo(dst, v []float64) error {
+	if m.cols != len(v) {
+		return fmt.Errorf("%w: mulvec %dx%d by vector of %d", ErrShape, m.rows, m.cols, len(v))
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("%w: mulvec %dx%d into buffer of %d", ErrShape, m.rows, m.cols, len(dst))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, rv := range row {
 			s += rv * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out, nil
+	return nil
 }
 
 // TMulVec returns mᵀ·v without materializing the transpose.
@@ -273,26 +279,7 @@ func (m *Matrix) TMulVec(v []float64) ([]float64, error) {
 
 // Gram returns mᵀ·m (the c×c Gram matrix) exploiting symmetry.
 func (m *Matrix) Gram() *Matrix {
-	out := NewMatrix(m.cols, m.cols)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		for a, ra := range row {
-			if ra == 0 {
-				continue
-			}
-			orow := out.data[a*m.cols : (a+1)*m.cols]
-			for b := a; b < m.cols; b++ {
-				orow[b] += ra * row[b]
-			}
-		}
-	}
-	// Mirror the upper triangle into the lower one.
-	for a := 0; a < m.cols; a++ {
-		for b := a + 1; b < m.cols; b++ {
-			out.data[b*m.cols+a] = out.data[a*m.cols+b]
-		}
-	}
-	return out
+	return m.GramWorkers(1)
 }
 
 // FrobeniusNorm returns the Frobenius norm sqrt(Σ m_ij²).

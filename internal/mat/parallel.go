@@ -1,0 +1,144 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"streampca/internal/par"
+)
+
+// Parallel kernel tuning. The thresholds pick the serial path when the total
+// work is too small to amortize goroutine fork/join (~1–2µs); they are in
+// units of inner-loop multiply-adds.
+const (
+	// minParWork is the smallest kernel size worth forking for.
+	minParWork = 1 << 15
+	// shardWork is the target multiply-add count per shard; grain values are
+	// derived from it so shards stay coarse enough to be cache- and
+	// scheduling-friendly.
+	shardWork = 1 << 13
+)
+
+// MulWorkers is Mul with the output rows sharded across up to workers
+// goroutines (0 = auto, see par.Workers). Every worker runs the identical
+// inner loops over its disjoint range of output rows, so the product is
+// bit-identical to the serial result for any worker count.
+func (m *Matrix) MulWorkers(o *Matrix, workers int) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, m.rows, m.cols, o.rows, o.cols)
+	}
+	out := NewMatrix(m.rows, o.cols)
+	w := par.Workers(workers)
+	rowWork := m.cols * o.cols
+	if w > 1 && m.rows*rowWork < minParWork {
+		w = 1
+	}
+	grain := 1
+	if rowWork > 0 {
+		grain = 1 + shardWork/rowWork
+	}
+	par.For(w, m.rows, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mrow := m.data[i*m.cols : (i+1)*m.cols]
+			orow := out.data[i*o.cols : (i+1)*o.cols]
+			for k, mv := range mrow {
+				if mv == 0 {
+					continue
+				}
+				okrow := o.data[k*o.cols : (k+1)*o.cols]
+				for j, ov := range okrow {
+					orow[j] += mv * ov
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// triangularBounds splits the output rows [0, c) of an upper-triangular
+// accumulation into at most maxShards contiguous ranges of roughly equal
+// work, where row a costs proportionally to c−a (low rows own long
+// triangle tails). The bounds depend only on (c, maxShards), keeping the
+// sharding deterministic.
+func triangularBounds(c, maxShards int) []int {
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	bounds := []int{0}
+	total := float64(c) * float64(c+1) / 2
+	for k := 1; k < maxShards; k++ {
+		// Row a* where the cumulative triangular area hits k/maxShards:
+		// solve c² − (c−a)² = (k/maxShards)·c² approximately.
+		frac := float64(k) / float64(maxShards)
+		rem := (1 - frac) * total
+		// rows [a, c) hold (c−a)(c−a+1)/2 ≈ (c−a)²/2 work.
+		a := c - int(math.Sqrt(2*rem))
+		if last := bounds[len(bounds)-1]; a < last {
+			a = last
+		}
+		if a > c {
+			a = c
+		}
+		bounds = append(bounds, a)
+	}
+	bounds = append(bounds, c)
+	return bounds
+}
+
+// GramWorkers is Gram with the output rows sharded across up to workers
+// goroutines (0 = auto). Each worker owns a contiguous range of output rows
+// and accumulates input rows in the same ascending order as the serial
+// kernel, so the Gram matrix is bit-identical for any worker count. Shard
+// boundaries follow the triangular work profile (row a costs ∝ c−a), keeping
+// the load balanced.
+func (m *Matrix) GramWorkers(workers int) *Matrix {
+	out := NewMatrix(m.cols, m.cols)
+	c := m.cols
+	w := par.Workers(workers)
+	if w > 1 && m.rows*c*c/2 < minParWork {
+		w = 1
+	}
+	if w <= 1 || c == 0 {
+		gramRows(m, out, 0, c)
+	} else {
+		bounds := triangularBounds(c, w)
+		par.For(w, len(bounds)-1, 1, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				gramRows(m, out, bounds[s], bounds[s+1])
+			}
+		})
+	}
+	// Mirror the upper triangle into the lower one, sharded by destination
+	// row (disjoint writes; the upper triangle is complete after the barrier
+	// above).
+	par.For(w, c, 1+shardWork/(c+1), func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			brow := out.data[b*c : (b+1)*c]
+			for a := 0; a < b; a++ {
+				brow[a] = out.data[a*c+b]
+			}
+		}
+	})
+	return out
+}
+
+// gramRows accumulates the upper-triangular Gram rows [rowLo, rowHi): for
+// each input row, out[a][b] += row[a]·row[b] for a in range, b ≥ a. The
+// per-entry accumulation order over input rows matches the serial kernel
+// exactly.
+func gramRows(m, out *Matrix, rowLo, rowHi int) {
+	c := m.cols
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*c : (i+1)*c]
+		for a := rowLo; a < rowHi; a++ {
+			ra := row[a]
+			if ra == 0 {
+				continue
+			}
+			orow := out.data[a*c : (a+1)*c]
+			for b := a; b < c; b++ {
+				orow[b] += ra * row[b]
+			}
+		}
+	}
+}

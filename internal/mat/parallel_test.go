@@ -1,0 +1,267 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// workerCounts is the grid the determinism property tests sweep, per the
+// parallel-layer contract: results must be identical for any worker count.
+var workerCounts = []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+
+func randomSparseMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+		if rng.Intn(8) == 0 {
+			m.data[i] = 0 // exercise the sparse skip paths
+		}
+	}
+	return m
+}
+
+// TestGramWorkersBitIdentical: the parallel Gram must equal the serial one
+// bit for bit, for every worker count and across shapes (tall, wide, tiny,
+// above and below the serial-fallback threshold).
+func TestGramWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	shapes := [][2]int{{1, 1}, {3, 2}, {17, 33}, {64, 64}, {50, 200}, {256, 81}, {128, 256}}
+	for _, sh := range shapes {
+		m := randomSparseMatrix(rng, sh[0], sh[1])
+		ref := m.GramWorkers(1)
+		for _, w := range workerCounts[1:] {
+			got := m.GramWorkers(w)
+			if !bitIdentical(ref, got) {
+				t.Fatalf("%dx%d workers=%d: Gram differs from serial", sh[0], sh[1], w)
+			}
+		}
+		// The legacy entry point must be the workers=1 path.
+		if !bitIdentical(ref, m.Gram()) {
+			t.Fatalf("%dx%d: Gram() differs from GramWorkers(1)", sh[0], sh[1])
+		}
+	}
+}
+
+// TestGramWorkersSymmetric: the mirrored lower triangle must exactly equal
+// the upper one at every worker count.
+func TestGramWorkersSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := randomSparseMatrix(rng, 100, 130)
+	for _, w := range workerCounts {
+		g := m.GramWorkers(w)
+		for a := 0; a < g.Rows(); a++ {
+			for b := a + 1; b < g.Cols(); b++ {
+				if g.At(a, b) != g.At(b, a) {
+					t.Fatalf("workers=%d: asymmetry at (%d,%d)", w, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestMulWorkersBitIdentical: parallel Mul equals serial Mul exactly.
+func TestMulWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	shapes := [][3]int{{1, 1, 1}, {5, 3, 4}, {33, 17, 29}, {81, 81, 81}, {128, 200, 64}, {256, 128, 256}}
+	for _, sh := range shapes {
+		a := randomSparseMatrix(rng, sh[0], sh[1])
+		b := randomSparseMatrix(rng, sh[1], sh[2])
+		ref, err := a.MulWorkers(b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts[1:] {
+			got, err := a.MulWorkers(b, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitIdentical(ref, got) {
+				t.Fatalf("%v workers=%d: Mul differs from serial", sh, w)
+			}
+		}
+	}
+}
+
+func TestMulWorkersShapeError(t *testing.T) {
+	a := NewMatrix(3, 4)
+	b := NewMatrix(5, 2)
+	if _, err := a.MulWorkers(b, 4); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+// TestSymEigenWorkersDeterministic: the eigensolver must return identical
+// results for every worker count (the schedule, angles and two-phase
+// application are worker-count independent). Exact equality is expected; the
+// test enforces the documented ≤1e-12 bound plus bit-equality as a stricter
+// regression signal on eigenvalues.
+func TestSymEigenWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range []int{2, 7, 64, 120, 160} {
+		a := randomSymmetric(rng, n)
+		ref, err := SymEigenWorkers(a, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, w := range workerCounts[1:] {
+			got, err := SymEigenWorkers(a, w)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, w, err)
+			}
+			for i := range ref.Values {
+				if math.Abs(ref.Values[i]-got.Values[i]) > 1e-12 {
+					t.Fatalf("n=%d workers=%d: eigenvalue %d deviates %g", n, w, i,
+						math.Abs(ref.Values[i]-got.Values[i]))
+				}
+				if ref.Values[i] != got.Values[i] {
+					t.Errorf("n=%d workers=%d: eigenvalue %d not bit-identical", n, w, i)
+				}
+			}
+			if !bitIdentical(ref.Vectors, got.Vectors) {
+				t.Fatalf("n=%d workers=%d: eigenvectors differ from serial", n, w)
+			}
+		}
+	}
+}
+
+// TestSymEigenWorkersCorrect checks the decomposition itself at a dimension
+// that exercises the sharded rotation path: orthonormal V, A·V ≈ V·Λ.
+func TestSymEigenWorkersCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for _, n := range []int{96, 150} {
+		a := randomSymmetric(rng, n)
+		eig, err := SymEigenWorkers(a, 4)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkOrthonormalColumns(t, eig.Vectors, 1e-9)
+		av, err := a.Mul(eig.Vectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lam := NewMatrix(n, n)
+		for i, v := range eig.Values {
+			lam.Set(i, i, v)
+		}
+		vl, err := eig.Vectors.Mul(lam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !av.Equal(vl, 1e-8*math.Max(1, a.MaxAbs())) {
+			t.Fatalf("n=%d: A·V does not match V·Λ", n)
+		}
+		for i := 1; i < n; i++ {
+			if eig.Values[i] > eig.Values[i-1]+1e-12 {
+				t.Fatalf("n=%d: eigenvalues not descending at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestTriangularBounds: the Gram shard boundaries must be monotone, cover
+// [0, c] and depend only on (c, shards).
+func TestTriangularBounds(t *testing.T) {
+	for _, c := range []int{1, 2, 7, 81, 256, 1000} {
+		for _, k := range []int{1, 2, 4, 7, 16} {
+			b := triangularBounds(c, k)
+			if b[0] != 0 || b[len(b)-1] != c {
+				t.Fatalf("c=%d k=%d: bounds %v", c, k, b)
+			}
+			for i := 1; i < len(b); i++ {
+				if b[i] < b[i-1] {
+					t.Fatalf("c=%d k=%d: bounds not monotone: %v", c, k, b)
+				}
+			}
+		}
+	}
+	// Balance sanity: for a large triangle, no shard should own more than
+	// ~2× its fair share of the triangular area.
+	c, k := 1024, 4
+	b := triangularBounds(c, k)
+	total := float64(c) * float64(c+1) / 2
+	for i := 0; i < k; i++ {
+		lo, hi := b[i], b[i+1]
+		area := float64(c-lo)*float64(c-lo+1)/2 - float64(c-hi)*float64(c-hi+1)/2
+		if area > 2*total/float64(k) {
+			t.Fatalf("shard %d owns %.0f of %.0f (fair %f)", i, area, total, total/float64(k))
+		}
+	}
+}
+
+func TestColInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	m := randomSparseMatrix(rng, 13, 9)
+	dst := make([]float64, 13)
+	for j := 0; j < 9; j++ {
+		if err := m.ColInto(j, dst); err != nil {
+			t.Fatal(err)
+		}
+		want := m.Col(j)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("col %d row %d: %v != %v", j, i, dst[i], want[i])
+			}
+		}
+	}
+	if err := m.ColInto(0, make([]float64, 5)); err == nil {
+		t.Fatal("want shape error for short buffer")
+	}
+}
+
+func TestMulVecTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	m := randomSparseMatrix(rng, 11, 17)
+	v := make([]float64, 17)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	want, err := m.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 11)
+	if err := m.MulVecTo(dst, v); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("row %d: %v != %v", i, dst[i], want[i])
+		}
+	}
+	if err := m.MulVecTo(make([]float64, 3), v); err == nil {
+		t.Fatal("want shape error for short dst")
+	}
+	if err := m.MulVecTo(dst, make([]float64, 4)); err == nil {
+		t.Fatal("want shape error for short v")
+	}
+}
+
+// bitIdentical reports exact elementwise equality (no tolerance).
+func bitIdentical(a, b *Matrix) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := range a.data {
+		if a.data[i] != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkGramWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(48))
+	for _, c := range []int{64, 256} {
+		m := randomSparseMatrix(rng, 256, c)
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("m=%d/workers=%d", c, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = m.GramWorkers(w)
+				}
+			})
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"streampca/internal/core"
 	"streampca/internal/obs"
+	"streampca/internal/par"
 	"streampca/internal/randproj"
 	"streampca/internal/transport"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	// Sketch configures the shared random projection. WindowLen is filled
 	// from the service's when unset.
 	Sketch randproj.Config
+	// Workers bounds the goroutines the sketch update shards per-flow work
+	// across; 0 selects runtime.GOMAXPROCS(0). Sketch state is identical
+	// for any value (see internal/par).
+	Workers int
 	// OnAlarm, when set, is invoked for alarms pushed by the NOC.
 	OnAlarm func(transport.Alarm)
 	// Obs is the metrics registry the service instruments into; nil creates
@@ -68,6 +73,8 @@ type metrics struct {
 	// vhBuckets tracks the O(w·log² n) variance-histogram state size.
 	vhBuckets    *obs.Gauge
 	lastInterval *obs.Gauge
+	// workers exposes the resolved parallelism of the sketch-update path.
+	workers *obs.Gauge
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -86,6 +93,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Variance-histogram buckets summed over assigned flows (O(w log^2 n) space)."),
 		lastInterval: reg.Gauge("streampca_monitor_last_interval",
 			"Most recent interval folded into the sketch state."),
+		workers: reg.Gauge("streampca_monitor_workers",
+			"Resolved worker count for the sharded sketch-update path."),
 	}
 }
 
@@ -128,6 +137,7 @@ func New(cfg Config) (*Service, error) {
 		WindowLen: cfg.WindowLen,
 		Epsilon:   cfg.Epsilon,
 		Gen:       gen,
+		Workers:   cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core monitor: %w", err)
@@ -150,6 +160,7 @@ func New(cfg Config) (*Service, error) {
 		wireMet: transport.NewMetrics(reg),
 		core:    cm,
 	}
+	s.met.workers.Set(float64(par.Workers(cfg.Workers)))
 	s.health.Set("monitor", obs.StatusOK, "sketch state ready")
 	s.health.Set("noc-link", obs.StatusDegraded, "not connected")
 	if cfg.MetricsAddr != "" {

@@ -63,6 +63,11 @@ type Config struct {
 	// Epsilon is the VH parameter when LocalSketches is set; defaults to
 	// 0.01 (the paper's setting).
 	Epsilon float64
+	// Workers bounds the goroutines the retrain kernels (and the local
+	// sketch state under LocalSketches) shard across; 0 selects
+	// runtime.GOMAXPROCS(0). Fills Detector.Workers when that is unset.
+	// Results are identical for any value (see internal/par).
+	Workers int
 	// Obs is the metrics registry the service instruments into; nil creates
 	// a private registry (instrumentation is always on).
 	Obs *obs.Registry
@@ -96,6 +101,8 @@ type metrics struct {
 	warmups   *obs.Counter
 	intervals *obs.Counter
 	drops     *obs.Counter
+	// workers exposes the resolved parallelism of the retrain kernels.
+	workers *obs.Gauge
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -128,6 +135,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Completed network-wide measurement vectors assembled."),
 		drops: reg.Counter("streampca_noc_dropped_intervals_total",
 			"Intervals discarded (straggler eviction or saturated detector)."),
+		workers: reg.Gauge("streampca_noc_workers",
+			"Resolved worker count for the sharded retrain kernels."),
 	}
 }
 
@@ -189,6 +198,9 @@ type workItem struct {
 
 // New validates cfg and builds the service (not yet listening).
 func New(cfg Config) (*Service, error) {
+	if cfg.Detector.Workers == 0 {
+		cfg.Detector.Workers = cfg.Workers
+	}
 	det, err := core.NewDetector(cfg.Detector)
 	if err != nil {
 		return nil, fmt.Errorf("detector: %w", err)
@@ -221,6 +233,7 @@ func New(cfg Config) (*Service, error) {
 			WindowLen: cfg.Detector.WindowLen,
 			Epsilon:   cfg.Epsilon,
 			Gen:       gen,
+			Workers:   cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("local sketch state: %w", err)
@@ -250,6 +263,7 @@ func New(cfg Config) (*Service, error) {
 		workCh:    make(chan workItem, 256),
 		procDone:  make(chan struct{}),
 	}
+	s.met.workers.Set(float64(det.Config().Workers))
 	s.health.Set("noc", obs.StatusDegraded, "not serving yet")
 	s.health.Set("detector", obs.StatusDegraded, "no model built")
 	return s, nil

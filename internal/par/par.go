@@ -1,0 +1,199 @@
+// Package par is the parallel compute layer shared by the linear-algebra
+// kernels (internal/mat), the per-flow sketch updates (internal/core) and
+// any future hot path: deterministic range-sharded fork/join over a bounded
+// number of workers.
+//
+// Determinism is the design center. Every helper splits [0, n) into the
+// same contiguous shards for a given (n, workers, grain) triple, and callers
+// arrange for each shard to own disjoint output memory. Worker count and
+// goroutine scheduling then change only *when* a shard runs, never *what* it
+// computes — results are bit-identical for any worker count, which the
+// property tests in internal/mat and internal/core enforce.
+//
+// Two execution styles are provided:
+//
+//   - For / ForErr spawn ephemeral goroutines per call. Right for one-shot
+//     kernels (a Gram product, a monitor interval update) whose per-call
+//     work dwarfs the ~µs goroutine start cost.
+//   - Pool keeps workers parked on a channel for call sites that issue many
+//     small barriers in a row (the Jacobi eigensolver runs thousands of
+//     rotation rounds per decomposition).
+//
+// Small inputs fall back to inline serial execution: when the shard count
+// computed from grain is 1, no goroutines are involved at all.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values < 1 (the "auto" zero
+// value of the Workers config fields) map to runtime.GOMAXPROCS(0), anything
+// else is returned unchanged.
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// shards returns the deterministic shard boundaries for n items split across
+// at most workers shards of at least grain items each. The returned slice
+// has len = shardCount+1 with bounds[i] ≤ bounds[i+1]; shard i is
+// [bounds[i], bounds[i+1]). Guaranteed to cover [0, n) exactly once.
+func shards(n, workers, grain int) []int {
+	if grain < 1 {
+		grain = 1
+	}
+	count := workers
+	if maxShards := (n + grain - 1) / grain; count > maxShards {
+		count = maxShards
+	}
+	if count < 1 {
+		count = 1
+	}
+	bounds := make([]int, count+1)
+	base, rem := n/count, n%count
+	for i := 1; i <= count; i++ {
+		bounds[i] = bounds[i-1] + base
+		if i <= rem {
+			bounds[i]++
+		}
+	}
+	return bounds
+}
+
+// For runs fn over [0, n) split into contiguous shards across up to workers
+// goroutines. grain is the minimum shard size; when only one shard results
+// (or workers ≤ 1), fn runs inline on the caller's goroutine. fn must write
+// only to memory owned by its [lo, hi) range; under that contract the result
+// is identical for every worker count.
+func For(workers, n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	bounds := shards(n, workers, grain)
+	count := len(bounds) - 1
+	if workers <= 1 || count == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(count - 1)
+	for i := 1; i < count; i++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(bounds[i], bounds[i+1])
+	}
+	// The caller's goroutine takes the first shard instead of idling.
+	fn(bounds[0], bounds[1])
+	wg.Wait()
+}
+
+// ForErr is For with error propagation. Each shard stops at its first error;
+// the error returned is the one from the lowest-numbered failing shard, so
+// the reported failure is deterministic across worker counts. Note that on
+// error, shards other than the failing one may still have completed — the
+// caller's per-item state reflects every item whose shard ran to completion.
+func ForErr(workers, n, grain int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	bounds := shards(n, workers, grain)
+	count := len(bounds) - 1
+	if workers <= 1 || count == 1 {
+		return fn(0, n)
+	}
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	wg.Add(count - 1)
+	for i := 1; i < count; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(bounds[i], bounds[i+1])
+		}(i)
+	}
+	errs[0] = fn(bounds[0], bounds[1])
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// task is one shard dispatched to a pool worker.
+type task struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+// Pool is a bounded set of parked workers for call sites that issue many
+// consecutive parallel loops (each For on a Pool costs two channel operations
+// per participating worker instead of a goroutine spawn). A Pool with 1
+// worker starts no goroutines and runs everything inline.
+//
+// A Pool must be released with Close; using it after Close panics. For may
+// only be called from one goroutine at a time.
+type Pool struct {
+	workers int
+	work    chan task
+	closed  bool
+}
+
+// NewPool starts a pool with the resolved worker count (requested < 1 means
+// auto, see Workers).
+func NewPool(requested int) *Pool {
+	w := Workers(requested)
+	p := &Pool{workers: w}
+	if w > 1 {
+		work := make(chan task)
+		p.work = work
+		for i := 1; i < w; i++ {
+			go func() {
+				for t := range work {
+					t.fn(t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Workers returns the pool's resolved worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// For runs fn over [0, n) sharded across the pool's workers, with the same
+// contract and determinism guarantee as the package-level For.
+func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	bounds := shards(n, p.workers, grain)
+	count := len(bounds) - 1
+	if p.workers <= 1 || count == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(count - 1)
+	for i := 1; i < count; i++ {
+		p.work <- task{lo: bounds[i], hi: bounds[i+1], fn: fn, wg: &wg}
+	}
+	fn(bounds[0], bounds[1])
+	wg.Wait()
+}
+
+// Close releases the pool's workers. Close is not safe to race with For;
+// callers serialize use and Close (a Pool is owned by one computation).
+func (p *Pool) Close() {
+	if p.work != nil && !p.closed {
+		close(p.work)
+		p.closed = true
+	}
+}

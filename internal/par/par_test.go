@@ -1,0 +1,251 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, w := range []int{1, 2, 7, 64} {
+		if got := Workers(w); got != w {
+			t.Fatalf("Workers(%d) = %d", w, got)
+		}
+	}
+}
+
+// TestShardsCoverExactly checks that every (n, workers, grain) split covers
+// [0, n) exactly once with monotone bounds and at most `workers` shards.
+func TestShardsCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000, 1024} {
+		for _, w := range []int{1, 2, 3, 7, 16, 200} {
+			for _, grain := range []int{0, 1, 8, 1000} {
+				b := shards(n, w, grain)
+				if len(b) < 2 || b[0] != 0 || b[len(b)-1] != n {
+					t.Fatalf("shards(%d,%d,%d) = %v: bad endpoints", n, w, grain, b)
+				}
+				if len(b)-1 > w && w >= 1 {
+					t.Fatalf("shards(%d,%d,%d): %d shards for %d workers", n, w, grain, len(b)-1, w)
+				}
+				for i := 1; i < len(b); i++ {
+					if b[i] < b[i-1] {
+						t.Fatalf("shards(%d,%d,%d) = %v: not monotone", n, w, grain, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardsDeterministic: the split depends only on (n, workers, grain).
+func TestShardsDeterministic(t *testing.T) {
+	a := shards(1027, 7, 3)
+	b := shards(1027, 7, 3)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("shards not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestForTouchesEachIndexOnce runs For at several worker counts and verifies
+// each index is written exactly once (disjointness of shards).
+func TestForTouchesEachIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 7, runtime.GOMAXPROCS(0), 33} {
+		for _, n := range []int{0, 1, 5, 100, 1024} {
+			counts := make([]int32, n)
+			For(w, n, 1, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d touched %d times", w, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForDeterministicOutput: identical output slice for every worker count
+// when each shard owns its output range.
+func TestForDeterministicOutput(t *testing.T) {
+	const n = 513
+	ref := make([]float64, n)
+	For(1, n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ref[i] = float64(i)*1.5 + 1
+		}
+	})
+	for _, w := range []int{2, 3, 7, runtime.GOMAXPROCS(0)} {
+		out := make([]float64, n)
+		For(w, n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i)*1.5 + 1
+			}
+		})
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", w, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestForGrainSerialFallback: when n ≤ grain the loop must run inline as a
+// single shard (observable as exactly one fn invocation).
+func TestForGrainSerialFallback(t *testing.T) {
+	calls := 0
+	For(8, 100, 100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("want single shard [0,100), got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestForErrReturnsLowestShardError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, w := range []int{2, 4, 7} {
+		err := ForErr(w, 1000, 1, func(lo, hi int) error {
+			switch {
+			case lo == 0:
+				return errLow
+			case hi == 1000:
+				return errHigh
+			default:
+				return nil
+			}
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want lowest-shard error", w, err)
+		}
+	}
+	if err := ForErr(4, 100, 1, func(lo, hi int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if err := ForErr(4, 0, 1, func(lo, hi int) error { return errLow }); err != nil {
+		t.Fatalf("n=0 must not call fn, got %v", err)
+	}
+}
+
+func TestPoolForMatchesPackageFor(t *testing.T) {
+	for _, w := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+		p := NewPool(w)
+		const n = 777
+		out := make([]float64, n)
+		ref := make([]float64, n)
+		For(w, n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ref[i] = float64(i * i)
+			}
+		})
+		// Many consecutive barriers, as the eigensolver issues them.
+		for round := 0; round < 50; round++ {
+			p.For(n, 1, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = float64(i * i)
+				}
+			})
+		}
+		p.Close()
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", w, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestPoolWorkersResolved(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want %d", p.Workers(), runtime.GOMAXPROCS(0))
+	}
+	p2 := NewPool(5)
+	defer p2.Close()
+	if p2.Workers() != 5 {
+		t.Fatalf("Workers() = %d, want 5", p2.Workers())
+	}
+}
+
+// TestPoolCloseIdempotent: double Close must not panic.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	p.Close()
+}
+
+// TestConcurrentPools exercises several pools at once under -race.
+func TestConcurrentPools(t *testing.T) {
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			p := NewPool(3)
+			defer p.Close()
+			sum := make([]int64, 256)
+			for r := 0; r < 20; r++ {
+				p.For(len(sum), 1, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						sum[i]++
+					}
+				})
+			}
+			for i, v := range sum {
+				if v != 20 {
+					t.Errorf("sum[%d] = %d, want 20", i, v)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			out := make([]float64, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				For(w, len(out), 64, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						out[j] += 1
+					}
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkPoolBarrier(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := NewPool(w)
+			defer p.Close()
+			out := make([]float64, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.For(len(out), 64, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						out[j] += 1
+					}
+				})
+			}
+		})
+	}
+}

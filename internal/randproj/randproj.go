@@ -17,9 +17,11 @@
 package randproj
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"streampca/internal/mat"
 	"streampca/internal/stats"
@@ -76,11 +78,21 @@ type Config struct {
 	SparseS int
 	// WindowLen is n, used only by VerySparse to set s = √n.
 	WindowLen int
+	// RowCache bounds the LRU cache of materialized rows r_{t,·}. The hot
+	// paths (monitor updates, exact projections) ask for the same row once
+	// per flow or column; caching turns l hash evaluations into a copy.
+	// 0 selects the default (128 rows); negative disables caching.
+	RowCache int
 }
+
+// defaultRowCache is the row-cache capacity when Config.RowCache is 0. At
+// typical sketch lengths (l ≈ 50–100) this is well under 128 KiB.
+const defaultRowCache = 128
 
 // Generator deterministically produces the shared random numbers r_{tk}.
 //
-// A Generator is immutable after construction and safe for concurrent use.
+// A Generator is safe for concurrent use: the derivation is pure and the row
+// cache is mutex-protected.
 type Generator struct {
 	seed      uint64
 	sketchLen int
@@ -89,6 +101,21 @@ type Generator struct {
 	sparseInv float64
 	// sparseScale is √s, the variance-restoring scale of sparse entries.
 	sparseScale float64
+
+	// Bounded LRU cache of materialized rows, keyed by interval t. Entries
+	// are immutable once inserted; Row/RowInto copy out under the lock.
+	mu       sync.Mutex
+	cacheCap int
+	rows     map[int64]*list.Element
+	lru      *list.List // front = most recent; values are *cachedRow
+	hits     uint64
+	misses   uint64
+}
+
+// cachedRow is one LRU entry.
+type cachedRow struct {
+	t   int64
+	row []float64
 }
 
 // NewGenerator validates cfg and returns a Generator.
@@ -101,6 +128,16 @@ func NewGenerator(cfg Config) (*Generator, error) {
 		dist = Gaussian
 	}
 	g := &Generator{seed: cfg.Seed, sketchLen: cfg.SketchLen, dist: dist}
+	switch {
+	case cfg.RowCache > 0:
+		g.cacheCap = cfg.RowCache
+	case cfg.RowCache == 0:
+		g.cacheCap = defaultRowCache
+	}
+	if g.cacheCap > 0 {
+		g.rows = make(map[int64]*list.Element, g.cacheCap)
+		g.lru = list.New()
+	}
 	switch dist {
 	case Gaussian, TugOfWar:
 		// No extra parameters.
@@ -157,13 +194,64 @@ func (g *Generator) At(t int64, k int) float64 {
 	}
 }
 
-// Row returns the l-vector (r_{t,0}, …, r_{t,l−1}) for interval t.
+// Row returns the l-vector (r_{t,0}, …, r_{t,l−1}) for interval t. The
+// returned slice is a fresh copy the caller owns.
 func (g *Generator) Row(t int64) []float64 {
 	out := make([]float64, g.sketchLen)
-	for k := range out {
-		out[k] = g.At(t, k)
-	}
+	g.RowInto(t, out)
 	return out
+}
+
+// RowInto fills dst (which must have length ≥ l) with the row for interval t
+// without allocating. Rows are served from a bounded LRU cache when enabled;
+// a miss derives the row entry-by-entry and inserts it.
+func (g *Generator) RowInto(t int64, dst []float64) {
+	dst = dst[:g.sketchLen]
+	if g.cacheCap <= 0 {
+		g.fillRow(t, dst)
+		return
+	}
+	g.mu.Lock()
+	if el, ok := g.rows[t]; ok {
+		g.lru.MoveToFront(el)
+		copy(dst, el.Value.(*cachedRow).row)
+		g.hits++
+		g.mu.Unlock()
+		return
+	}
+	g.misses++
+	g.mu.Unlock()
+
+	// Derive outside the lock: misses are the expensive path and deriving is
+	// pure, so concurrent misses for the same t just race to insert equal rows.
+	g.fillRow(t, dst)
+	stored := append([]float64(nil), dst...)
+
+	g.mu.Lock()
+	if _, ok := g.rows[t]; !ok {
+		for g.lru.Len() >= g.cacheCap {
+			oldest := g.lru.Back()
+			g.lru.Remove(oldest)
+			delete(g.rows, oldest.Value.(*cachedRow).t)
+		}
+		g.rows[t] = g.lru.PushFront(&cachedRow{t: t, row: stored})
+	}
+	g.mu.Unlock()
+}
+
+// fillRow derives the row for interval t directly into dst.
+func (g *Generator) fillRow(t int64, dst []float64) {
+	for k := range dst {
+		dst[k] = g.At(t, k)
+	}
+}
+
+// CacheStats reports cumulative row-cache hits and misses (both zero when
+// the cache is disabled).
+func (g *Generator) CacheStats() (hits, misses uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits, g.misses
 }
 
 // Matrix materializes the n×l random matrix R for intervals
@@ -172,10 +260,7 @@ func (g *Generator) Row(t int64) []float64 {
 func (g *Generator) Matrix(t0 int64, n int) *mat.Matrix {
 	r := mat.NewMatrix(n, g.sketchLen)
 	for i := 0; i < n; i++ {
-		row := r.RowView(i)
-		for k := range row {
-			row[k] = g.At(t0+int64(i), k)
-		}
+		g.RowInto(t0+int64(i), r.RowView(i))
 	}
 	return r
 }
@@ -188,11 +273,13 @@ func (g *Generator) Project(t0 int64, y *mat.Matrix) (*mat.Matrix, error) {
 	l := g.sketchLen
 	z := mat.NewMatrix(l, m)
 	scale := 1 / math.Sqrt(float64(l))
+	scratch := make([]float64, l)
 	for i := 0; i < n; i++ {
 		yrow := y.RowView(i)
 		t := t0 + int64(i)
+		g.RowInto(t, scratch)
 		for k := 0; k < l; k++ {
-			r := g.At(t, k)
+			r := scratch[k]
 			if r == 0 {
 				continue
 			}

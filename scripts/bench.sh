@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs the PR2 worker-sweep benchmarks (Gram, SymEigen, MonitorUpdate) and
+# writes BENCH_PR2.json at the repo root: one record per (op, m, workers)
+# cell with the median ns/op over COUNT runs.
+#
+# Usage: scripts/bench.sh [-count N] [-benchtime D]
+#
+# The absolute numbers and the parallel speedup depend on the host's core
+# count; run `nproc` alongside and record it (EXPERIMENTS.md does).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT=3
+BENCHTIME=1x
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -count) COUNT="$2"; shift 2 ;;
+    -benchtime) BENCHTIME="$2"; shift 2 ;;
+    *) echo "unknown flag $1" >&2; exit 2 ;;
+  esac
+done
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "running benchmarks (count=$COUNT benchtime=$BENCHTIME, GOMAXPROCS=$(nproc))..." >&2
+go test . -run 'XXX' \
+  -bench 'BenchmarkGram/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/' \
+  -benchtime "$BENCHTIME" -count "$COUNT" | tee "$RAW" >&2
+
+python3 - "$RAW" <<'EOF' > BENCH_PR2.json
+import json, re, statistics, sys
+
+# Benchmark lines look like (the -N GOMAXPROCS suffix is absent when
+# GOMAXPROCS is 1):
+#   BenchmarkGram/m=256/workers=4-8   100   1234567 ns/op
+pat = re.compile(
+    r'^Benchmark(Gram|SymEigen|MonitorUpdate)/'
+    r'(?:m|flows)=(\d+)/workers=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+cells = {}
+for line in open(sys.argv[1]):
+    m = pat.match(line)
+    if m:
+        key = (m.group(1), int(m.group(2)), int(m.group(3)))
+        cells.setdefault(key, []).append(float(m.group(4)))
+
+records = [
+    {"op": op, "m": size, "workers": w,
+     "ns_op": statistics.median(v), "runs": len(v)}
+    for (op, size, w), v in sorted(cells.items())
+]
+json.dump(records, sys.stdout, indent=2)
+print()
+EOF
+
+echo "wrote BENCH_PR2.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR2.json"))))') cells)" >&2
