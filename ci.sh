@@ -1,30 +1,77 @@
 #!/usr/bin/env sh
 # Tier-1+ check: everything CI (or a reviewer) needs to trust a change.
-#   ./ci.sh          vet + build + full test suite + race on the concurrent packages
+#   ./ci.sh    fmt + vet (linux & darwin) + build + tests + race + benchcheck
+#
+# Environment: SKIP_BENCHCHECK=1, BENCHCHECK_COUNT, BENCHCHECK_TOLERANCE are
+# forwarded to scripts/benchcheck.sh.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "== go vet =="
-go vet ./...
+STEP_START=0
+step() {
+    STEP_START=$(date +%s)
+    echo "== $* =="
+}
+step_done() {
+    echo "   (step took $(( $(date +%s) - STEP_START ))s)"
+}
 
-echo "== go build =="
+step "gofmt"
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+step_done
+
+# Vet under both first-class GOOS targets: the tree is pure Go, so a
+# darwin-only breakage (build tags, syscall drift) should fail CI on linux.
+step "go vet (GOOS=linux)"
+GOOS=linux go vet ./...
+step_done
+
+step "go vet (GOOS=darwin)"
+GOOS=darwin go vet ./...
+step_done
+
+step "go build"
 go build ./...
+GOOS=darwin go build ./...
+step_done
 
-echo "== go test =="
+step "go test"
 go test ./...
+step_done
 
-echo "== go test -race (par, transport, monitor, noc) =="
-go test -race ./internal/par/... ./internal/transport/... ./internal/monitor/... ./internal/noc/...
+step "go test -race (par, transport, monitor, noc, obs, faults)"
+go test -race ./internal/par/... ./internal/transport/... \
+    ./internal/monitor/... ./internal/noc/... ./internal/obs/... \
+    ./internal/faults/...
+step_done
+
+# The chaos e2e suite (fault-injected NOC/monitor deployments) is where the
+# retry, breaker and reconnect goroutines actually contend; run it under the
+# race detector explicitly so a -run filter change elsewhere can't drop it.
+step "go test -race chaos e2e"
+go test -race -run 'TestChaos' ./internal/noc/
+step_done
 
 # The parallel kernels promise identical results for any worker count and any
 # scheduling; re-run their determinism property tests under the race detector
 # at two GOMAXPROCS settings so shard handoffs actually interleave.
-echo "== go test -race, GOMAXPROCS=2 and 4 (par, mat, core, randproj) =="
+step "go test -race, GOMAXPROCS=2 and 4 (par, mat, core, randproj)"
 GOMAXPROCS=2 go test -race ./internal/par/... ./internal/mat/... ./internal/core/... ./internal/randproj/...
 GOMAXPROCS=4 go test -race ./internal/par/... ./internal/mat/... ./internal/core/... ./internal/randproj/...
+step_done
 
-echo "== bench smoke (1 iteration per benchmark) =="
+step "bench smoke (1 iteration per benchmark)"
 go test . ./internal/... -run 'XXXnone' -bench . -benchtime 1x > /dev/null
+step_done
+
+step "benchcheck (vs BENCH_PR2.json)"
+sh scripts/benchcheck.sh
+step_done
 
 echo "ci.sh: all checks passed"

@@ -50,6 +50,9 @@ func run(args []string, in io.Reader) error {
 		epsilon = fs.Float64("epsilon", 0.01, "variance-histogram ε")
 		seed    = fs.Uint64("seed", 42, "shared randomness seed")
 		dialTO  = fs.Duration("dial-timeout", 5*time.Second, "NOC dial timeout")
+		reconn  = fs.Bool("reconnect", true, "redial the NOC automatically when the link drops")
+		reconnB = fs.Duration("reconnect-backoff", 200*time.Millisecond, "initial redial backoff (doubles per attempt)")
+		reconnM = fs.Duration("reconnect-backoff-max", 5*time.Second, "redial backoff cap")
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
 		statsEv = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
 		workers = fs.Int("workers", 0, "worker goroutines for the sketch-update path (0 = all CPUs)")
@@ -76,17 +79,24 @@ func run(args []string, in io.Reader) error {
 	}
 
 	svc, err := monitor.New(monitor.Config{
-		ID:          *id,
-		FlowIDs:     flows,
-		WindowLen:   *window,
-		Epsilon:     *epsilon,
-		Sketch:      randproj.Config{Seed: *seed, SketchLen: *sketch, WindowLen: *window},
-		Workers:     *workers,
-		Log:         obs.NewLogger(os.Stderr, slog.LevelInfo, "monitor"),
-		MetricsAddr: *metrics,
+		ID:                  *id,
+		FlowIDs:             flows,
+		WindowLen:           *window,
+		Epsilon:             *epsilon,
+		Sketch:              randproj.Config{Seed: *seed, SketchLen: *sketch, WindowLen: *window},
+		Workers:             *workers,
+		Reconnect:           *reconn,
+		ReconnectBackoff:    *reconnB,
+		ReconnectBackoffMax: *reconnM,
+		Log:                 obs.NewLogger(os.Stderr, slog.LevelInfo, "monitor"),
+		MetricsAddr:         *metrics,
 		OnAlarm: func(a transport.Alarm) {
-			fmt.Fprintf(os.Stderr, "%s: ALARM interval=%d distance=%.4g threshold=%.4g\n",
-				*id, a.Interval, a.Distance, a.Threshold)
+			degraded := ""
+			if a.Degraded {
+				degraded = " degraded=true"
+			}
+			fmt.Fprintf(os.Stderr, "%s: ALARM interval=%d distance=%.4g threshold=%.4g%s\n",
+				*id, a.Interval, a.Distance, a.Threshold, degraded)
 		},
 	})
 	if err != nil {
@@ -148,6 +158,12 @@ func run(args []string, in io.Reader) error {
 		}
 		// Interval indices start at 1 on the wire (0 is "never updated").
 		if err := svc.ReportInterval(interval+1, volumes); err != nil {
+			if *reconn {
+				// The link is down and being redialed; shedding intervals
+				// beats killing the daemon (the NOC degrades gracefully).
+				fmt.Fprintf(os.Stderr, "%s: interval %d not reported: %v\n", *id, interval+1, err)
+				continue
+			}
 			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
 	}

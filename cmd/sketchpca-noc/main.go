@@ -60,6 +60,14 @@ func run(args []string) error {
 		energy   = fs.Float64("energy", 0.9, "retained energy for -rank-mode energy")
 		seed     = fs.Uint64("seed", 42, "shared randomness seed")
 		quiet    = fs.Bool("quiet", false, "print only alarms, not every decision")
+		fetchTO  = fs.Duration("fetch-timeout", 5*time.Second, "timeout for one sketch-pull round")
+		retries  = fs.Int("fetch-retries", 2, "extra sketch-pull rounds re-requesting missing responses (-1 disables)")
+		backoff  = fs.Duration("fetch-backoff", 50*time.Millisecond, "initial retry backoff (doubles per round, jittered)")
+		backoffM = fs.Duration("fetch-backoff-max", time.Second, "retry backoff cap")
+		brkThr   = fs.Int("breaker-threshold", 3, "consecutive fetch failures that open a monitor's circuit breaker (-1 disables)")
+		brkCool  = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker skips its monitor")
+		degraded = fs.Bool("degraded", false, "keep deciding on cached volumes/sketches when monitors are missing")
+		maxStale = fs.Int64("max-staleness", 0, "degraded mode: max cache age in intervals (0 = window/4)")
 		metrics  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
 		statsEvr = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
 		workers  = fs.Int("workers", 0, "worker goroutines for the retrain kernels (0 = all CPUs)")
@@ -86,17 +94,31 @@ func run(args []string) error {
 			FixedRank:  *rank,
 			EnergyFrac: *energy,
 		},
-		Seed:    *seed,
-		Workers: *workers,
+		Seed:             *seed,
+		Workers:          *workers,
+		FetchTimeout:     *fetchTO,
+		FetchRetries:     *retries,
+		FetchBackoff:     *backoff,
+		FetchBackoffMax:  *backoffM,
+		BreakerThreshold: *brkThr,
+		BreakerCooldown:  *brkCool,
+		Degraded: noc.DegradedPolicy{
+			Enabled:      *degraded,
+			MaxStaleness: *maxStale,
+		},
 		OnDecision: func(d noc.Decision) {
+			flag := ""
+			if d.Degraded {
+				flag = ",degraded=true"
+			}
 			if d.Result.Anomalous {
-				fmt.Printf("ALARM,interval=%d,distance=%.4g,threshold=%.4g\n",
-					d.Interval, d.Result.Distance, d.Result.Threshold)
+				fmt.Printf("ALARM,interval=%d,distance=%.4g,threshold=%.4g%s\n",
+					d.Interval, d.Result.Distance, d.Result.Threshold, flag)
 				return
 			}
 			if !*quiet {
-				fmt.Printf("ok,interval=%d,distance=%.4g,threshold=%.4g,refreshed=%t\n",
-					d.Interval, d.Result.Distance, d.Result.Threshold, d.Result.Refreshed)
+				fmt.Printf("ok,interval=%d,distance=%.4g,threshold=%.4g,refreshed=%t%s\n",
+					d.Interval, d.Result.Distance, d.Result.Threshold, d.Result.Refreshed, flag)
 			}
 		},
 	})

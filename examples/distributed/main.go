@@ -65,10 +65,14 @@ func run(metricsAddr string, workers int) error {
 			Mode:      core.RankFixed,
 			FixedRank: 6,
 		},
-		Seed:        seed,
-		Workers:     workers,
-		OnDecision:  func(d noc.Decision) { decisions <- d },
-		MetricsAddr: metricsAddr,
+		Seed:    seed,
+		Workers: workers,
+		// Fault tolerance: retry missing sketch responses and, should a
+		// monitor vanish mid-run, keep deciding on its cached state.
+		FetchRetries: 2,
+		Degraded:     noc.DegradedPolicy{Enabled: true},
+		OnDecision:   func(d noc.Decision) { decisions <- d },
+		MetricsAddr:  metricsAddr,
 	})
 	if err != nil {
 		return err
@@ -97,6 +101,7 @@ func run(metricsAddr string, workers int) error {
 			Epsilon:   0.02,
 			Sketch:    randproj.Config{Seed: seed, SketchLen: sketchLen, WindowLen: windowLen},
 			Workers:   workers,
+			Reconnect: true,
 			OnAlarm: func(a transport.Alarm) {
 				alarmsSeen.Add(1)
 			},

@@ -151,32 +151,31 @@ func (c *Cluster) Warm() bool { return c.updates >= c.windowLen }
 
 // Fetch gathers every monitor's report into flow-indexed sketch and mean
 // arrays — the in-process FetchFunc.
-func (c *Cluster) Fetch() (sketches [][]float64, means []float64, interval int64, err error) {
+func (c *Cluster) Fetch() (Fetch, error) {
 	m := len(c.flowOwner)
-	sketches = make([][]float64, m)
-	means = make([]float64, m)
+	f := Fetch{Sketches: make([][]float64, m), Means: make([]float64, m)}
 	for _, mon := range c.monitors {
 		rep := mon.Report()
 		if err := rep.Validate(c.gen.SketchLen()); err != nil {
-			return nil, nil, 0, err
+			return Fetch{}, err
 		}
 		for i, id := range rep.FlowIDs {
 			if id < 0 || id >= m {
-				return nil, nil, 0, fmt.Errorf("%w: reported flow %d of %d", ErrInput, id, m)
+				return Fetch{}, fmt.Errorf("%w: reported flow %d of %d", ErrInput, id, m)
 			}
-			sketches[id] = rep.Sketches[i]
-			means[id] = rep.Means[i]
+			f.Sketches[id] = rep.Sketches[i]
+			f.Means[id] = rep.Means[i]
 		}
-		if rep.Interval > interval {
-			interval = rep.Interval
+		if rep.Interval > f.Interval {
+			f.Interval = rep.Interval
 		}
 	}
-	for j, s := range sketches {
+	for j, s := range f.Sketches {
 		if s == nil {
-			return nil, nil, 0, fmt.Errorf("%w: no monitor reported flow %d", ErrInput, j)
+			return Fetch{}, fmt.Errorf("%w: no monitor reported flow %d", ErrInput, j)
 		}
 	}
-	return sketches, means, interval, nil
+	return f, nil
 }
 
 // Step runs one full interval: update all monitors with the volumes, then

@@ -204,14 +204,14 @@ func TestDetectorMatchesExactPCA(t *testing.T) {
 		t.Fatal(err)
 	}
 	driveCluster(t, cl, x)
-	sketches, means, interval, err := cl.Fetch()
+	f, err := cl.Fetch()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if interval != int64(n) {
-		t.Fatalf("fetch interval = %d", interval)
+	if f.Interval != int64(n) {
+		t.Fatalf("fetch interval = %d", f.Interval)
 	}
-	if err := cl.Detector().RebuildModel(sketches, means, interval); err != nil {
+	if err := cl.Detector().RebuildModel(f.Sketches, f.Means, f.Interval); err != nil {
 		t.Fatal(err)
 	}
 
@@ -378,11 +378,68 @@ func TestLazyProtocolFetchError(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("monitor unreachable")
-	_, err = det.Observe([]float64{1, 2}, func() ([][]float64, []float64, int64, error) {
-		return nil, nil, 0, boom
+	_, err = det.Observe([]float64{1, 2}, func() (Fetch, error) {
+		return Fetch{}, boom
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("fetch failure must propagate, got %v", err)
+	}
+}
+
+func TestDegradedFetchFlagsDecisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	const m, n = 6, 128
+	x := lowRankStream(rng, n, m, 2, 1)
+	cl, err := NewCluster(ClusterConfig{
+		NumFlows: m, NumMonitors: 2, WindowLen: n, Epsilon: 0.01, Alpha: 0.01,
+		Sketch:    randproj.Config{Seed: 9, SketchLen: 48},
+		FixedRank: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveCluster(t, cl, x)
+	det := cl.Detector()
+
+	degradedFetch := func() (Fetch, error) {
+		f, err := cl.Fetch()
+		if err != nil {
+			return Fetch{}, err
+		}
+		f.Degraded = true
+		f.StaleFlows = 2
+		return f, nil
+	}
+	// First observation refreshes through the degraded fetch.
+	dec, err := det.Observe(x.Row(n-1), degradedFetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Refreshed || !dec.Degraded || dec.StaleFlows != 2 {
+		t.Fatalf("degraded refresh decision = %+v", dec)
+	}
+	if mod := det.Model(); !mod.Degraded || mod.StaleFlows != 2 {
+		t.Fatalf("model = degraded %t, stale %d", mod.Degraded, mod.StaleFlows)
+	}
+	// Later observations keep the flag while the degraded model is in force.
+	dec, err = det.Observe(x.Row(0), cl.Fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Degraded {
+		t.Fatalf("flag must persist with the degraded model: %+v", dec)
+	}
+	// A full-coverage refresh clears it.
+	outlier := x.Row(0)
+	for j := range outlier {
+		outlier[j] += 1e6
+	}
+	dec, err = det.Observe(outlier, cl.Fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Refreshed || dec.Degraded || dec.StaleFlows != 0 {
+		t.Fatalf("healthy refresh decision = %+v", dec)
 	}
 }
 
@@ -401,11 +458,11 @@ func TestRankModesOnSketch(t *testing.T) {
 			t.Fatal(err)
 		}
 		driveCluster(t, cl, x)
-		s, mu, iv, err := cl.Fetch()
+		f, err := cl.Fetch()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := cl.Detector().RebuildModel(s, mu, iv); err != nil {
+		if err := cl.Detector().RebuildModel(f.Sketches, f.Means, f.Interval); err != nil {
 			t.Fatal(err)
 		}
 		r := cl.Detector().Model().Rank
@@ -437,11 +494,11 @@ func TestAttribute(t *testing.T) {
 		t.Fatalf("no model: %v", err)
 	}
 	driveCluster(t, cl, x)
-	s, mu, iv, err := cl.Fetch()
+	f, err := cl.Fetch()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := det.RebuildModel(s, mu, iv); err != nil {
+	if err := det.RebuildModel(f.Sketches, f.Means, f.Interval); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := det.Attribute([]float64{1}, 3); !errors.Is(err, ErrInput) {
@@ -532,11 +589,11 @@ func TestClusterPartitioningMatchesSingleMonitor(t *testing.T) {
 			t.Fatal(err)
 		}
 		driveCluster(t, cl, x)
-		s, mu, _, err := cl.Fetch()
+		f, err := cl.Fetch()
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s, mu
+		return f.Sketches, f.Means
 	}
 	s1, m1 := mk(1)
 	s4, m4 := mk(4)

@@ -74,6 +74,12 @@ type Model struct {
 	Threshold float64
 	// BuiltAt is the sketch interval the model was built from.
 	BuiltAt int64
+	// Degraded marks a model rebuilt from a degraded fetch: StaleFlows of
+	// its sketches were cached reports standing in for unreachable
+	// monitors, so the ε error bound of Theorem 2 holds only w.r.t. the
+	// stale window those sketches cover.
+	Degraded   bool
+	StaleFlows int
 }
 
 // Detector is the NOC-side streaming detector. It is not safe for concurrent
@@ -306,9 +312,23 @@ func (d *Detector) Threshold() (float64, error) {
 	return d.model.Threshold, nil
 }
 
-// FetchFunc pulls fresh sketches from the local monitors. It returns
-// sketches and means indexed by global flow id plus the interval they cover.
-type FetchFunc func() (sketches [][]float64, means []float64, interval int64, err error)
+// Fetch is the result of one sketch pull: sketches and means indexed by
+// global flow id plus the interval they cover. A fault-tolerant fetcher may
+// return Degraded results where StaleFlows of the entries are cached
+// reports standing in for monitors that did not answer in time.
+type Fetch struct {
+	Sketches [][]float64
+	Means    []float64
+	Interval int64
+	// Degraded marks a fetch completed from partially stale inputs.
+	Degraded bool
+	// StaleFlows counts the flows served from cache rather than a live
+	// monitor response.
+	StaleFlows int
+}
+
+// FetchFunc pulls fresh sketches from the local monitors.
+type FetchFunc func() (Fetch, error)
 
 // Decision reports the outcome of one lazy-protocol observation (§IV-C).
 type Decision struct {
@@ -325,6 +345,12 @@ type Decision struct {
 	// StaleDistance is the distance against the stale model when a refresh
 	// occurred (diagnostics); equal to Distance otherwise.
 	StaleDistance float64
+	// Degraded is true when the model in force was built from a degraded
+	// fetch (see Fetch.Degraded); it stays set on subsequent observations
+	// until a full-coverage rebuild replaces the model.
+	Degraded bool
+	// StaleFlows is the in-force model's count of cache-substituted flows.
+	StaleFlows int
 }
 
 // Observe drives the lazy detection protocol for one measurement vector:
@@ -341,14 +367,16 @@ func (d *Detector) Observe(x []float64, fetch FetchFunc) (Decision, error) {
 	d.observations++
 
 	refresh := func() error {
-		sketches, means, interval, err := fetch()
+		f, err := fetch()
 		if err != nil {
 			return fmt.Errorf("fetch sketches: %w", err)
 		}
 		d.fetches++
-		if err := d.RebuildModel(sketches, means, interval); err != nil {
+		if err := d.RebuildModel(f.Sketches, f.Means, f.Interval); err != nil {
 			return fmt.Errorf("rebuild: %w", err)
 		}
+		d.model.Degraded = f.Degraded
+		d.model.StaleFlows = f.StaleFlows
 		return nil
 	}
 
@@ -367,6 +395,8 @@ func (d *Detector) Observe(x []float64, fetch FetchFunc) (Decision, error) {
 	dec.Distance = dist
 	dec.StaleDistance = dist
 	dec.Threshold = d.model.Threshold
+	dec.Degraded = d.model.Degraded
+	dec.StaleFlows = d.model.StaleFlows
 
 	if dist <= d.model.Threshold {
 		return dec, nil
@@ -383,6 +413,8 @@ func (d *Detector) Observe(x []float64, fetch FetchFunc) (Decision, error) {
 		}
 		dec.Distance = fresh
 		dec.Threshold = d.model.Threshold
+		dec.Degraded = d.model.Degraded
+		dec.StaleFlows = d.model.StaleFlows
 		if fresh <= d.model.Threshold {
 			return dec, nil
 		}

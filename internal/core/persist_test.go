@@ -24,11 +24,11 @@ func fittedDetector(t *testing.T) (*Detector, *Cluster) {
 		t.Fatal(err)
 	}
 	driveCluster(t, cl, x)
-	s, mu, iv, err := cl.Fetch()
+	f, err := cl.Fetch()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Detector().RebuildModel(s, mu, iv); err != nil {
+	if err := cl.Detector().RebuildModel(f.Sketches, f.Means, f.Interval); err != nil {
 		t.Fatal(err)
 	}
 	return cl.Detector(), cl

@@ -49,6 +49,16 @@ type Config struct {
 	Workers int
 	// OnAlarm, when set, is invoked for alarms pushed by the NOC.
 	OnAlarm func(transport.Alarm)
+	// Reconnect enables automatic redial when the NOC link drops: the
+	// service redials the address given to Connect with capped exponential
+	// backoff, resends Hello and resumes serving sketch pulls. Ineffective
+	// for Attach-ed connections (there is no address to redial) and after
+	// the NOC rejects the registration (retrying would loop forever).
+	Reconnect bool
+	// ReconnectBackoff is the pause before the first redial, doubling up
+	// to ReconnectBackoffMax. Defaults: 200ms and 5s.
+	ReconnectBackoff    time.Duration
+	ReconnectBackoffMax time.Duration
 	// Obs is the metrics registry the service instruments into; nil creates
 	// a private registry (instrumentation is always on — it is a handful of
 	// atomic ops per interval, see BenchmarkInstrumentedSketchUpdate).
@@ -75,6 +85,8 @@ type metrics struct {
 	lastInterval *obs.Gauge
 	// workers exposes the resolved parallelism of the sketch-update path.
 	workers *obs.Gauge
+	// reconnects counts successful automatic redials of the NOC link.
+	reconnects *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -95,6 +107,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Most recent interval folded into the sketch state."),
 		workers: reg.Gauge("streampca_monitor_workers",
 			"Resolved worker count for the sharded sketch-update path."),
+		reconnects: reg.Counter("streampca_monitor_reconnects_total",
+			"Successful automatic redials after the NOC link dropped."),
 	}
 }
 
@@ -115,6 +129,11 @@ type Service struct {
 	mu   sync.Mutex
 	core *core.Monitor
 	conn *transport.Conn
+	// nocAddr/dialTimeout remember the Connect parameters so the
+	// reconnect loop can redial; closed stops it permanently.
+	nocAddr     string
+	dialTimeout time.Duration
+	closed      bool
 
 	readerDone chan struct{}
 }
@@ -191,8 +210,13 @@ func (s *Service) DiagAddr() string {
 func (s *Service) ID() string { return s.cfg.ID }
 
 // Connect dials the NOC, performs the Hello handshake and starts serving
-// sketch requests.
+// sketch requests. With Config.Reconnect set, a later link loss redials
+// this address automatically.
 func (s *Service) Connect(nocAddr string, timeout time.Duration) error {
+	s.mu.Lock()
+	s.nocAddr = nocAddr
+	s.dialTimeout = timeout
+	s.mu.Unlock()
 	conn, err := transport.DialWithMetrics(nocAddr, timeout, s.wireMet)
 	if err != nil {
 		s.health.Set("noc-link", obs.StatusDown, err.Error())
@@ -209,6 +233,10 @@ func (s *Service) Connect(nocAddr string, timeout time.Duration) error {
 // sends the Hello and starts the reader.
 func (s *Service) Attach(conn *transport.Conn) error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: service closed", ErrNotConnected)
+	}
 	if s.conn != nil {
 		s.mu.Unlock()
 		return ErrAlreadyConnected
@@ -234,13 +262,16 @@ func (s *Service) Attach(conn *transport.Conn) error {
 	return nil
 }
 
-// readLoop serves NOC requests until the connection dies.
+// readLoop serves NOC requests until the connection dies, then hands off
+// to the reconnect loop when enabled.
 func (s *Service) readLoop(conn *transport.Conn, done chan struct{}) {
 	defer close(done)
+	rejected := false
+loop:
 	for {
 		env, err := conn.Recv()
 		if err != nil {
-			return
+			break
 		}
 		switch {
 		case env.Request != nil:
@@ -254,28 +285,93 @@ func (s *Service) readLoop(conn *transport.Conn, done chan struct{}) {
 				Report:    rep,
 			}
 			if err := conn.Send(transport.Envelope{Response: &resp}); err != nil {
-				return
+				break loop
 			}
 		case env.Alarm != nil:
 			s.met.alarmsRecv.Inc()
 			s.log.Warn("alarm from NOC", "interval", env.Alarm.Interval,
-				"distance", env.Alarm.Distance, "threshold", env.Alarm.Threshold)
+				"distance", env.Alarm.Distance, "threshold", env.Alarm.Threshold,
+				"degraded", env.Alarm.Degraded)
 			if s.cfg.OnAlarm != nil {
 				s.cfg.OnAlarm(*env.Alarm)
 			}
 		case env.Error != nil:
-			// The NOC rejected us; nothing to do but stop.
+			// The NOC rejected us; reconnecting would only loop.
+			rejected = true
 			s.health.Set("noc-link", obs.StatusDown, env.Error.Msg)
 			s.log.Error("NOC rejected connection", "err", env.Error.Msg)
-			return
+			break loop
 		default:
 			// Ignore unexpected but well-formed frames (forward compat).
 		}
 	}
+
+	// Release this connection if it is still the current one; Close may
+	// already have swapped it out (then there is nothing to do).
+	s.mu.Lock()
+	current := s.conn == conn && !s.closed
+	if current {
+		s.conn = nil
+	}
+	addr := s.nocAddr
+	s.mu.Unlock()
+	if !current {
+		return
+	}
+	_ = conn.Close()
+	if s.cfg.Reconnect && addr != "" && !rejected {
+		s.health.Set("noc-link", obs.StatusDegraded, "link lost; reconnecting")
+		s.log.Warn("NOC link lost, reconnecting", "addr", addr)
+		go s.reconnectLoop(addr)
+		return
+	}
+	if !rejected {
+		s.health.Set("noc-link", obs.StatusDown, "link lost")
+		s.log.Warn("NOC link lost")
+	}
+}
+
+// reconnectLoop redials the NOC with capped exponential backoff until it
+// succeeds, the service is closed, or another connection appears.
+func (s *Service) reconnectLoop(addr string) {
+	backoff := s.cfg.ReconnectBackoff
+	if backoff <= 0 {
+		backoff = 200 * time.Millisecond
+	}
+	max := s.cfg.ReconnectBackoffMax
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	for attempt := 1; ; attempt++ {
+		s.mu.Lock()
+		stop := s.closed || s.conn != nil
+		timeout := s.dialTimeout
+		s.mu.Unlock()
+		if stop {
+			return
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > max {
+			backoff = max
+		}
+		err := s.Connect(addr, timeout)
+		if err == nil {
+			s.met.reconnects.Inc()
+			s.log.Info("reconnected to NOC", "addr", addr, "attempts", attempt)
+			return
+		}
+		if errors.Is(err, ErrAlreadyConnected) || errors.Is(err, ErrNotConnected) {
+			return // someone else attached, or the service closed
+		}
+		s.log.Warn("reconnect attempt failed", "attempt", attempt, "err", err)
+	}
 }
 
 // ReportInterval ingests interval t's volumes (indexed like Config.FlowIDs)
-// into the sketch state and pushes the volume report to the NOC.
+// into the sketch state and pushes the volume report to the NOC. An
+// interval already folded into the sketch state — a retry after a failed
+// send — skips the update and only re-sends the report, so the call is
+// safe to repeat across link losses and reconnects.
 func (s *Service) ReportInterval(t int64, volumes []float64) error {
 	s.mu.Lock()
 	conn := s.conn
@@ -283,18 +379,20 @@ func (s *Service) ReportInterval(t int64, volumes []float64) error {
 		s.mu.Unlock()
 		return ErrNotConnected
 	}
-	start := time.Now()
-	if err := s.core.Update(t, volumes); err != nil {
-		s.mu.Unlock()
-		s.met.reportErrors.Inc()
-		return fmt.Errorf("sketch update: %w", err)
+	if t > s.core.Now() {
+		start := time.Now()
+		if err := s.core.Update(t, volumes); err != nil {
+			s.mu.Unlock()
+			s.met.reportErrors.Inc()
+			return fmt.Errorf("sketch update: %w", err)
+		}
+		s.met.updateSeconds.Observe(time.Since(start).Seconds())
+		s.met.vhBuckets.Set(float64(s.core.NumBucketsTotal()))
+		s.met.intervals.Inc()
+		s.met.lastInterval.Set(float64(t))
 	}
-	s.met.updateSeconds.Observe(time.Since(start).Seconds())
-	s.met.vhBuckets.Set(float64(s.core.NumBucketsTotal()))
 	flowIDs := s.core.FlowIDs()
 	s.mu.Unlock()
-	s.met.intervals.Inc()
-	s.met.lastInterval.Set(float64(t))
 
 	report := transport.VolumeReport{
 		MonitorID: s.cfg.ID,
@@ -362,10 +460,12 @@ func (s *Service) Report() core.SketchReport {
 	return s.core.Report()
 }
 
-// Close tears down the NOC connection and waits for the reader to exit.
-// Safe to call multiple times and before Connect.
+// Close tears down the NOC connection, stops any reconnect loop and waits
+// for the reader to exit. Safe to call multiple times and before Connect;
+// the service cannot be re-attached afterwards.
 func (s *Service) Close() error {
 	s.mu.Lock()
+	s.closed = true
 	conn := s.conn
 	done := s.readerDone
 	s.conn = nil
@@ -376,11 +476,13 @@ func (s *Service) Close() error {
 	}
 	s.health.Set("monitor", obs.StatusDown, "closed")
 	s.health.Set("noc-link", obs.StatusDown, "closed")
-	if conn == nil {
-		return nil
+	var err error
+	if conn != nil {
+		err = conn.Close()
 	}
-	err := conn.Close()
-	<-done
-	s.LogSummary()
+	if done != nil {
+		<-done
+		s.LogSummary()
+	}
 	return err
 }

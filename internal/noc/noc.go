@@ -9,11 +9,13 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"streampca/internal/core"
+	"streampca/internal/faults"
 	"streampca/internal/obs"
 	"streampca/internal/randproj"
 	"streampca/internal/transport"
@@ -36,7 +38,31 @@ type Decision struct {
 	// Warmup is true for intervals before a full window has elapsed:
 	// detection was skipped and Result is zero.
 	Warmup bool
-	Result core.Decision
+	// Degraded marks a decision made on incomplete inputs: missing volumes
+	// were filled from each flow's last report and/or the model in force
+	// was rebuilt from cached sketch reports (see DegradedPolicy).
+	Degraded bool
+	// StaleFlows counts the flows whose volumes came from cache for this
+	// interval; the model's own substitution count is Result.StaleFlows.
+	StaleFlows int
+	Result     core.Decision
+}
+
+// DegradedPolicy configures graceful degradation: instead of stalling when
+// monitors are missing, the NOC substitutes each missing flow's last
+// validated data — volumes when assembling the measurement vector, sketch
+// reports when rebuilding the model — and flags the resulting decisions
+// Degraded. Sharan et al. show sketch-based detection tolerates approximate
+// inputs; the substitution trades Theorem 2's freshness for availability.
+type DegradedPolicy struct {
+	// Enabled turns degradation on. Off (the default), incomplete coverage
+	// stalls interval assembly and sketch fetches fail with ErrCoverage.
+	Enabled bool
+	// MaxStaleness bounds, in intervals, how old cached volumes and sketch
+	// reports may be and still stand in for a missing flow. Flows staler
+	// than this block the interval (or fail the fetch) as before.
+	// Defaults to WindowLen/4.
+	MaxStaleness int64
 }
 
 // Config parameterizes the NOC service.
@@ -46,8 +72,34 @@ type Config struct {
 	Detector core.DetectorConfig
 	// Seed is the shared randomness seed monitors must announce.
 	Seed uint64
-	// FetchTimeout bounds a sketch pull; defaults to 5s.
+	// FetchTimeout bounds one sketch-pull round; defaults to 5s.
 	FetchTimeout time.Duration
+	// FetchRetries is the number of additional pull rounds after the first
+	// when responses are missing. Each round re-requests only the monitors
+	// owning still-missing flows — partial results from earlier rounds are
+	// kept, not discarded. 0 selects the default of 2; negative disables
+	// retries.
+	FetchRetries int
+	// FetchBackoff is the pause before the first retry round; it doubles
+	// each round (plus deterministic jitter) up to FetchBackoffMax.
+	// Defaults: 50ms and 1s.
+	FetchBackoff    time.Duration
+	FetchBackoffMax time.Duration
+	// BreakerThreshold opens a monitor's circuit breaker after this many
+	// consecutive fetch failures (request send error, invalid report, or
+	// response timeout). Open monitors are skipped by the fetch path until
+	// BreakerCooldown elapses, then given one half-open probe; a success
+	// closes the breaker, a failure re-arms the cooldown. 0 selects the
+	// default of 3; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker excludes its monitor
+	// before the half-open probe; defaults to 5s.
+	BreakerCooldown time.Duration
+	// Degraded configures graceful degradation when monitors are missing.
+	Degraded DegradedPolicy
+	// Faults, when non-nil, is installed on every accepted monitor
+	// connection — the chaos-testing hook. Production leaves it nil.
+	Faults faults.Injector
 	// OnDecision, when set, receives every completed-interval decision.
 	// It is called from the processing goroutine; keep it fast.
 	OnDecision func(Decision)
@@ -103,6 +155,13 @@ type metrics struct {
 	drops     *obs.Counter
 	// workers exposes the resolved parallelism of the retrain kernels.
 	workers *obs.Gauge
+	// Fault-tolerance surface: retry rounds, degraded decisions, stale
+	// substitutions and circuit-breaker state.
+	fetchRetries *obs.Counter
+	staleFlows   *obs.Gauge
+	degraded     *obs.Counter
+	breakerOpen  *obs.Gauge
+	breakerOpens *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -137,6 +196,16 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Intervals discarded (straggler eviction or saturated detector)."),
 		workers: reg.Gauge("streampca_noc_workers",
 			"Resolved worker count for the sharded retrain kernels."),
+		fetchRetries: reg.Counter("streampca_noc_fetch_retries_total",
+			"Sketch-pull retry rounds issued (re-requests of missing responses)."),
+		staleFlows: reg.Gauge("streampca_noc_stale_flows",
+			"Flows served from the sketch cache in the most recent model rebuild."),
+		degraded: reg.Counter("streampca_noc_degraded_decisions_total",
+			"Decisions emitted on substituted (cached) volumes or a stale-sketch model."),
+		breakerOpen: reg.Gauge("streampca_noc_breaker_open",
+			"Monitors currently excluded from sketch pulls by an open circuit breaker."),
+		breakerOpens: reg.Counter("streampca_noc_breaker_opens_total",
+			"Circuit-breaker open transitions (consecutive-failure threshold crossed)."),
 	}
 }
 
@@ -147,13 +216,28 @@ type monitorEntry struct {
 }
 
 type pendingFetch struct {
-	expect int
 	respCh chan *transport.SketchResponse
 }
 
 type intervalAccum struct {
 	volumes []float64
 	seen    map[int]struct{}
+}
+
+// breakerState tracks a monitor's consecutive fetch failures. The breaker
+// is open while failures >= Config.BreakerThreshold; openUntil gates the
+// half-open probe.
+type breakerState struct {
+	failures  int
+	openUntil time.Time
+}
+
+// sketchEntry is one flow's last validated sketch report, kept for
+// DegradedPolicy fallback. Touched only from the processing goroutine.
+type sketchEntry struct {
+	sketch []float64
+	mean   float64
+	at     int64
 }
 
 // Service is the NOC. Start it with Serve, stop with Shutdown.
@@ -174,12 +258,25 @@ type Service struct {
 	pending   map[uint64]*pendingFetch
 	nextReq   uint64
 	intervals map[int64]*intervalAccum
+	// breakers is keyed by monitor ID (so it survives reconnects of the
+	// same identity until a registration or success resets it).
+	breakers map[string]*breakerState
+	// lastVol/lastVolAt cache each flow's most recent reported volume for
+	// degraded interval assembly; lastVolAt is -1 until first seen.
+	lastVol      []float64
+	lastVolAt    []int64
+	lastInterval int64
 
 	detMu sync.Mutex
 	det   *core.Detector
 	// localMon holds the NOC-side variance histograms when LocalSketches
 	// is enabled; accessed only from the processing goroutine.
 	localMon *core.Monitor
+	// sketchCache and rng are likewise processing-goroutine-only (the
+	// fetch path): per-flow cached sketch reports and the backoff jitter
+	// source, seeded from Config.Seed for reproducible chaos tests.
+	sketchCache []sketchEntry
+	rng         *rand.Rand
 
 	completeCh chan Decision // buffered channel feeding the processor
 	workCh     chan workItem
@@ -194,6 +291,10 @@ type Service struct {
 type workItem struct {
 	interval int64
 	volumes  []float64
+	// degraded marks intervals assembled with cached volumes for
+	// staleFlows unowned flows (see DegradedPolicy).
+	degraded   bool
+	staleFlows int
 }
 
 // New validates cfg and builds the service (not yet listening).
@@ -207,6 +308,36 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.FetchTimeout <= 0 {
 		cfg.FetchTimeout = 5 * time.Second
+	}
+	switch {
+	case cfg.FetchRetries == 0:
+		cfg.FetchRetries = 2
+	case cfg.FetchRetries < 0:
+		cfg.FetchRetries = 0
+	}
+	if cfg.FetchBackoff <= 0 {
+		cfg.FetchBackoff = 50 * time.Millisecond
+	}
+	if cfg.FetchBackoffMax <= 0 {
+		cfg.FetchBackoffMax = time.Second
+	}
+	if cfg.FetchBackoffMax < cfg.FetchBackoff {
+		cfg.FetchBackoffMax = cfg.FetchBackoff
+	}
+	switch {
+	case cfg.BreakerThreshold == 0:
+		cfg.BreakerThreshold = 3
+	case cfg.BreakerThreshold < 0:
+		cfg.BreakerThreshold = 0 // disabled
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.Degraded.Enabled && cfg.Degraded.MaxStaleness <= 0 {
+		cfg.Degraded.MaxStaleness = int64(cfg.Detector.WindowLen / 4)
+		if cfg.Degraded.MaxStaleness < 1 {
+			cfg.Degraded.MaxStaleness = 1
+		}
 	}
 	if cfg.MaxPendingIntervals <= 0 {
 		cfg.MaxPendingIntervals = 64
@@ -247,21 +378,31 @@ func New(cfg Config) (*Service, error) {
 	if log == nil {
 		log = obs.Nop()
 	}
+	m := cfg.Detector.NumFlows
+	lastVolAt := make([]int64, m)
+	for i := range lastVolAt {
+		lastVolAt[i] = -1
+	}
 	s := &Service{
-		cfg:       cfg,
-		log:       log,
-		reg:       reg,
-		health:    obs.NewHealth(),
-		met:       newMetrics(reg),
-		wireMet:   transport.NewMetrics(reg),
-		monitors:  make(map[*transport.Conn]*monitorEntry),
-		flowOwner: make(map[int]*transport.Conn),
-		pending:   make(map[uint64]*pendingFetch),
-		intervals: make(map[int64]*intervalAccum),
-		det:       det,
-		localMon:  localMon,
-		workCh:    make(chan workItem, 256),
-		procDone:  make(chan struct{}),
+		cfg:         cfg,
+		log:         log,
+		reg:         reg,
+		health:      obs.NewHealth(),
+		met:         newMetrics(reg),
+		wireMet:     transport.NewMetrics(reg),
+		monitors:    make(map[*transport.Conn]*monitorEntry),
+		flowOwner:   make(map[int]*transport.Conn),
+		pending:     make(map[uint64]*pendingFetch),
+		intervals:   make(map[int64]*intervalAccum),
+		breakers:    make(map[string]*breakerState),
+		lastVol:     make([]float64, m),
+		lastVolAt:   lastVolAt,
+		sketchCache: make([]sketchEntry, m),
+		rng:         rand.New(rand.NewSource(int64(cfg.Seed) + 1)),
+		det:         det,
+		localMon:    localMon,
+		workCh:      make(chan workItem, 256),
+		procDone:    make(chan struct{}),
 	}
 	s.met.workers.Set(float64(det.Config().Workers))
 	s.health.Set("noc", obs.StatusDegraded, "not serving yet")
@@ -286,7 +427,7 @@ func (s *Service) DiagAddr() string {
 // Serve starts listening on addr and processing intervals; when
 // Config.MetricsAddr is set it also starts the diagnostics HTTP server.
 func (s *Service) Serve(addr string) error {
-	srv, err := transport.ListenWithMetrics(addr, s.handleConn, s.wireMet)
+	srv, err := transport.ListenWithOptions(addr, s.handleConn, s.wireMet, s.cfg.Faults)
 	if err != nil {
 		return err
 	}
@@ -349,6 +490,8 @@ func (s *Service) LogSummary() {
 		"intervals", s.met.intervals.Value(),
 		"dropped", s.met.drops.Value(),
 		"fetch_errors", s.met.fetchErrors.Value(),
+		"fetch_retries", s.met.fetchRetries.Value(),
+		"degraded", s.met.degraded.Value(),
 		"monitors", int64(s.met.monitors.Value()),
 	)
 }
@@ -443,6 +586,12 @@ func (s *Service) register(conn *transport.Conn, h *transport.Hello) error {
 	for _, f := range h.FlowIDs {
 		s.flowOwner[f] = conn
 	}
+	// A (re-)registration is proof of life: forget past failures so the
+	// fetch path asks this monitor again immediately.
+	if _, tripped := s.breakers[h.MonitorID]; tripped {
+		delete(s.breakers, h.MonitorID)
+		s.breakerGaugeLocked()
+	}
 	s.met.monitors.Set(float64(len(s.monitors)))
 	s.log.Info("monitor registered", "monitor", h.MonitorID, "flows", len(h.FlowIDs),
 		"covered", len(s.flowOwner), "of", d.NumFlows)
@@ -451,9 +600,9 @@ func (s *Service) register(conn *transport.Conn, h *transport.Hello) error {
 
 func (s *Service) unregister(conn *transport.Conn) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	entry, ok := s.monitors[conn]
 	if !ok {
+		s.mu.Unlock()
 		return
 	}
 	delete(s.monitors, conn)
@@ -463,7 +612,29 @@ func (s *Service) unregister(conn *transport.Conn) {
 		}
 	}
 	s.met.monitors.Set(float64(len(s.monitors)))
+	// Losing an owner can make pending intervals completable in degraded
+	// mode (its flows fall back to cached volumes); flush them oldest-first
+	// so decisions stay ordered.
+	ready := s.completePendingLocked()
+	s.mu.Unlock()
 	s.log.Info("monitor dropped", "monitor", entry.id, "flows", len(entry.flows))
+	for _, item := range ready {
+		s.enqueue(item)
+	}
+}
+
+// completePendingLocked re-examines every pending interval after an
+// ownership change and returns the newly completable ones in interval
+// order. Caller holds s.mu.
+func (s *Service) completePendingLocked() []workItem {
+	var ready []workItem
+	for iv, acc := range s.intervals {
+		if item, ok := s.tryCompleteLocked(iv, acc); ok {
+			ready = append(ready, item)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].interval < ready[j].interval })
+	return ready
 }
 
 // addVolumes folds a volume report into its interval accumulator; a complete
@@ -475,6 +646,9 @@ func (s *Service) addVolumes(v *transport.VolumeReport) {
 	m := s.cfg.Detector.NumFlows
 
 	s.mu.Lock()
+	if v.Interval > s.lastInterval {
+		s.lastInterval = v.Interval
+	}
 	acc, ok := s.intervals[v.Interval]
 	if !ok {
 		// Bound the number of partial intervals (drop the oldest).
@@ -495,29 +669,80 @@ func (s *Service) addVolumes(v *transport.VolumeReport) {
 		if f < 0 || f >= m {
 			continue
 		}
+		if v.Interval >= s.lastVolAt[f] {
+			s.lastVol[f] = v.Volumes[i]
+			s.lastVolAt[f] = v.Interval
+		}
 		if _, dup := acc.seen[f]; dup {
 			continue
 		}
 		acc.seen[f] = struct{}{}
 		acc.volumes[f] = v.Volumes[i]
 	}
-	complete := len(acc.seen) == m
-	var item workItem
-	if complete {
-		item = workItem{interval: v.Interval, volumes: acc.volumes}
-		delete(s.intervals, v.Interval)
-	}
+	item, complete := s.tryCompleteLocked(v.Interval, acc)
 	s.mu.Unlock()
 
 	if complete {
-		s.met.intervals.Inc()
-		select {
-		case s.workCh <- item:
-		default:
-			// Detector is saturated; drop the interval rather than stall
-			// every monitor connection.
-			s.met.drops.Inc()
+		s.enqueue(item)
+	}
+}
+
+// tryCompleteLocked decides whether interval iv can be dispatched: either
+// every flow has reported, or — under DegradedPolicy — every currently-owned
+// flow has reported and each unowned flow has a cached volume no staler than
+// MaxStaleness to stand in. Owned-but-silent flows always block (their
+// monitor is alive and its report is coming). Caller holds s.mu; on success
+// the accumulator is removed from s.intervals.
+func (s *Service) tryCompleteLocked(iv int64, acc *intervalAccum) (workItem, bool) {
+	m := s.cfg.Detector.NumFlows
+	if len(acc.seen) == m {
+		delete(s.intervals, iv)
+		return workItem{interval: iv, volumes: acc.volumes}, true
+	}
+	if !s.cfg.Degraded.Enabled {
+		return workItem{}, false
+	}
+	// Check every missing flow is substitutable before mutating anything.
+	stale := 0
+	for f := 0; f < m; f++ {
+		if _, ok := acc.seen[f]; ok {
+			continue
 		}
+		if _, owned := s.flowOwner[f]; owned {
+			return workItem{}, false
+		}
+		// Symmetric distance: a monitor that raced ahead before vanishing
+		// leaves cache entries newer than iv, and backfilling an old
+		// interval from the far future is as wrong as from the far past.
+		age := iv - s.lastVolAt[f]
+		if age < 0 {
+			age = -age
+		}
+		if s.lastVolAt[f] < 0 || age > s.cfg.Degraded.MaxStaleness {
+			return workItem{}, false
+		}
+		stale++
+	}
+	if stale == 0 {
+		return workItem{}, false
+	}
+	for f := 0; f < m; f++ {
+		if _, ok := acc.seen[f]; !ok {
+			acc.volumes[f] = s.lastVol[f]
+		}
+	}
+	delete(s.intervals, iv)
+	return workItem{interval: iv, volumes: acc.volumes, degraded: true, staleFlows: stale}, true
+}
+
+// enqueue hands a completed interval to the processing goroutine,
+// dropping it if the detector is saturated (never stall a monitor reader).
+func (s *Service) enqueue(item workItem) {
+	s.met.intervals.Inc()
+	select {
+	case s.workCh <- item:
+	default:
+		s.met.drops.Inc()
 	}
 }
 
@@ -553,8 +778,12 @@ func (s *Service) processLoop() {
 		if item.interval < int64(s.cfg.Detector.WindowLen) {
 			absorb()
 			s.met.warmups.Inc()
+			if item.degraded {
+				s.met.degraded.Inc()
+			}
 			if s.cfg.OnDecision != nil {
-				s.cfg.OnDecision(Decision{Interval: item.interval, Vector: item.volumes, Warmup: true})
+				s.cfg.OnDecision(Decision{Interval: item.interval, Vector: item.volumes,
+					Warmup: true, Degraded: item.degraded, StaleFlows: item.staleFlows})
 			}
 			continue
 		}
@@ -566,15 +795,15 @@ func (s *Service) processLoop() {
 		// on a refresh, observe-minus-fetch is the rebuild cost (the
 		// O(m²·log n) retrain the paper bounds).
 		var fetchDur time.Duration
-		timedFetch := func() ([][]float64, []float64, int64, error) {
+		timedFetch := func() (core.Fetch, error) {
 			t0 := time.Now()
-			sketches, means, interval, err := fetch()
+			f, err := fetch()
 			fetchDur = time.Since(t0)
 			s.met.fetchSeconds.Observe(fetchDur.Seconds())
 			if err != nil {
 				s.met.fetchErrors.Inc()
 			}
-			return sketches, means, interval, err
+			return f, err
 		}
 		s.met.observations.Inc()
 		start := time.Now()
@@ -594,100 +823,314 @@ func (s *Service) processLoop() {
 				retrain = 0
 			}
 			s.met.retrainSeconds.Observe(retrain.Seconds())
-			s.health.Set("detector", obs.StatusOK, "model fresh")
+			if res.Degraded {
+				s.health.Set("detector", obs.StatusDegraded,
+					fmt.Sprintf("model rebuilt with %d cached flows", res.StaleFlows))
+			} else {
+				s.health.Set("detector", obs.StatusOK, "model fresh")
+			}
+		}
+		degraded := item.degraded || res.Degraded
+		if degraded {
+			s.met.degraded.Inc()
 		}
 		s.met.spe.Set(res.Distance)
 		s.met.threshold.Set(res.Threshold)
 		if res.Anomalous {
 			s.met.alarms.Inc()
 			s.log.Warn("anomaly detected", "interval", item.interval,
-				"distance", res.Distance, "threshold", res.Threshold)
+				"distance", res.Distance, "threshold", res.Threshold, "degraded", degraded)
 			s.broadcastAlarm(transport.Alarm{
 				Interval:  item.interval,
 				Distance:  res.Distance,
 				Threshold: res.Threshold,
+				Degraded:  degraded,
 			})
 		}
 		if s.cfg.OnDecision != nil {
-			s.cfg.OnDecision(Decision{Interval: item.interval, Vector: item.volumes, Result: res})
+			s.cfg.OnDecision(Decision{Interval: item.interval, Vector: item.volumes,
+				Degraded: degraded, StaleFlows: item.staleFlows, Result: res})
 		}
 	}
 }
 
 // fetchLocal implements core.FetchFunc from the NOC-side histograms
 // (§V-A variant). Called only from the processing goroutine.
-func (s *Service) fetchLocal() ([][]float64, []float64, int64, error) {
+func (s *Service) fetchLocal() (core.Fetch, error) {
 	rep := s.localMon.Report()
 	if err := rep.Validate(s.cfg.Detector.SketchLen); err != nil {
-		return nil, nil, 0, err
+		return core.Fetch{}, err
 	}
-	return rep.Sketches, rep.Means, rep.Interval, nil
+	return core.Fetch{Sketches: rep.Sketches, Means: rep.Means, Interval: rep.Interval}, nil
+}
+
+// missingFlows lists the flows a pull has not yet covered.
+func missingFlows(sketches [][]float64) []int {
+	var miss []int
+	for f, sk := range sketches {
+		if sk == nil {
+			miss = append(miss, f)
+		}
+	}
+	return miss
 }
 
 // fetchSketches implements core.FetchFunc over the registered monitors.
-func (s *Service) fetchSketches() ([][]float64, []float64, int64, error) {
+// It runs up to 1+FetchRetries rounds with capped exponential backoff,
+// each round re-requesting only the monitors that still owe flows (partial
+// results are kept across rounds, and each round uses a fresh request ID so
+// a late response to an earlier round is dropped, never misattributed).
+// If flows remain uncovered afterwards and DegradedPolicy allows it, each
+// missing flow is served from its last validated sketch report.
+func (s *Service) fetchSketches() (core.Fetch, error) {
 	m := s.cfg.Detector.NumFlows
+	sketches := make([][]float64, m)
+	means := make([]float64, m)
+	var newest int64
+
+	rounds := 1 + s.cfg.FetchRetries
+	backoff := s.cfg.FetchBackoff
+	attempted := 0
+	for round := 0; round < rounds; round++ {
+		miss := missingFlows(sketches)
+		if len(miss) == 0 {
+			break
+		}
+		if round > 0 {
+			s.met.fetchRetries.Inc()
+			// Capped exponential backoff with jitter in [0, backoff/2).
+			d := backoff
+			if j := int64(backoff / 2); j > 0 {
+				d += time.Duration(s.rng.Int63n(j))
+			}
+			time.Sleep(d)
+			if backoff *= 2; backoff > s.cfg.FetchBackoffMax {
+				backoff = s.cfg.FetchBackoffMax
+			}
+			s.log.Info("sketch fetch retry", "round", round, "missing_flows", len(miss))
+		}
+		attempted = round + 1
+		if s.fetchRound(miss, sketches, means, &newest) == 0 {
+			// Nothing askable: the missing flows are unowned or their
+			// monitors are breaker-open / unreachable. More rounds cannot
+			// make progress within this fetch.
+			break
+		}
+	}
+
+	miss := missingFlows(sketches)
+	if len(miss) == 0 {
+		s.met.staleFlows.Set(0)
+		return core.Fetch{Sketches: sketches, Means: means, Interval: newest}, nil
+	}
+
+	if s.cfg.Degraded.Enabled {
+		s.mu.Lock()
+		ref := s.lastInterval
+		s.mu.Unlock()
+		if newest > ref {
+			ref = newest
+		}
+		filled, cachedNewest := 0, int64(0)
+		for _, f := range miss {
+			e := &s.sketchCache[f]
+			if e.sketch == nil || ref-e.at > s.cfg.Degraded.MaxStaleness {
+				continue
+			}
+			sketches[f] = e.sketch
+			means[f] = e.mean
+			if e.at > cachedNewest {
+				cachedNewest = e.at
+			}
+			filled++
+		}
+		if filled == len(miss) {
+			if cachedNewest > newest && newest == 0 {
+				newest = cachedNewest
+			}
+			s.met.staleFlows.Set(float64(filled))
+			s.log.Warn("degraded sketch fetch", "stale_flows", filled,
+				"rounds", attempted, "interval", newest)
+			return core.Fetch{Sketches: sketches, Means: means, Interval: newest,
+				Degraded: true, StaleFlows: filled}, nil
+		}
+	}
+	return core.Fetch{}, fmt.Errorf("%w: %d of %d flows missing after %d rounds",
+		ErrCoverage, len(miss), m, attempted)
+}
+
+// fetchRound issues one sketch pull for the given missing flows and folds
+// every validated response that arrives before FetchTimeout into
+// sketches/means. A failed send or bad report from one monitor never aborts
+// the round — it is charged to that monitor's breaker and the others
+// proceed. Returns the number of monitors successfully asked.
+func (s *Service) fetchRound(missing []int, sketches [][]float64, means []float64, newest *int64) int {
+	m := s.cfg.Detector.NumFlows
+	now := time.Now()
 
 	s.mu.Lock()
-	conns := make([]*transport.Conn, 0, len(s.monitors))
-	for c := range s.monitors {
-		conns = append(conns, c)
+	targets := make(map[*transport.Conn]*monitorEntry)
+	for _, f := range missing {
+		if c, ok := s.flowOwner[f]; ok {
+			if e, live := s.monitors[c]; live && s.breakerAllowLocked(e.id, now) {
+				targets[c] = e
+			}
+		}
 	}
-	covered := len(s.flowOwner)
+	if len(targets) == 0 {
+		s.mu.Unlock()
+		return 0
+	}
 	s.nextReq++
 	id := s.nextReq
-	p := &pendingFetch{expect: len(conns), respCh: make(chan *transport.SketchResponse, len(conns))}
+	p := &pendingFetch{respCh: make(chan *transport.SketchResponse, len(targets))}
 	s.pending[id] = p
 	s.mu.Unlock()
-
 	defer func() {
+		// Deleting the entry makes routeResponse drop any straggler reply
+		// to this round's ID.
 		s.mu.Lock()
 		delete(s.pending, id)
 		s.mu.Unlock()
 	}()
 
-	if covered < m {
-		return nil, nil, 0, fmt.Errorf("%w: %d of %d flows owned", ErrCoverage, covered, m)
-	}
-
-	for _, c := range conns {
+	awaiting := make(map[string]bool, len(targets))
+	for c, e := range targets {
 		if err := c.Send(transport.Envelope{Request: &transport.SketchRequest{RequestID: id}}); err != nil {
-			return nil, nil, 0, fmt.Errorf("sketch request: %w", err)
+			s.log.Warn("sketch request send failed", "monitor", e.id, "err", err)
+			s.breakerFailure(e.id)
+			continue
 		}
+		awaiting[e.id] = true
+	}
+	asked := len(awaiting)
+	if asked == 0 {
+		return 0
 	}
 
-	sketches := make([][]float64, m)
-	means := make([]float64, m)
-	var newest int64
 	timer := time.NewTimer(s.cfg.FetchTimeout)
 	defer timer.Stop()
-	for got := 0; got < p.expect; got++ {
+	for remaining := asked; remaining > 0; {
 		select {
 		case r := <-p.respCh:
+			if !awaiting[r.MonitorID] {
+				continue // duplicate or unknown responder
+			}
+			awaiting[r.MonitorID] = false
+			remaining--
 			if err := r.Report.Validate(s.cfg.Detector.SketchLen); err != nil {
-				return nil, nil, 0, fmt.Errorf("monitor %q report: %w", r.MonitorID, err)
+				s.log.Warn("invalid sketch report", "monitor", r.MonitorID, "err", err)
+				s.breakerFailure(r.MonitorID)
+				continue
+			}
+			ok := true
+			for _, f := range r.Report.FlowIDs {
+				if f < 0 || f >= m {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				s.log.Warn("sketch report names unknown flow", "monitor", r.MonitorID)
+				s.breakerFailure(r.MonitorID)
+				continue
 			}
 			for i, f := range r.Report.FlowIDs {
-				if f < 0 || f >= m {
-					return nil, nil, 0, fmt.Errorf("%w: reported flow %d", ErrConfig, f)
-				}
 				sketches[f] = r.Report.Sketches[i]
 				means[f] = r.Report.Means[i]
 			}
-			if r.Report.Interval > newest {
-				newest = r.Report.Interval
+			if r.Report.Interval > *newest {
+				*newest = r.Report.Interval
 			}
+			s.cacheReport(&r.Report)
+			s.breakerSuccess(r.MonitorID)
 		case <-timer.C:
-			return nil, nil, 0, fmt.Errorf("%w after %v (%d/%d responses)",
-				ErrFetchTimeout, s.cfg.FetchTimeout, got, p.expect)
+			for mid, waiting := range awaiting {
+				if waiting {
+					s.log.Warn("sketch response timed out", "monitor", mid,
+						"request", id, "timeout", s.cfg.FetchTimeout)
+					s.breakerFailure(mid)
+				}
+			}
+			return asked
 		}
 	}
-	for f, sk := range sketches {
-		if sk == nil {
-			return nil, nil, 0, fmt.Errorf("%w: flow %d missing from responses", ErrCoverage, f)
+	return asked
+}
+
+// cacheReport remembers a validated report's per-flow sketches for the
+// degraded fallback. Processing-goroutine only; Monitor.Report allocates
+// fresh slices per call, so retaining them is safe.
+func (s *Service) cacheReport(rep *core.SketchReport) {
+	for i, f := range rep.FlowIDs {
+		e := &s.sketchCache[f]
+		if rep.Interval >= e.at || e.sketch == nil {
+			e.sketch = rep.Sketches[i]
+			e.mean = rep.Means[i]
+			e.at = rep.Interval
 		}
 	}
-	return sketches, means, newest, nil
+}
+
+// breakerAllowLocked reports whether monitor id may be asked for sketches:
+// always while closed; once open, only after the cooldown (the half-open
+// probe). Caller holds s.mu.
+func (s *Service) breakerAllowLocked(id string, now time.Time) bool {
+	b := s.breakers[id]
+	if b == nil || s.cfg.BreakerThreshold <= 0 || b.failures < s.cfg.BreakerThreshold {
+		return true
+	}
+	return !now.Before(b.openUntil)
+}
+
+// breakerFailure charges one consecutive failure to monitor id, opening
+// (or re-arming) its breaker at the threshold.
+func (s *Service) breakerFailure(id string) {
+	if s.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	s.mu.Lock()
+	b := s.breakers[id]
+	if b == nil {
+		b = &breakerState{}
+		s.breakers[id] = b
+	}
+	b.failures++
+	if b.failures >= s.cfg.BreakerThreshold {
+		first := b.failures == s.cfg.BreakerThreshold
+		b.openUntil = time.Now().Add(s.cfg.BreakerCooldown)
+		if first {
+			s.met.breakerOpens.Inc()
+			s.log.Warn("circuit breaker opened", "monitor", id,
+				"failures", b.failures, "cooldown", s.cfg.BreakerCooldown)
+		}
+		s.breakerGaugeLocked()
+	}
+	s.mu.Unlock()
+}
+
+// breakerSuccess clears monitor id's failure streak (closing its breaker).
+func (s *Service) breakerSuccess(id string) {
+	s.mu.Lock()
+	if b := s.breakers[id]; b != nil {
+		if s.cfg.BreakerThreshold > 0 && b.failures >= s.cfg.BreakerThreshold {
+			s.log.Info("circuit breaker closed", "monitor", id)
+		}
+		delete(s.breakers, id)
+		s.breakerGaugeLocked()
+	}
+	s.mu.Unlock()
+}
+
+// breakerGaugeLocked recomputes the open-breaker gauge. Caller holds s.mu.
+func (s *Service) breakerGaugeLocked() {
+	open := 0
+	for _, b := range s.breakers {
+		if s.cfg.BreakerThreshold > 0 && b.failures >= s.cfg.BreakerThreshold {
+			open++
+		}
+	}
+	s.met.breakerOpen.Set(float64(open))
 }
 
 // broadcastAlarm pushes an alarm to every monitor.

@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"streampca/internal/core"
+	"streampca/internal/faults"
+)
+
+// recvOne reads a single envelope on its own goroutine (net.Pipe is
+// unbuffered, so Send blocks until the peer reads).
+func recvOne(c *Conn) (<-chan Envelope, <-chan error) {
+	envCh := make(chan Envelope, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		e, err := c.Recv()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		envCh <- e
+	}()
+	return envCh, errCh
+}
+
+func TestFaultDropOnSend(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	a.SetFaults(faults.MustPlan(1, faults.Rule{Dir: faults.DirSend, Type: "volume", Count: 1, Drop: true}))
+
+	envCh, errCh := recvOne(b)
+	// First volume is dropped; the alarm that follows is what arrives.
+	if err := a.Send(Envelope{Volume: &VolumeReport{MonitorID: "m", Interval: 1}}); err != nil {
+		t.Fatalf("dropped send must look successful: %v", err)
+	}
+	if err := a.Send(Envelope{Alarm: &Alarm{Interval: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-envCh:
+		if e.Alarm == nil || e.Alarm.Interval != 7 {
+			t.Fatalf("got %+v, want the alarm (volume dropped)", e)
+		}
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("receiver starved")
+	}
+}
+
+func TestFaultDropOnRecv(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	b.SetFaults(faults.MustPlan(1, faults.Rule{Dir: faults.DirRecv, Type: "volume", Count: 1, Drop: true}))
+
+	envCh, errCh := recvOne(b)
+	if err := a.Send(Envelope{Volume: &VolumeReport{MonitorID: "m", Interval: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(Envelope{Alarm: &Alarm{Interval: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-envCh:
+		if e.Alarm == nil || e.Alarm.Interval != 9 {
+			t.Fatalf("got %+v, want the alarm (volume swallowed by recv)", e)
+		}
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("receiver starved")
+	}
+}
+
+func TestFaultDelay(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	const d = 60 * time.Millisecond
+	a.SetFaults(faults.MustPlan(1, faults.Rule{Dir: faults.DirSend, Delay: d}))
+
+	envCh, errCh := recvOne(b)
+	start := time.Now()
+	if err := a.Send(Envelope{Alarm: &Alarm{Interval: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-envCh:
+		if el := time.Since(start); el < d {
+			t.Fatalf("delivered after %v, want >= %v", el, d)
+		}
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("receiver starved")
+	}
+}
+
+func TestFaultCorruptResponse(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	a.SetFaults(faults.MustPlan(1, faults.Rule{Dir: faults.DirSend, Type: "sketch_response", Corrupt: true}))
+
+	orig := [][]float64{{1, 2}, {3, 4}}
+	resp := SketchResponse{
+		RequestID: 5,
+		MonitorID: "m",
+		Report: core.SketchReport{
+			Interval: 3,
+			FlowIDs:  []int{0, 1},
+			Sketches: orig,
+			Means:    []float64{1, 1},
+		},
+	}
+	envCh, errCh := recvOne(b)
+	if err := a.Send(Envelope{Response: &resp}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-envCh:
+		got := e.Response.Report.Sketches
+		if !math.IsNaN(got[0][0]) {
+			t.Fatalf("sketch not corrupted: %v", got)
+		}
+		if e.Response.Report.Validate(2) == nil {
+			t.Fatal("corrupted report must fail validation")
+		}
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("receiver starved")
+	}
+	// The sender's own backing arrays must be untouched.
+	if orig[0][0] != 1 {
+		t.Fatalf("corruption leaked into the sender's report: %v", orig)
+	}
+}
+
+func TestFaultDisconnect(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	a.SetFaults(faults.MustPlan(1, faults.Rule{Dir: faults.DirSend, Type: "volume", Disconnect: true}))
+
+	err := a.Send(Envelope{Volume: &VolumeReport{MonitorID: "m", Interval: 1}})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("disconnect fault: %v", err)
+	}
+	if err := a.Send(Envelope{Alarm: &Alarm{}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("conn must stay closed: %v", err)
+	}
+}
+
+func TestServerInstallsInjector(t *testing.T) {
+	// A server-side recv-drop plan swallows the first volume the handler
+	// would otherwise see.
+	seen := make(chan string, 16)
+	plan := faults.MustPlan(1, faults.Rule{Dir: faults.DirRecv, Type: "volume", Count: 1, Drop: true})
+	srv, err := ListenWithOptions("127.0.0.1:0", func(c *Conn) {
+		for {
+			e, err := c.Recv()
+			if err != nil {
+				return
+			}
+			seen <- e.TypeName()
+		}
+	}, nil, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	c, err := Dial(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(Envelope{Volume: &VolumeReport{MonitorID: "m", Interval: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(Envelope{Alarm: &Alarm{Interval: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case typ := <-seen:
+		if typ != "alarm" {
+			t.Fatalf("handler saw %q first, want the volume dropped", typ)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler starved")
+	}
+	if plan.Fired(0) != 1 {
+		t.Fatalf("plan fired %d times: %s", plan.Fired(0), plan)
+	}
+}

@@ -63,6 +63,9 @@ type Alarm struct {
 	Interval  int64
 	Distance  float64
 	Threshold float64
+	// Degraded marks alarms raised on substituted inputs (cached volumes
+	// or a stale-sketch model) — see the NOC's DegradedPolicy.
+	Degraded bool
 }
 
 // ProtocolError reports a fatal protocol-level problem to the peer before

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"streampca/internal/faults"
 )
 
 // Handler processes one accepted connection. It should return when the
@@ -16,6 +18,7 @@ type Server struct {
 	listener net.Listener
 	handler  Handler
 	metrics  *Metrics
+	faults   faults.Injector
 
 	mu    sync.Mutex
 	conns map[*Conn]struct{}
@@ -32,6 +35,13 @@ func Listen(addr string, handler Handler) (*Server, error) {
 // ListenWithMetrics is Listen with wire instrumentation: every accepted
 // connection records its traffic on m (nil disables).
 func ListenWithMetrics(addr string, handler Handler, m *Metrics) (*Server, error) {
+	return ListenWithOptions(addr, handler, m, nil)
+}
+
+// ListenWithOptions is Listen with wire instrumentation on m and a fault
+// injector installed on every accepted connection (both may be nil; a nil
+// injector is the production no-op).
+func ListenWithOptions(addr string, handler Handler, m *Metrics, inj faults.Injector) (*Server, error) {
 	if handler == nil {
 		return nil, fmt.Errorf("%w: nil handler", ErrBadMessage)
 	}
@@ -43,6 +53,7 @@ func ListenWithMetrics(addr string, handler Handler, m *Metrics) (*Server, error
 		listener: ln,
 		handler:  handler,
 		metrics:  m,
+		faults:   inj,
 		conns:    make(map[*Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -61,6 +72,9 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		conn := NewConnWithMetrics(raw, s.metrics)
+		if s.faults != nil {
+			conn.SetFaults(s.faults)
+		}
 		s.mu.Lock()
 		if s.done {
 			s.mu.Unlock()

@@ -1,0 +1,81 @@
+#!/usr/bin/env sh
+# Guards the PR2 kernel benchmarks (Gram, SymEigen, MonitorUpdate) against
+# performance regressions: re-runs each cell BENCHCHECK_COUNT times, takes
+# the per-cell minimum (least-noise estimate), and fails when any cell is
+# more than BENCHCHECK_TOLERANCE percent slower than the recorded median in
+# BENCH_PR2.json (written by scripts/bench.sh on the reference host).
+#
+# Environment:
+#   BENCHCHECK_COUNT      runs per cell (default 3)
+#   BENCHCHECK_TOLERANCE  allowed slowdown in percent (default 20)
+#   SKIP_BENCHCHECK=1     skip entirely (e.g. on known-noisy hosts)
+#
+# Cells present in only one of {baseline, current run} are reported but do
+# not fail the check, so adding or retiring a benchmark does not require a
+# lockstep baseline refresh.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${SKIP_BENCHCHECK:-0}" = "1" ]; then
+    echo "benchcheck: skipped (SKIP_BENCHCHECK=1)"
+    exit 0
+fi
+if [ ! -f BENCH_PR2.json ]; then
+    echo "benchcheck: no BENCH_PR2.json baseline; run scripts/bench.sh first" >&2
+    exit 1
+fi
+
+COUNT="${BENCHCHECK_COUNT:-3}"
+TOLERANCE="${BENCHCHECK_TOLERANCE:-20}"
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR2.json"
+go test . -run 'XXXnone' \
+    -bench 'BenchmarkGram/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/' \
+    -benchtime 1x -count "$COUNT" > "$RAW"
+
+python3 - "$RAW" "$TOLERANCE" <<'EOF'
+import json, re, sys
+
+pat = re.compile(
+    r'^Benchmark(Gram|SymEigen|MonitorUpdate)/'
+    r'(?:m|flows)=(\d+)/workers=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+cells = {}
+for line in open(sys.argv[1]):
+    m = pat.match(line)
+    if m:
+        key = (m.group(1), int(m.group(2)), int(m.group(3)))
+        cells.setdefault(key, []).append(float(m.group(4)))
+
+baseline = {
+    (r["op"], r["m"], r["workers"]): r["ns_op"]
+    for r in json.load(open("BENCH_PR2.json"))
+}
+tolerance = float(sys.argv[2])
+
+failed = False
+for key in sorted(set(cells) | set(baseline)):
+    name = "%s/m=%d/workers=%d" % key
+    if key not in baseline:
+        print("benchcheck: %-34s new cell, no baseline (ok)" % name)
+        continue
+    if key not in cells:
+        print("benchcheck: %-34s baseline cell did not run (ok)" % name)
+        continue
+    best, base = min(cells[key]), baseline[key]
+    delta = 100.0 * (best - base) / base
+    verdict = "ok"
+    if delta > tolerance:
+        verdict = "REGRESSION"
+        failed = True
+    print("benchcheck: %-34s %12.0f ns/op vs %12.0f baseline (%+6.1f%%) %s"
+          % (name, best, base, delta, verdict))
+
+if failed:
+    print("benchcheck: FAILED (>%g%% regression; rerun scripts/bench.sh to "
+          "refresh the baseline if the slowdown is intentional)" % tolerance)
+    sys.exit(1)
+print("benchcheck: all cells within %g%% of baseline" % tolerance)
+EOF
