@@ -51,6 +51,14 @@ go test -race ./internal/par/... ./internal/transport/... \
     ./internal/faults/...
 step_done
 
+# The differential-validation suite compares the streaming pipeline against
+# exact references (sliding-window statistics, batch PCA) across all four
+# random-variable families; its scenarios are seeded, so a failure here is a
+# reproducible numerical-correctness bug, not flake.
+step "go test -race oracle differential validation"
+go test -race ./internal/oracle/...
+step_done
+
 # The chaos e2e suite (fault-injected NOC/monitor deployments) is where the
 # retry, breaker and reconnect goroutines actually contend; run it under the
 # race detector explicitly so a -run filter change elsewhere can't drop it.

@@ -40,6 +40,7 @@ func main() {
 type params struct {
 	figure      string
 	bounds      bool
+	oracle      bool
 	comm        bool
 	full        bool
 	seed        int64
@@ -72,6 +73,7 @@ func run(args []string, out io.Writer) error {
 	var p params
 	fs.StringVar(&p.figure, "figure", "", "figure to regenerate: 5, 7, 8, 9, 10 or all")
 	fs.BoolVar(&p.bounds, "bounds", false, "run the empirical error-bound checks")
+	fs.BoolVar(&p.oracle, "oracle", false, "differentially validate the streaming pipeline against exact oracles")
 	fs.BoolVar(&p.full, "full", false, "paper-scale dimensions (slow)")
 	fs.Int64Var(&p.seed, "seed", 2008, "workload seed")
 	fs.IntVar(&p.refitEvery, "refit", 8, "retraining cadence in intervals (1 = paper cost model)")
@@ -89,8 +91,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	p.dist = dist
-	if p.figure == "" && !p.bounds && !p.comm {
-		return fmt.Errorf("nothing to do: pass -figure N, -bounds and/or -comm")
+	if p.figure == "" && !p.bounds && !p.oracle && !p.comm {
+		return fmt.Errorf("nothing to do: pass -figure N, -bounds, -oracle and/or -comm")
 	}
 	if p.trace != "" && p.traceWindow < 2 {
 		return fmt.Errorf("-trace requires -trace-window >= 2")
@@ -130,6 +132,11 @@ func run(args []string, out io.Writer) error {
 	if p.bounds {
 		if err := boundsReport(p, out); err != nil {
 			return fmt.Errorf("bounds: %w", err)
+		}
+	}
+	if p.oracle {
+		if err := oracleReport(p, out); err != nil {
+			return fmt.Errorf("oracle: %w", err)
 		}
 	}
 	if p.comm {
@@ -372,6 +379,35 @@ func maxInt64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// oracleReport prints one bound-violation row per projection family: the
+// full streaming pipeline is driven over the evaluation workload and
+// differentially validated (exactness, Lemma 1, Lemmas 5–6, Theorem 2,
+// alarm agreement) on sampled intervals. Any nonzero violation count is a
+// numerical-correctness bug, not a statistical miss.
+func oracleReport(p params, out io.Writer) error {
+	perDay, window, total, _ := surfaceDims(p, false)
+	tr, err := eval.BuildEvalTrace(p.seed, total, perDay, window)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "# Oracle — differential validation of the streaming pipeline vs exact references")
+	fmt.Fprintln(out, "dist,l,checks,violations,max_rel_err,worst")
+	for _, l := range []int{16, 64} {
+		rows, err := eval.OracleSweep(tr.Volumes, eval.OracleConfig{
+			WindowLen: window, SketchLen: l, Rank: 6,
+			Epsilon: p.epsilon, Alpha: p.alpha, Seed: uint64(p.seed),
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Fprintf(out, "%v,%d,%d,%d,%.3e,%s\n",
+				r.Dist, r.SketchLen, r.Checks, r.Violations, r.MaxRelErr, r.Worst)
+		}
+	}
+	return nil
 }
 
 // boundsReport prints the empirical Lemma 5/6 and Theorem 2 checks.

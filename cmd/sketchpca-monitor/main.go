@@ -53,6 +53,7 @@ func run(args []string, in io.Reader) error {
 		reconn  = fs.Bool("reconnect", true, "redial the NOC automatically when the link drops")
 		reconnB = fs.Duration("reconnect-backoff", 200*time.Millisecond, "initial redial backoff (doubles per attempt)")
 		reconnM = fs.Duration("reconnect-backoff-max", 5*time.Second, "redial backoff cap")
+		selfchk = fs.Int("selfcheck", 0, "validate the sketch state against an exact-window oracle every Nth interval (0 = off)")
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
 		statsEv = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
 		workers = fs.Int("workers", 0, "worker goroutines for the sketch-update path (0 = all CPUs)")
@@ -85,6 +86,7 @@ func run(args []string, in io.Reader) error {
 		Epsilon:             *epsilon,
 		Sketch:              randproj.Config{Seed: *seed, SketchLen: *sketch, WindowLen: *window},
 		Workers:             *workers,
+		SelfCheckEvery:      *selfchk,
 		Reconnect:           *reconn,
 		ReconnectBackoff:    *reconnB,
 		ReconnectBackoffMax: *reconnM,

@@ -68,6 +68,7 @@ func run(args []string) error {
 		brkCool  = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker skips its monitor")
 		degraded = fs.Bool("degraded", false, "keep deciding on cached volumes/sketches when monitors are missing")
 		maxStale = fs.Int64("max-staleness", 0, "degraded mode: max cache age in intervals (0 = window/4)")
+		selfchk  = fs.Int("selfcheck", 0, "validate every Nth interval against an exact batch-PCA oracle (0 = off)")
 		metrics  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
 		statsEvr = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
 		workers  = fs.Int("workers", 0, "worker goroutines for the retrain kernels (0 = all CPUs)")
@@ -96,6 +97,7 @@ func run(args []string) error {
 		},
 		Seed:             *seed,
 		Workers:          *workers,
+		SelfCheckEvery:   *selfchk,
 		FetchTimeout:     *fetchTO,
 		FetchRetries:     *retries,
 		FetchBackoff:     *backoff,

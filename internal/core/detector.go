@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,6 +9,11 @@ import (
 	"streampca/internal/par"
 	"streampca/internal/stats"
 )
+
+// ErrThresholdUnavailable reports that the current model has no usable δ
+// threshold because its residual spectrum was degenerate (see
+// stats.ErrDegenerate and Model.ThresholdUnavailable).
+var ErrThresholdUnavailable = errors.New("core: threshold unavailable (degenerate residual spectrum)")
 
 // RankMode selects how the NOC chooses the normal-subspace size r.
 type RankMode int
@@ -80,6 +86,13 @@ type Model struct {
 	// stale window those sketches cover.
 	Degraded   bool
 	StaleFlows int
+	// ThresholdUnavailable marks a model whose residual spectrum was
+	// degenerate for the Jackson–Mudholkar expansion (stats.ErrDegenerate):
+	// Threshold is stored as 0 and must not be compared against. Observe
+	// reports the condition on its Decision instead of alarming. The field's
+	// zero value means "available", so models checkpointed before the field
+	// existed restore correctly.
+	ThresholdUnavailable bool
 }
 
 // Detector is the NOC-side streaming detector. It is not safe for concurrent
@@ -203,16 +216,25 @@ func (d *Detector) RebuildModel(sketches [][]float64, means []float64, builtAt i
 		return fmt.Errorf("rank selection: %w", err)
 	}
 	threshold, err := stats.QStatistic(sv, d.cfg.WindowLen, rank, d.cfg.Alpha)
+	unavailable := false
 	if err != nil {
-		return fmt.Errorf("threshold: %w", err)
+		if !errors.Is(err, stats.ErrDegenerate) {
+			return fmt.Errorf("threshold: %w", err)
+		}
+		// A degenerate residual spectrum has no trustworthy control limit.
+		// Keep the freshly fitted subspace (distances are still meaningful
+		// diagnostics) but mark the threshold unusable rather than storing a
+		// NaN/garbage value that comparisons would silently never exceed.
+		threshold, unavailable = 0, true
 	}
 	d.model = &Model{
-		Components: eig.Vectors,
-		Singular:   sv,
-		Means:      append([]float64(nil), means...),
-		Rank:       rank,
-		Threshold:  threshold,
-		BuiltAt:    builtAt,
+		Components:           eig.Vectors,
+		Singular:             sv,
+		Means:                append([]float64(nil), means...),
+		Rank:                 rank,
+		Threshold:            threshold,
+		BuiltAt:              builtAt,
+		ThresholdUnavailable: unavailable,
 	}
 	return nil
 }
@@ -304,10 +326,15 @@ func (d *Detector) Distance(x []float64) (float64, error) {
 	return math.Sqrt(rem), nil
 }
 
-// Threshold returns the current δ, or an error before the first model.
+// Threshold returns the current δ. It fails with ErrNoModel before the first
+// model and with ErrThresholdUnavailable when the current model's residual
+// spectrum was degenerate.
 func (d *Detector) Threshold() (float64, error) {
 	if d.model == nil {
 		return 0, ErrNoModel
+	}
+	if d.model.ThresholdUnavailable {
+		return 0, ErrThresholdUnavailable
 	}
 	return d.model.Threshold, nil
 }
@@ -351,6 +378,11 @@ type Decision struct {
 	Degraded bool
 	// StaleFlows is the in-force model's count of cache-substituted flows.
 	StaleFlows int
+	// ThresholdUnavailable is true when the final model's residual spectrum
+	// was degenerate: Threshold is 0, no comparison was made, and Anomalous
+	// is false regardless of Distance. Callers should surface the condition
+	// (the detector is effectively blind) rather than read it as "normal".
+	ThresholdUnavailable bool
 }
 
 // Observe drives the lazy detection protocol for one measurement vector:
@@ -398,6 +430,30 @@ func (d *Detector) Observe(x []float64, fetch FetchFunc) (Decision, error) {
 	dec.Degraded = d.model.Degraded
 	dec.StaleFlows = d.model.StaleFlows
 
+	if d.model.ThresholdUnavailable {
+		// No usable δ: a stale model may be the cause, so pull fresh
+		// sketches once; if the fresh spectrum is degenerate too, report
+		// the condition instead of comparing against the 0 placeholder
+		// (or, worse, a NaN — which compares false and never alarms).
+		if !dec.Refreshed {
+			if err := refresh(); err != nil {
+				return Decision{}, err
+			}
+			dec.Refreshed = true
+			if dist, err = d.Distance(x); err != nil {
+				return Decision{}, err
+			}
+			dec.Distance = dist
+			dec.Threshold = d.model.Threshold
+			dec.Degraded = d.model.Degraded
+			dec.StaleFlows = d.model.StaleFlows
+		}
+		if d.model.ThresholdUnavailable {
+			dec.ThresholdUnavailable = true
+			return dec, nil
+		}
+	}
+
 	if dist <= d.model.Threshold {
 		return dec, nil
 	}
@@ -415,6 +471,10 @@ func (d *Detector) Observe(x []float64, fetch FetchFunc) (Decision, error) {
 		dec.Threshold = d.model.Threshold
 		dec.Degraded = d.model.Degraded
 		dec.StaleFlows = d.model.StaleFlows
+		if d.model.ThresholdUnavailable {
+			dec.ThresholdUnavailable = true
+			return dec, nil
+		}
 		if fresh <= d.model.Threshold {
 			return dec, nil
 		}

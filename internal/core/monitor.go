@@ -114,6 +114,17 @@ func (m *Monitor) NumFlows() int { return len(m.flowIDs) }
 // Now returns the interval of the most recent update.
 func (m *Monitor) Now() int64 { return m.now }
 
+// Histogram returns the variance histogram of the i-th assigned flow
+// (FlowIDs()[i]). The histogram is live state owned by the monitor; callers
+// must only read it (Aggregate, Sketch, …) between updates — internal/oracle
+// uses this for differential self-checks.
+func (m *Monitor) Histogram(i int) *vh.Histogram {
+	if i < 0 || i >= len(m.hists) {
+		return nil
+	}
+	return m.hists[i]
+}
+
 // NumBucketsTotal sums the variance-histogram bucket counts across all
 // assigned flows — the O(w·log² n) sketch-state size the paper bounds,
 // cheap enough to poll every interval for a state-size gauge.

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// degenerateSketches builds a diagonal sketch matrix whose spectrum has one
+// dominant residual variance plus many equal small ones — φ1φ3/φ2² ≈ 2, so
+// the Jackson–Mudholkar h0 goes negative and stats.QStatistic reports
+// ErrDegenerate.
+func degenerateSketches(m int) ([][]float64, []float64) {
+	sketches := make([][]float64, m)
+	for j := range sketches {
+		s := make([]float64, m)
+		if j == 0 {
+			s[j] = 1
+		} else {
+			s[j] = 0.1 // 100 tail variances of 0.01 sum to the dominant 1
+		}
+		sketches[j] = s
+	}
+	return sketches, make([]float64, m)
+}
+
+// TestRebuildModelDegenerateSpectrum asserts the detector survives a
+// degenerate residual spectrum: the model is kept (distances remain useful)
+// but the threshold is flagged unusable instead of being stored as a clamped
+// garbage value that comparisons would silently never exceed.
+func TestRebuildModelDegenerateSpectrum(t *testing.T) {
+	const m = 101
+	det, err := NewDetector(DetectorConfig{
+		NumFlows: m, WindowLen: 64, SketchLen: m,
+		Alpha: 0.01, Mode: RankFixed, FixedRank: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketches, means := degenerateSketches(m)
+	if err := det.RebuildModel(sketches, means, 1); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	model := det.Model()
+	if !model.ThresholdUnavailable {
+		t.Fatal("model.ThresholdUnavailable = false on a degenerate spectrum")
+	}
+	if model.Threshold != 0 {
+		t.Fatalf("placeholder threshold = %v, want 0", model.Threshold)
+	}
+	if _, err := det.Threshold(); !errors.Is(err, ErrThresholdUnavailable) {
+		t.Fatalf("Threshold() error = %v, want ErrThresholdUnavailable", err)
+	}
+}
+
+// TestObserveThresholdUnavailable drives the lazy protocol against a
+// persistently degenerate spectrum: the decision must surface
+// ThresholdUnavailable (after one refresh attempt) rather than comparing the
+// distance against the 0 placeholder or alarming.
+func TestObserveThresholdUnavailable(t *testing.T) {
+	const m = 101
+	det, err := NewDetector(DetectorConfig{
+		NumFlows: m, WindowLen: 64, SketchLen: m,
+		Alpha: 0.01, Mode: RankFixed, FixedRank: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketches, means := degenerateSketches(m)
+	fetches := 0
+	fetch := func() (Fetch, error) {
+		fetches++
+		return Fetch{Sketches: sketches, Means: means, Interval: int64(fetches)}, nil
+	}
+	x := make([]float64, m)
+	x[0] = 100 // enormous residual; with any finite threshold this would alarm
+	dec, err := det.Observe(x, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.ThresholdUnavailable {
+		t.Fatal("decision does not report ThresholdUnavailable")
+	}
+	if dec.Anomalous {
+		t.Fatal("alarm raised without a usable threshold")
+	}
+	if !dec.Refreshed {
+		t.Fatal("first observation must have built a model")
+	}
+	if dec.Distance <= 0 {
+		t.Fatalf("distance = %v, want > 0 (diagnostics stay meaningful)", dec.Distance)
+	}
+
+	// A second observation holds a model with an unusable threshold: Observe
+	// must retry one refresh (the spectrum might have recovered) and then
+	// report the condition again, not alarm.
+	before := fetches
+	dec, err = det.Observe(x, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.ThresholdUnavailable || dec.Anomalous {
+		t.Fatalf("second decision: ThresholdUnavailable=%v Anomalous=%v", dec.ThresholdUnavailable, dec.Anomalous)
+	}
+	if fetches != before+1 {
+		t.Fatalf("expected exactly one refresh attempt, got %d", fetches-before)
+	}
+
+	// Once the fetch serves a well-conditioned spectrum the detector must
+	// recover: threshold usable again, oversized residual alarms.
+	for j := 1; j < m; j++ {
+		sketches[j][j] = 0.5 // equalize the tail → h0 > 0
+	}
+	dec, err = det.Observe(x, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ThresholdUnavailable {
+		t.Fatal("still unavailable after spectrum recovered")
+	}
+	if !dec.Anomalous {
+		t.Fatalf("recovered threshold %v did not flag distance %v", dec.Threshold, dec.Distance)
+	}
+	if _, err := det.Threshold(); err != nil {
+		t.Fatalf("Threshold() after recovery: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"streampca/internal/mat"
 	"streampca/internal/pca"
 	"streampca/internal/randproj"
+	"streampca/internal/stats"
 )
 
 // BoundsReport records an empirical check of the paper's error bounds on one
@@ -51,6 +53,10 @@ func CheckBounds(volumes *mat.Matrix, windowLen, sketchLen, rank int, seed uint6
 		return nil, fmt.Errorf("exact fit: %w", err)
 	}
 	exactDet, err := pca.NewDetector(exact, rank, 0.01)
+	if errors.Is(err, stats.ErrDegenerate) {
+		// Only distances are read here; +Inf keeps the detector usable.
+		exactDet, err = pca.NewDetectorThreshold(exact, rank, math.Inf(1))
+	}
 	if err != nil {
 		return nil, err
 	}

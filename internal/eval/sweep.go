@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -158,7 +159,13 @@ func sweepOneSketchLen(volumes *mat.Matrix, truth *Truth, cfg SweepConfig, l, re
 			for ri, r := range cfg.Ranks {
 				th, err := stats.QStatistic(sv, cfg.WindowLen, r, cfg.Alpha)
 				if err != nil {
-					return nil, err
+					if !errors.Is(err, stats.ErrDegenerate) {
+						return nil, err
+					}
+					// No usable threshold at this rank for this refit: +Inf
+					// flags nothing (counted as misses, never false alarms)
+					// instead of aborting the whole sweep.
+					th = math.Inf(1)
 				}
 				thresholds[ri] = th
 			}

@@ -14,9 +14,11 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"streampca/internal/mat"
 	"streampca/internal/pca"
+	"streampca/internal/stats"
 )
 
 // Errors returned by the package.
@@ -105,6 +107,12 @@ func GroundTruth(volumes *mat.Matrix, cfg TruthConfig) (*Truth, error) {
 				return nil, fmt.Errorf("interval %d: %w", i, err)
 			}
 			det, err = pca.NewDetector(model, cfg.Rank, cfg.Alpha)
+			if errors.Is(err, stats.ErrDegenerate) {
+				// No usable control limit on this window's residual spectrum:
+				// label the intervals "normal" via a +Inf threshold (recorded
+				// as such in Thresholds) rather than aborting the labeling.
+				det, err = pca.NewDetectorThreshold(model, cfg.Rank, math.Inf(1))
+			}
 			if err != nil {
 				return nil, fmt.Errorf("interval %d: %w", i, err)
 			}

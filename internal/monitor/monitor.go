@@ -16,6 +16,7 @@ import (
 
 	"streampca/internal/core"
 	"streampca/internal/obs"
+	"streampca/internal/oracle"
 	"streampca/internal/par"
 	"streampca/internal/randproj"
 	"streampca/internal/transport"
@@ -59,6 +60,14 @@ type Config struct {
 	// to ReconnectBackoffMax. Defaults: 200ms and 5s.
 	ReconnectBackoff    time.Duration
 	ReconnectBackoffMax time.Duration
+	// SelfCheckEvery, when ≥ 1, enables the internal/oracle differential
+	// validator: the service shadows every interval with an exact sliding
+	// window per flow and every SelfCheckEvery-th interval checks the
+	// histograms' stats, sketches and Lemma 1 bound against it, recording
+	// streampca_monitor_oracle_* metrics and logging violations. Costs one
+	// exact window of memory per flow plus an O(w·n·l) pass per sampled
+	// interval; 0 (the default) disables.
+	SelfCheckEvery int
 	// Obs is the metrics registry the service instruments into; nil creates
 	// a private registry (instrumentation is always on — it is a handful of
 	// atomic ops per interval, see BenchmarkInstrumentedSketchUpdate).
@@ -126,9 +135,10 @@ type Service struct {
 	wireMet *transport.Metrics
 	diag    *obs.Server
 
-	mu   sync.Mutex
-	core *core.Monitor
-	conn *transport.Conn
+	mu     sync.Mutex
+	core   *core.Monitor
+	oracle *oracle.Checker
+	conn   *transport.Conn
 	// nocAddr/dialTimeout remember the Connect parameters so the
 	// reconnect loop can redial; closed stops it permanently.
 	nocAddr     string
@@ -178,6 +188,22 @@ func New(cfg Config) (*Service, error) {
 		met:     newMetrics(reg),
 		wireMet: transport.NewMetrics(reg),
 		core:    cm,
+	}
+	if cfg.SelfCheckEvery > 0 {
+		chk, err := oracle.NewChecker(oracle.CheckerConfig{
+			Every:     cfg.SelfCheckEvery,
+			WindowLen: cfg.WindowLen,
+			Epsilon:   cfg.Epsilon,
+			Gen:       gen,
+			NumFlows:  len(cfg.FlowIDs),
+			Component: "monitor",
+			Log:       s.log,
+			Reg:       reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("oracle checker: %w", err)
+		}
+		s.oracle = chk
 	}
 	s.met.workers.Set(float64(par.Workers(cfg.Workers)))
 	s.health.Set("monitor", obs.StatusOK, "sketch state ready")
@@ -390,6 +416,11 @@ func (s *Service) ReportInterval(t int64, volumes []float64) error {
 		s.met.vhBuckets.Set(float64(s.core.NumBucketsTotal()))
 		s.met.intervals.Inc()
 		s.met.lastInterval.Set(float64(t))
+		if s.oracle != nil {
+			// Shadow only intervals actually folded into the sketch state
+			// (retries re-enter with t ≤ Now and must not double-push).
+			s.oracle.ObserveMonitor(t, volumes, s.core)
+		}
 	}
 	flowIDs := s.core.FlowIDs()
 	s.mu.Unlock()

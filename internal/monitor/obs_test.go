@@ -17,6 +17,7 @@ func TestStatsAndInstrumentation(t *testing.T) {
 	alarmCh := make(chan transport.Alarm, 1)
 	cfg := testConfig()
 	cfg.Obs = reg
+	cfg.SelfCheckEvery = 1 // every interval also runs the oracle validator
 	cfg.OnAlarm = func(a transport.Alarm) { alarmCh <- a }
 	svc, err := New(cfg)
 	if err != nil {
@@ -75,10 +76,17 @@ func TestStatsAndInstrumentation(t *testing.T) {
 		"streampca_monitor_intervals_total 3",
 		"streampca_monitor_vh_buckets",
 		"streampca_transport_messages_total",
+		"streampca_monitor_oracle_checks_total",
+		"streampca_monitor_oracle_violations_total 0",
+		"streampca_monitor_oracle_max_rel_err",
 	} {
 		if !strings.Contains(b.String(), want) {
 			t.Fatalf("exposition missing %q:\n%s", want, b.String())
 		}
+	}
+	// The validator ran on all three intervals and found nothing.
+	if got := reg.Counter("streampca_monitor_oracle_checks_total", "").Value(); got == 0 {
+		t.Fatal("oracle checks counter never advanced")
 	}
 }
 

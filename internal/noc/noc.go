@@ -17,6 +17,7 @@ import (
 	"streampca/internal/core"
 	"streampca/internal/faults"
 	"streampca/internal/obs"
+	"streampca/internal/oracle"
 	"streampca/internal/randproj"
 	"streampca/internal/transport"
 )
@@ -120,6 +121,15 @@ type Config struct {
 	// runtime.GOMAXPROCS(0). Fills Detector.Workers when that is unset.
 	// Results are identical for any value (see internal/par).
 	Workers int
+	// SelfCheckEvery, when ≥ 1, enables the internal/oracle differential
+	// validator: the NOC shadows every non-degraded completed interval
+	// vector and every SelfCheckEvery-th interval validates the model in
+	// force against an exact batch-PCA reference (Lemmas 5–6, Theorem 2,
+	// alarm agreement), recording streampca_noc_oracle_* metrics and
+	// logging violations. Costs a window-plus-slack copy of the interval
+	// vectors and an O(n·m² + m³) pass per sampled interval; 0 (the
+	// default) disables.
+	SelfCheckEvery int
 	// Obs is the metrics registry the service instruments into; nil creates
 	// a private registry (instrumentation is always on).
 	Obs *obs.Registry
@@ -162,6 +172,9 @@ type metrics struct {
 	degraded     *obs.Counter
 	breakerOpen  *obs.Gauge
 	breakerOpens *obs.Counter
+	// thresholdUnavailable counts intervals decided without a usable δ
+	// (degenerate residual spectrum — the detector is blind, not "normal").
+	thresholdUnavailable *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -206,6 +219,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Monitors currently excluded from sketch pulls by an open circuit breaker."),
 		breakerOpens: reg.Counter("streampca_noc_breaker_opens_total",
 			"Circuit-breaker open transitions (consecutive-failure threshold crossed)."),
+		thresholdUnavailable: reg.Counter("streampca_noc_threshold_unavailable_total",
+			"Intervals with no usable Q threshold (degenerate residual spectrum)."),
 	}
 }
 
@@ -269,6 +284,9 @@ type Service struct {
 
 	detMu sync.Mutex
 	det   *core.Detector
+	// oracle is the -selfcheck differential validator; nil when disabled.
+	// Touched only from the processing goroutine.
+	oracle *oracle.Checker
 	// localMon holds the NOC-side variance histograms when LocalSketches
 	// is enabled; accessed only from the processing goroutine.
 	localMon *core.Monitor
@@ -403,6 +421,27 @@ func New(cfg Config) (*Service, error) {
 		localMon:    localMon,
 		workCh:      make(chan workItem, 256),
 		procDone:    make(chan struct{}),
+	}
+	if cfg.SelfCheckEvery > 0 {
+		eps := cfg.Epsilon
+		if eps == 0 {
+			eps = 0.01 // the paper's default; monitors own the real value
+		}
+		chk, err := oracle.NewChecker(oracle.CheckerConfig{
+			Every:     cfg.SelfCheckEvery,
+			WindowLen: cfg.Detector.WindowLen,
+			Epsilon:   eps,
+			Alpha:     cfg.Detector.Alpha,
+			SketchLen: cfg.Detector.SketchLen,
+			NumFlows:  m,
+			Component: "noc",
+			Log:       log,
+			Reg:       reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("oracle checker: %w", err)
+		}
+		s.oracle = chk
 	}
 	s.met.workers.Set(float64(det.Config().Workers))
 	s.health.Set("noc", obs.StatusDegraded, "not serving yet")
@@ -775,8 +814,18 @@ func (s *Service) processLoop() {
 				_ = s.localMon.Update(item.interval, item.volumes)
 			}
 		}
+		// Feed the oracle's exact shadow window. Degraded intervals are
+		// withheld: their vectors contain cache-substituted volumes, and a
+		// gap just makes the affected exact windows non-reconstructible
+		// (checks skip) instead of silently comparing against wrong data.
+		shadow := func(dec core.Decision, model *core.Model) {
+			if s.oracle != nil && !item.degraded {
+				s.oracle.ObserveNOC(item.interval, item.volumes, dec, model)
+			}
+		}
 		if item.interval < int64(s.cfg.Detector.WindowLen) {
 			absorb()
+			shadow(core.Decision{ThresholdUnavailable: true}, nil)
 			s.met.warmups.Inc()
 			if item.degraded {
 				s.met.degraded.Inc()
@@ -830,12 +879,29 @@ func (s *Service) processLoop() {
 				s.health.Set("detector", obs.StatusOK, "model fresh")
 			}
 		}
+		s.detMu.Lock()
+		model := s.det.Model()
+		s.detMu.Unlock()
+		shadow(res, model)
 		degraded := item.degraded || res.Degraded
 		if degraded {
 			s.met.degraded.Inc()
 		}
 		s.met.spe.Set(res.Distance)
-		s.met.threshold.Set(res.Threshold)
+		if res.ThresholdUnavailable {
+			// The spectrum admits no Jackson–Mudholkar limit: the detector
+			// could not compare d(y) against anything this interval. Surface
+			// it loudly (the old behavior compared against NaN, which is
+			// always false and silently never alarms) and leave the
+			// threshold gauge at its last usable value.
+			s.met.thresholdUnavailable.Inc()
+			s.health.Set("detector", obs.StatusDegraded,
+				"threshold unavailable: degenerate residual spectrum")
+			s.log.Warn("threshold unavailable, interval not classified",
+				"interval", item.interval, "distance", res.Distance)
+		} else {
+			s.met.threshold.Set(res.Threshold)
+		}
 		if res.Anomalous {
 			s.met.alarms.Inc()
 			s.log.Warn("anomaly detected", "interval", item.interval,

@@ -131,6 +131,7 @@ func TestPipeTransportCountersEndToEnd(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	cfg := nocConfig()
 	cfg.MetricsAddr = "127.0.0.1:0"
+	cfg.SelfCheckEvery = 1 // register the oracle metrics surface too
 	svc, _ := startNOC(t, cfg)
 	if svc.DiagAddr() == "" {
 		t.Fatal("diagnostics server not started")
@@ -154,6 +155,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"streampca_noc_alarms_total",
 		"streampca_noc_monitors_connected",
 		"streampca_noc_fetch_seconds",
+		"streampca_noc_oracle_checks_total",
+		"streampca_noc_oracle_violations_total",
+		"streampca_noc_oracle_max_rel_err",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("/metrics missing %s:\n%s", want, body)

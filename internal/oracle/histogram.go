@@ -1,0 +1,101 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"streampca/internal/randproj"
+	"streampca/internal/vh"
+)
+
+// exactTolPerElement scales the exactness tolerances: incremental float error
+// grows with the number of elements folded, so the allowed relative error is
+// exactTolPerElement·count with a floor of exactTolFloor. At a 4032-interval
+// window this allows ~4e-9 — anything past it means a real arithmetic bug
+// (the pre-rebase totals drift exceeded 1e-1).
+const (
+	exactTolPerElement = 1e-12
+	exactTolFloor      = 1e-9
+)
+
+func exactTol(count int) float64 {
+	return math.Max(exactTolFloor, exactTolPerElement*float64(count))
+}
+
+// CheckHistogram differentially validates one variance histogram against the
+// exact window w, which must have been fed exactly the same (t, x) updates.
+//
+// The VH's merge step is algebraically exact; only expiry (dropping a whole
+// bucket whose oldest element left the window) approximates, and buckets are
+// time-ordered, so the histogram's covered element set is precisely the
+// Count() most recent elements. Stats over that set are checked to rounding
+// error; the variance is additionally checked against the full window per
+// Lemma 1: (1−ε)·V ≤ V̂ ≤ V.
+func CheckHistogram(h *vh.Histogram, w *Window, g *randproj.Generator, eps float64) Result {
+	var res Result
+	k := int(h.Count())
+
+	// Coverage: covered ⊆ window, never empty while the window has data.
+	if k > w.Len() || (k == 0 && w.Len() > 0) {
+		res.Checks++
+		res.Violations = append(res.Violations, Violation{
+			Check: "vh-coverage", Err: math.Inf(1), Bound: 0,
+			Detail: fmt.Sprintf("histogram covers %d elements, window retains %d", k, w.Len()),
+		})
+		return res
+	}
+	if k == 0 {
+		return res
+	}
+	tol := exactTol(k)
+	meanX, ssX := w.TrailingStats(k)
+	sumSq := w.TrailingSumSquares(k)
+	rms := math.Sqrt(sumSq / float64(k))
+
+	// Tier 1 — float exactness over the covered set.
+	meanHat := h.EstimateMean()
+	res.check("vh-mean-exact", relTo(meanHat, meanX, rms), tol,
+		"mean %.17g vs exact %.17g over %d covered elements", meanHat, meanX, k)
+
+	varHat := h.EstimateVariance()
+	// Anchor the deviation scale to Σx²: roundoff in either computation grows
+	// with the raw magnitudes, not with the (possibly cancelling) deviations.
+	res.check("vh-var-exact", relTo(varHat, ssX, sumSq), tol,
+		"variance %.17g vs exact %.17g (sumsq %.3g, %d covered)", varHat, ssX, sumSq, k)
+
+	if g != nil {
+		sk := h.Sketch()
+		exact, scale := w.TrailingSketch(g, k, meanHat)
+		worst, worstK := 0.0, -1
+		for j := range exact {
+			e := relTo(sk[j], exact[j], scale[j])
+			if e > worst {
+				worst, worstK = e, j
+			}
+		}
+		res.check("vh-sketch-exact", worst, tol,
+			"sketch direction %d: %.17g vs exact %.17g (%d covered)",
+			worstK, at(sk, worstK), at(exact, worstK), k)
+	}
+
+	// Lemma 1 — V̂ against the exact full-window variance, relative to V with
+	// an absolute slack anchored to Σx²: both sides compute sums of squared
+	// deviations whose roundoff scales with the raw magnitudes, so V cannot
+	// be resolved below ~ulp·Σx² (constant flows have V = 0 but V̂ ~ ulp²).
+	_, fullSS := w.Stats()
+	fullSumSq := w.TrailingSumSquares(w.Len())
+	denom := math.Max(fullSS, 1e-300)
+	slack := 1e-12 * float64(w.Len()) * fullSumSq
+	res.check("lemma1-upper", (varHat-fullSS-slack)/denom, tol,
+		"Vhat %.17g exceeds exact window V %.17g", varHat, fullSS)
+	res.check("lemma1-lower", ((1-eps)*fullSS-slack-varHat)/denom, tol,
+		"Vhat %.17g under (1-eps)V = %.17g (eps %.3g)", varHat, (1-eps)*fullSS, eps)
+	return res
+}
+
+func at(s []float64, i int) float64 {
+	if i < 0 || i >= len(s) {
+		return math.NaN()
+	}
+	return s[i]
+}

@@ -1,0 +1,265 @@
+package oracle
+
+import (
+	"errors"
+	"math"
+
+	"streampca/internal/core"
+	"streampca/internal/mat"
+	"streampca/internal/stats"
+)
+
+// ModelCheckConfig parameterizes the spectral and detection checks.
+type ModelCheckConfig struct {
+	// Epsilon is the VH approximation parameter the pipeline was configured
+	// with; the checks widen it to EffectiveEpsilon for the sketch length.
+	Epsilon float64
+	// Alpha is the detector's false-alarm rate, used to fit the exact
+	// reference threshold.
+	Alpha float64
+	// SketchLen is l, for the EffectiveEpsilon widening. 0 falls back to the
+	// window length (the JL term at its smallest — conservative).
+	SketchLen int
+	// DeadBand is the relative margin around the thresholds inside which
+	// alarm disagreement is tolerated (the bounds allow the two detectors to
+	// land on opposite sides of δ for borderline distances). 0 selects 0.2.
+	DeadBand float64
+}
+
+// svSignificance gates the per-component Lemma 5 ratio check: components
+// carrying less than this fraction of the total spectral energy are skipped
+// (their relative error is dominated by the JL noise floor, which the paper's
+// multiplicative bound does not model for vanishing singular values).
+const svSignificance = 1e-3
+
+// gapSignificance gates the Theorem 2 check: the additive bound divides by
+// the eigengap λ²_r − λ²_{r+1}, so it is vacuous (astronomically large) when
+// the gap is a negligible fraction of the spectral energy.
+const gapSignificance = 1e-6
+
+// CheckModel differentially validates one NOC model and the decision it
+// produced against an exact batch-PCA reference fitted on the true window
+// matrix.
+//
+// model must be the detector's model in force for the decision, x the raw
+// measurement vector the decision classified, and vw a VectorWindow that was
+// fed every completed interval vector. The exact reference window is the one
+// ending at model.BuiltAt; if it cannot be reconstructed (gaps, insufficient
+// history) or the model was built from a degraded fetch (the paper's bounds
+// do not cover cache-substituted sketches), the check is skipped and ok is
+// false.
+//
+// Checks, in order: Lemma 5 (eq. 25) — squared singular values of the sketch
+// model within (1±3ε) of the exact window's, for energy-significant
+// components; Lemma 6 (eq. 26) — the model's implied covariance
+// V·diag(λ̂²)·Vᵀ within √6·ε·‖Yc‖²_F of YcᵀYc in Frobenius norm; Theorem 2 —
+// the sketch anomaly distance within the additive bound of the exact one; and
+// alarm agreement with an exact Q-statistic detector outside a dead band.
+func CheckModel(model *core.Model, dec core.Decision, x []float64, vw *VectorWindow, cfg ModelCheckConfig) (Result, bool) {
+	var res Result
+	if model == nil || model.Degraded || model.Components == nil {
+		return res, false
+	}
+	m := len(model.Singular)
+	if m == 0 || len(x) != m || model.Components.Rows() != m || model.Components.Cols() != m {
+		return res, false
+	}
+	y, _, okWin := vw.MatrixEnding(model.BuiltAt)
+	if !okWin || y.Cols() != m {
+		return res, false
+	}
+	n := y.Rows()
+	l := cfg.SketchLen
+	if l <= 0 {
+		l = n
+	}
+	eps := EffectiveEpsilon(cfg.Epsilon, n, l)
+	deadBand := cfg.DeadBand
+	if deadBand == 0 {
+		deadBand = 0.2
+	}
+
+	// Exact reference spectrum: center the true window column-wise and
+	// eigendecompose its Gram matrix — same kernel, same ordering convention
+	// (descending) as the detector applies to the sketch matrix.
+	exactMeans := y.CenterColumns()
+	frob2 := 0.0
+	for i := 0; i < n; i++ {
+		for _, v := range y.RowView(i) {
+			frob2 += v * v
+		}
+	}
+	eig, err := mat.SymEigen(y.Gram())
+	if err != nil {
+		res.Checks++
+		res.Violations = append(res.Violations, Violation{
+			Check: "exact-eigen", Err: math.Inf(1), Bound: 0,
+			Detail: "exact window eigendecomposition failed: " + err.Error(),
+		})
+		return res, true
+	}
+	exactVals := eig.Values // λ²_j descending
+	total := 0.0
+	for _, lam := range exactVals {
+		if lam > 0 {
+			total += lam
+		}
+	}
+
+	// Lemma 5 — per-component squared-singular-value ratios.
+	worst, worstJ := 0.0, -1
+	for j := 0; j < m; j++ {
+		exact := exactVals[j]
+		if exact <= svSignificance*total || total == 0 {
+			break // descending: everything after is insignificant too
+		}
+		hat := model.Singular[j] * model.Singular[j]
+		if e := math.Abs(hat-exact) / exact; e > worst {
+			worst, worstJ = e, j
+		}
+	}
+	if worstJ >= 0 {
+		res.check("lemma5", worst, 3*eps,
+			"component %d: sketch λ̂² %.6g vs exact λ² %.6g", worstJ,
+			model.Singular[worstJ]*model.Singular[worstJ], exactVals[worstJ])
+	}
+
+	// Lemma 6 — ‖Â − A‖_F ≤ √6·ε·‖Yc‖²_F with Â from the model's own
+	// eigenpairs and A = YcᵀYc exactly.
+	if frob2 > 0 {
+		diffF := covarianceDiffFrob(model, y.Gram())
+		res.check("lemma6", diffF/frob2, math.Sqrt(6)*eps,
+			"‖Ahat−A‖_F = %.6g, ‖Yc‖²_F = %.6g", diffF, frob2)
+	}
+
+	// Exact batch detector: distance of x against the exact subspace at the
+	// model's rank, threshold from the exact spectrum.
+	rank := model.Rank
+	if rank < 0 || rank > m {
+		return res, true
+	}
+	exactDist := exactDistance(x, exactMeans, eig.Vectors, rank)
+
+	// Theorem 2 — additive distance bound, meaningful only with a real
+	// eigengap at the subspace cut. allow is carried into the alarm-agreement
+	// gate: classification differences the distance bound permits are not
+	// violations.
+	allow := math.Inf(1)
+	if rank >= 1 && rank < m {
+		gap := exactVals[rank-1] - exactVals[rank]
+		if gap > gapSignificance*total && total > 0 {
+			yNorm := 0.0
+			for j, v := range x {
+				d := v - exactMeans[j]
+				yNorm += d * d
+			}
+			yNorm = math.Sqrt(yNorm)
+			allow = 2 * math.Sqrt(3*eps) * frob2 * yNorm / gap
+			res.check("theorem2", math.Abs(dec.Distance-exactDist), allow,
+				"sketch distance %.6g vs exact %.6g (gap %.3g, ‖y‖ %.3g)",
+				dec.Distance, exactDist, gap, yNorm)
+		}
+	}
+
+	// Decision consistency — with a usable threshold, the alarm bit must be
+	// exactly Distance > Threshold on the decision's own final numbers. This
+	// catches inverted comparisons and stale-threshold bookkeeping bugs
+	// regardless of how loose the approximation bounds are.
+	if !dec.ThresholdUnavailable {
+		if dec.Anomalous != (dec.Distance > dec.Threshold) {
+			res.check("decision-consistent", 1, 0,
+				"Anomalous=%v but d %.6g vs δ %.6g", dec.Anomalous, dec.Distance, dec.Threshold)
+		} else {
+			res.Checks++
+		}
+	}
+
+	// Alarm agreement — the sketch and exact detectors must classify
+	// identically whenever the disagreement cannot be explained by the
+	// approximation bounds: the exact margin exceeds the dead band AND the
+	// sketch-exact distance gap exceeds the Theorem 2 allowance.
+	if !dec.ThresholdUnavailable && !model.ThresholdUnavailable {
+		exactSV := make([]float64, m)
+		for j, lam := range exactVals {
+			if lam < 0 {
+				lam = 0
+			}
+			exactSV[j] = math.Sqrt(lam)
+		}
+		exactTh, err := stats.QStatistic(exactSV, n, rank, cfg.Alpha)
+		switch {
+		case err == nil:
+			gapExplains := math.Abs(dec.Distance-exactDist) <= allow
+			if dec.Anomalous && exactDist < (1-deadBand)*exactTh && !gapExplains {
+				res.check("alarm-agreement", 1, 0,
+					"sketch alarmed (d %.6g > δ %.6g) but exact is clearly normal (d %.6g, δ %.6g)",
+					dec.Distance, dec.Threshold, exactDist, exactTh)
+			} else if !dec.Anomalous && exactDist > (1+deadBand)*exactTh && !gapExplains {
+				res.check("alarm-agreement", 1, 0,
+					"sketch stayed quiet (d %.6g ≤ δ %.6g) but exact clearly alarms (d %.6g, δ %.6g)",
+					dec.Distance, dec.Threshold, exactDist, exactTh)
+			} else {
+				res.Checks++ // agreement evaluated, no violation
+			}
+		case !errors.Is(err, stats.ErrDegenerate):
+			res.Checks++
+			res.Violations = append(res.Violations, Violation{
+				Check: "exact-threshold", Err: math.Inf(1), Bound: 0,
+				Detail: "exact Q-statistic failed: " + err.Error(),
+			})
+		}
+	}
+	return res, true
+}
+
+// covarianceDiffFrob computes ‖V·diag(λ̂²)·Vᵀ − A‖_F without materializing
+// the m×m reconstruction: row i of Â is Σ_j λ̂²_j·V[i][j]·V[·][j].
+func covarianceDiffFrob(model *core.Model, a *mat.Matrix) float64 {
+	m := len(model.Singular)
+	v := model.Components
+	row := make([]float64, m)
+	sum := 0.0
+	for i := 0; i < m; i++ {
+		for k := range row {
+			row[k] = 0
+		}
+		for j := 0; j < m; j++ {
+			w := model.Singular[j] * model.Singular[j] * v.At(i, j)
+			if w == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				row[k] += w * v.At(k, j)
+			}
+		}
+		for k := 0; k < m; k++ {
+			d := row[k] - a.At(i, k)
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// exactDistance is the batch anomaly distance of x against the exact
+// subspace: ‖(I − PPᵀ)(x − μ)‖ with P the first rank exact components.
+func exactDistance(x, means []float64, components *mat.Matrix, rank int) float64 {
+	m := len(x)
+	y := make([]float64, m)
+	for j, v := range x {
+		y[j] = v - means[j]
+	}
+	total := mat.Dot(y, y)
+	var normal float64
+	for j := 0; j < rank; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += components.At(i, j) * y[i]
+		}
+		normal += s * s
+	}
+	rem := total - normal
+	if rem < 0 {
+		rem = 0
+	}
+	return math.Sqrt(rem)
+}

@@ -19,7 +19,10 @@ type Detector struct {
 }
 
 // NewDetector builds a detector from a fitted model, a normal-subspace rank
-// r ∈ [0, m], and a false-alarm rate alpha ∈ (0, 1).
+// r ∈ [0, m], and a false-alarm rate alpha ∈ (0, 1). When the residual
+// spectrum admits no Jackson–Mudholkar limit the error wraps
+// stats.ErrDegenerate; callers that only need distances (not alarms) can fall
+// back to NewDetectorThreshold.
 func NewDetector(model *Model, rank int, alpha float64) (*Detector, error) {
 	if model == nil {
 		return nil, fmt.Errorf("%w: nil model", ErrInput)
@@ -33,6 +36,24 @@ func NewDetector(model *Model, rank int, alpha float64) (*Detector, error) {
 		return nil, fmt.Errorf("q statistic: %w", err)
 	}
 	return &Detector{model: model, rank: rank, alpha: alpha, threshold: threshold}, nil
+}
+
+// NewDetectorThreshold builds a detector with a caller-supplied threshold,
+// bypassing the Q statistic. Evaluation harnesses use it with +Inf to keep
+// scoring distances when NewDetector fails with stats.ErrDegenerate (with
+// +Inf, IsAnomalous never flags).
+func NewDetectorThreshold(model *Model, rank int, threshold float64) (*Detector, error) {
+	if model == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrInput)
+	}
+	m := model.NumFlows()
+	if rank < 0 || rank > m {
+		return nil, fmt.Errorf("%w: rank %d with %d flows", ErrRank, rank, m)
+	}
+	if math.IsNaN(threshold) || threshold < 0 {
+		return nil, fmt.Errorf("%w: threshold %v", ErrInput, threshold)
+	}
+	return &Detector{model: model, rank: rank, alpha: math.NaN(), threshold: threshold}, nil
 }
 
 // Model returns the underlying fitted model.

@@ -1,9 +1,12 @@
 package pca
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"streampca/internal/mat"
+	"streampca/internal/stats"
 )
 
 // Window is a fixed-capacity ring buffer of measurement vectors, oldest
@@ -130,6 +133,10 @@ type Result struct {
 	Anomalous bool
 	// Refitted reports whether this observation triggered a PCA refit.
 	Refitted bool
+	// ThresholdUnavailable reports that the current model's residual
+	// spectrum admits no Q threshold (stats.ErrDegenerate); Threshold is
+	// then +Inf and Anomalous is always false until a refit recovers.
+	ThresholdUnavailable bool
 }
 
 // Observe pushes a measurement vector and tests it against the current
@@ -149,6 +156,11 @@ func (s *SlidingDetector) Observe(x []float64) (Result, error) {
 			return Result{}, fmt.Errorf("refit: %w", err)
 		}
 		det, err := NewDetector(model, s.cfg.Rank, s.cfg.Alpha)
+		if errors.Is(err, stats.ErrDegenerate) {
+			// No trustworthy threshold on this window's spectrum: keep
+			// scoring distances, never alarm, recover on a later refit.
+			det, err = NewDetectorThreshold(model, s.cfg.Rank, math.Inf(1))
+		}
 		if err != nil {
 			return Result{}, fmt.Errorf("refit: %w", err)
 		}
@@ -165,6 +177,7 @@ func (s *SlidingDetector) Observe(x []float64) (Result, error) {
 	res.Distance = dist
 	res.Threshold = s.det.Threshold()
 	res.Anomalous = anomalous
+	res.ThresholdUnavailable = math.IsInf(res.Threshold, 1)
 	return res, nil
 }
 

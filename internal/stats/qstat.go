@@ -1,9 +1,17 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrDegenerate reports a residual spectrum on which the Jackson–Mudholkar
+// expansion breaks down (h0 ≤ 0 or a non-finite Q): no trustworthy threshold
+// exists. Callers must treat this as "threshold unavailable" — compare
+// against nothing, never against NaN (NaN comparisons are always false, which
+// silently disables alarming).
+var ErrDegenerate = errors.New("stats: degenerate residual spectrum, Q threshold unavailable")
 
 // QStatistic computes the Jackson–Mudholkar control limit Q_α for the
 // squared prediction error of a PCA residual (paper eqs. 7–9 and 22–23).
@@ -64,9 +72,11 @@ func QStatistic(singularValues []float64, windowLen, normalRank int, alpha float
 	h0 := 1 - 2*phi1*phi3/(3*phi2*phi2)
 	if h0 <= 0 || math.IsNaN(h0) {
 		// Jackson & Mudholkar note h0 ≤ 0 can occur for pathological
-		// spectra; the standard fallback clamps it to a small positive
-		// value, which keeps the threshold finite and conservative.
-		h0 = 1e-3
+		// spectra. The exponent 1/h0 then blows Pow(inner, 1/h0) up to
+		// +Inf or collapses it to 0 — there is no meaningful threshold on
+		// such a spectrum, so report it instead of clamping (the old 1e-3
+		// clamp produced astronomically large thresholds that never alarm).
+		return 0, fmt.Errorf("%w: h0 = %v (phi1=%v phi2=%v phi3=%v)", ErrDegenerate, h0, phi1, phi2, phi3)
 	}
 
 	inner := ca*math.Sqrt(2*phi2*h0*h0)/phi1 + 1 + phi2*h0*(h0-1)/(phi1*phi1)
@@ -77,7 +87,7 @@ func QStatistic(singularValues []float64, windowLen, normalRank int, alpha float
 	}
 	q2 := phi1 * math.Pow(inner, 1/h0)
 	if math.IsNaN(q2) || math.IsInf(q2, 0) {
-		return 0, fmt.Errorf("%w: non-finite Q statistic", ErrBadInput)
+		return 0, fmt.Errorf("%w: non-finite Q statistic", ErrDegenerate)
 	}
 	return math.Sqrt(q2), nil
 }

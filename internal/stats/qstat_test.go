@@ -49,6 +49,34 @@ func TestQStatisticErrors(t *testing.T) {
 	}
 }
 
+// TestQStatisticDegenerate pins the typed error on spectra where the
+// Jackson–Mudholkar expansion breaks down: one dominant residual variance
+// plus many small ones pushes φ1φ3/φ2² past 3/2, making h0 negative. The old
+// behavior clamped h0 to 1e-3, which raised the threshold astronomically
+// (Pow(inner, 1000)) and silently disabled alarming.
+func TestQStatisticDegenerate(t *testing.T) {
+	sv := make([]float64, 101)
+	sv[0] = 1
+	for i := 1; i < len(sv); i++ {
+		// 100 tail variances of 0.01 sum to the dominant variance 1:
+		// φ1φ3/φ2² ≈ 2·1/1.01² ≈ 1.96 > 3/2 ⇒ h0 ≈ −0.31.
+		sv[i] = 0.1
+	}
+	_, err := QStatistic(sv, 100, 0, 0.01)
+	if !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("want ErrDegenerate, got %v", err)
+	}
+	// Shifting the heavy component into the normal subspace leaves an
+	// equal-variance residual (h0 = 1/3): a valid threshold again.
+	q, err := QStatistic(sv, 100, 1, 0.01)
+	if err != nil {
+		t.Fatalf("rank 1: %v", err)
+	}
+	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		t.Fatalf("rank 1 threshold = %v", q)
+	}
+}
+
 func TestQStatisticFullRankResidualEmpty(t *testing.T) {
 	sv := decayingSpectrum(4, 10, 0.5)
 	q, err := QStatistic(sv, 100, 4, 0.01)

@@ -187,17 +187,17 @@ func (h *Histogram) UpdateWithRow(t int64, x float64, row []float64) error {
 	expireBefore := t - int64(h.cfg.WindowLen)
 	drop := 0
 	for drop < len(h.buckets) && h.buckets[drop].Timestamp <= expireBefore {
-		b := &h.buckets[drop]
-		h.totalCount -= b.Count
-		h.totalSum -= float64(b.Count) * b.Mean
-		for k := range b.Z {
-			h.totalZ[k] -= b.Z[k]
-			h.totalR[k] -= b.R[k]
-		}
 		drop++
 	}
 	if drop > 0 {
 		h.buckets = h.buckets[:copy(h.buckets, h.buckets[drop:])]
+		// Rebase the incremental totals from the surviving buckets instead of
+		// subtracting the dropped contributions: repeated subtraction leaves a
+		// rounding residue that never expires, so over long runs with
+		// large-magnitude volumes Sketch()/EstimateMean() drift away from the
+		// bucket-list ground truth. Rebasing bounds the accumulated error to
+		// one window's worth of additions.
+		h.rebaseTotals()
 	}
 
 	// Step 2: create the singleton bucket B1 for the new element.
@@ -222,6 +222,29 @@ func (h *Histogram) UpdateWithRow(t int64, x float64, row []float64) error {
 	// (B_{p+1}, B_{p+2}) when both rules pass.
 	h.mergeScan()
 	return nil
+}
+
+// rebaseTotals recomputes totalCount/totalSum/totalZ/totalR from the bucket
+// list. Merging buckets keeps the totals exact (sums are redistributed, not
+// changed), so this only needs to run when expiry drops buckets. Cost is
+// O(buckets·l), amortized over the ≥1 updates it took to fill the dropped
+// bucket.
+func (h *Histogram) rebaseTotals() {
+	h.totalCount = 0
+	h.totalSum = 0
+	for k := range h.totalZ {
+		h.totalZ[k] = 0
+		h.totalR[k] = 0
+	}
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		h.totalCount += b.Count
+		h.totalSum += float64(b.Count) * b.Mean
+		for k := range b.Z {
+			h.totalZ[k] += b.Z[k]
+			h.totalR[k] += b.R[k]
+		}
+	}
 }
 
 // mergeScan implements step 3 of Fig. 3.
@@ -297,9 +320,37 @@ func (h *Histogram) Aggregate() Bucket {
 }
 
 // EstimateVariance returns V̂, the ε-approximate window variance (sum of
-// squared deviations, eq. 10).
+// squared deviations, eq. 10). It folds count/mean/var across the bucket list
+// with the merge recurrence and never touches the Z/R sketch slices, so it is
+// allocation-free — Aggregate() deep-copies O(buckets·l) floats, which is too
+// expensive for the per-interval monitor path.
 func (h *Histogram) EstimateVariance() float64 {
-	return h.Aggregate().Var
+	count, _, variance := h.aggregateMoments()
+	if count == 0 {
+		return 0
+	}
+	return variance
+}
+
+// aggregateMoments folds (count, mean, var) across the bucket list using the
+// same pairwise-merge recurrence as Bucket.mergeInto, skipping the sketch
+// slices.
+func (h *Histogram) aggregateMoments() (count int64, mean, variance float64) {
+	if len(h.buckets) == 0 {
+		return 0, 0, 0
+	}
+	first := &h.buckets[0]
+	count, mean, variance = first.Count, first.Mean, first.Var
+	for i := 1; i < len(h.buckets); i++ {
+		b := &h.buckets[i]
+		na, nb := float64(count), float64(b.Count)
+		total := na + nb
+		d := mean - b.Mean
+		variance = variance + b.Var + na*nb/total*d*d
+		mean = (na*mean + nb*b.Mean) / total
+		count += b.Count
+	}
+	return count, mean, variance
 }
 
 // EstimateMean returns the mean of the summarized elements (μ_all).

@@ -452,6 +452,120 @@ func TestQuickIncrementalTotalsMatchAggregate(t *testing.T) {
 	}
 }
 
+// TestLongRunTotalsDrift is the regression test for the incremental-totals
+// drift bug: expiry used to *subtract* each dropped bucket's contributions
+// from totalSum/totalZ/totalR forever, so over long runs with large-magnitude
+// volumes the rounding residue of those subtractions accumulated and
+// Sketch()/EstimateMean() diverged from the bucket-list ground truth. The
+// totals are now rebased from the surviving buckets whenever expiry drops a
+// bucket, which bounds the divergence by one window's worth of additions.
+//
+// The workload alternates huge-magnitude (1e12) and unit-magnitude phases:
+// after a huge phase expires the surviving totals are small, so any residue
+// left behind by the departed buckets dominates the relative error.
+func TestLongRunTotalsDrift(t *testing.T) {
+	const (
+		window  = 256
+		l       = 4
+		phase   = 1024 // intervals per magnitude regime
+		updates = 1_000_000
+	)
+	g, err := randproj.NewGenerator(randproj.Config{Seed: 99, SketchLen: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mustHist(t, Config{WindowLen: window, Epsilon: 0.3, Gen: g})
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < updates; i++ {
+		x := 1 + r.Float64()
+		if (i/phase)%2 == 1 {
+			x *= 1e12
+		}
+		if err := h.Update(int64(i+1), x); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	// The run ends deep inside a unit-magnitude phase (updates/phase is even,
+	// so the final phase index is odd... make sure of it below) — assert we
+	// really are comparing small totals against ground truth.
+	if (updates-1)/phase%2 != 0 {
+		// keep the final window in the unit regime: the constant choice above
+		// must end on an even (unit) phase.
+		t.Fatalf("workload must end in a unit-magnitude phase")
+	}
+	agg := h.Aggregate()
+	if h.Count() != agg.Count {
+		t.Fatalf("Count() = %d, aggregate count = %d", h.Count(), agg.Count)
+	}
+	if rel := math.Abs(h.EstimateMean()-agg.Mean) / math.Max(1e-300, math.Abs(agg.Mean)); rel > 1e-9 {
+		t.Errorf("EstimateMean drifted: rel err %.3e (got %v, bucket-list %v)", rel, h.EstimateMean(), agg.Mean)
+	}
+	sk := h.Sketch()
+	scale := 1 / math.Sqrt(float64(l))
+	for k := 0; k < l; k++ {
+		want := scale * (agg.Z[k] - agg.Mean*agg.R[k])
+		rel := math.Abs(sk[k]-want) / math.Max(1, math.Abs(want))
+		if rel > 1e-9 {
+			t.Errorf("Sketch()[%d] drifted: rel err %.3e (got %v, bucket-list %v)", k, rel, sk[k], want)
+		}
+	}
+}
+
+// TestEstimateVarianceMatchesAggregate pins the sketch-free moment fold to
+// the Aggregate() reference: both walk the bucket list with the same merge
+// recurrence, so they must agree bit-for-bit.
+func TestEstimateVarianceMatchesAggregate(t *testing.T) {
+	g, err := randproj.NewGenerator(randproj.Config{Seed: 5, SketchLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mustHist(t, Config{WindowLen: 128, Epsilon: 0.1, Gen: g})
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		if err := h.Update(int64(i+1), 10+100*r.Float64()); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if i%97 == 0 {
+			agg := h.Aggregate()
+			if got := h.EstimateVariance(); got != agg.Var {
+				t.Fatalf("update %d: EstimateVariance() = %v, Aggregate().Var = %v", i, got, agg.Var)
+			}
+		}
+	}
+	// Empty histogram.
+	h.Reset()
+	if got := h.EstimateVariance(); got != 0 {
+		t.Fatalf("empty EstimateVariance() = %v", got)
+	}
+}
+
+// BenchmarkEstimateVariance shows the hot-path variance read is
+// allocation-free (it used to call Aggregate(), deep-copying every bucket's
+// Z/R slices).
+func BenchmarkEstimateVariance(b *testing.B) {
+	g, err := randproj.NewGenerator(randproj.Config{Seed: 5, SketchLen: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := New(Config{WindowLen: 4032, Epsilon: 0.01, Gen: g})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 8064; i++ {
+		if err := h.Update(int64(i+1), 10+100*r.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += h.EstimateVariance()
+	}
+	_ = sink
+}
+
 func TestUpdateWithRowValidation(t *testing.T) {
 	g := newSketchGen(t, 4, 8)
 	h := mustHist(t, Config{WindowLen: 8, Epsilon: 0.1, Gen: g})
