@@ -387,7 +387,7 @@ func BenchmarkDetectorDistance(b *testing.B) {
 // BenchmarkSymEigen and BenchmarkSVD size the linear-algebra substrate. The
 // legacy sizes (n=20, 81) run serial; the PR2 sizes (n=64, 256) sweep the
 // worker count of the round-robin Jacobi solver — scripts/bench.sh parses
-// these into BENCH_PR2.json. n=64 sits below the parEigenMinN fallback, so
+// these into the tracked baseline (BENCH_PR5.json). n=64 sits below the parEigenMinN fallback, so
 // its worker variants document the (flat) serial-fallback cost.
 func BenchmarkSymEigen(b *testing.B) {
 	bench := func(n, workers int) func(b *testing.B) {

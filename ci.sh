@@ -45,10 +45,17 @@ step "go test"
 go test ./...
 step_done
 
-step "go test -race (par, transport, monitor, noc, obs, faults)"
+step "go test -race (par, transport, monitor, noc, obs, faults, ingest)"
 go test -race ./internal/par/... ./internal/transport/... \
     ./internal/monitor/... ./internal/noc/... ./internal/obs/... \
-    ./internal/faults/...
+    ./internal/faults/... ./internal/ingest/...
+step_done
+
+# The live-ingestion end-to-end suites (NetFlow replay through the monitor
+# daemon, trafficgen UDP replay) run collector, shard, merger and NOC
+# goroutines against each other; keep them race-clean explicitly.
+step "go test -race ingest e2e (cmd/sketchpca-monitor, cmd/trafficgen)"
+go test -race ./cmd/sketchpca-monitor/ ./cmd/trafficgen/
 step_done
 
 # The differential-validation suite compares the streaming pipeline against
@@ -63,7 +70,18 @@ step_done
 # retry, breaker and reconnect goroutines actually contend; run it under the
 # race detector explicitly so a -run filter change elsewhere can't drop it.
 step "go test -race chaos e2e"
-go test -race -run 'TestChaos' ./internal/noc/
+go test -race -run 'TestChaos' ./internal/noc/ ./cmd/sketchpca-monitor/
+step_done
+
+# Fuzz smokes: ten seconds of coverage-guided input on the two hostile
+# parsers (NetFlow v5 datagrams off the wire, trace CSVs off disk). Go
+# allows one -fuzz target per invocation.
+step "fuzz smoke (NetFlow decoder, 10s)"
+go test -run 'XXXnone' -fuzz '^FuzzDecodeDatagram$' -fuzztime 10s ./internal/ingest/ > /dev/null
+step_done
+
+step "fuzz smoke (trace CSV reader, 10s)"
+go test -run 'XXXnone' -fuzz '^FuzzReadCSV$' -fuzztime 10s ./internal/traffic/ > /dev/null
 step_done
 
 # The parallel kernels promise identical results for any worker count and any
@@ -78,7 +96,7 @@ step "bench smoke (1 iteration per benchmark)"
 go test . ./internal/... -run 'XXXnone' -bench . -benchtime 1x > /dev/null
 step_done
 
-step "benchcheck (vs BENCH_PR2.json)"
+step "benchcheck (vs BENCH_PR5.json)"
 sh scripts/benchcheck.sh
 step_done
 

@@ -5,6 +5,12 @@
 // Volumes arrive on stdin as CSV rows "interval,v0,v1,..." (for example a
 // column slice of trafficgen output); -columns selects which CSV columns
 // (0-based, after the interval column) map to this monitor's -flows.
+// Alternatively -ingest-listen switches the daemon to live ingestion: it
+// collects NetFlow v5 datagrams over UDP, aggregates them into per-interval
+// OD volume rows (internal/ingest) and reports this monitor's -flows slice
+// of each sealed row. SIGINT/SIGTERM shut down gracefully: the collector
+// stops reading, queued batches drain, and the current partial interval is
+// sealed and reported before the NOC link closes.
 //
 // Usage:
 //
@@ -12,6 +18,9 @@
 //	    -noc 127.0.0.1:7100 -id mon-east \
 //	    -flows 0,1,2,9,10,11 -columns 0,1,2,9,10,11 \
 //	    -window 4032 -sketch 200 -seed 42
+//
+//	sketchpca-monitor -noc 127.0.0.1:7100 -id mon-east \
+//	    -flows 0,1,2 -ingest-listen 127.0.0.1:2055 -interval 5m
 package main
 
 import (
@@ -21,24 +30,31 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"streampca/internal/flow"
+	"streampca/internal/ingest"
 	"streampca/internal/monitor"
 	"streampca/internal/obs"
 	"streampca/internal/randproj"
+	"streampca/internal/traffic"
 	"streampca/internal/transport"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin); err != nil {
+	shutdown := make(chan os.Signal, 1)
+	signal.Notify(shutdown, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdin, shutdown); err != nil {
 		fmt.Fprintln(os.Stderr, "sketchpca-monitor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, in io.Reader) error {
+func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 	fs := flag.NewFlagSet("sketchpca-monitor", flag.ContinueOnError)
 	var (
 		nocAddr = fs.String("noc", "127.0.0.1:7100", "NOC address")
@@ -57,6 +73,15 @@ func run(args []string, in io.Reader) error {
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
 		statsEv = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
 		workers = fs.Int("workers", 0, "worker goroutines for the sketch-update path (0 = all CPUs)")
+
+		ingListen = fs.String("ingest-listen", "", "UDP address for live NetFlow v5 ingestion (off when empty; replaces the stdin CSV path)")
+		ingShards = fs.Int("ingest-shards", 0, "ingest aggregation shards (0 = all CPUs)")
+		ingQueue  = fs.Int("ingest-queue", 256, "per-shard ingest queue length, in record batches")
+		ingPolicy = fs.String("ingest-policy", "block", "ingest backpressure policy: block, drop-oldest or drop-newest")
+		ingIntvl  = fs.Duration("interval", 5*time.Minute, "measurement interval length (ingest mode)")
+		ingLate   = fs.Duration("ingest-lateness", 0, "accept records up to this much older than the stream head before sealing their interval")
+		ingClock  = fs.String("ingest-clock", "record", "interval clock: record (exporter timestamps) or wall")
+		routers   = fs.Int("routers", 0, "router count for the ingest routing table (0 = the Abilene topology)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +102,13 @@ func run(args []string, in io.Reader) error {
 	}
 	if len(cols) != len(flows) {
 		return fmt.Errorf("%d columns for %d flows", len(cols), len(flows))
+	}
+
+	if *ingListen == "" {
+		// CSV mode ignores the ingest tuning flags; catch accidental mixes.
+		if *ingShards != 0 || *routers != 0 {
+			return fmt.Errorf("-ingest-shards/-routers need -ingest-listen")
+		}
 	}
 
 	svc, err := monitor.New(monitor.Config{
@@ -108,7 +140,11 @@ func run(args []string, in io.Reader) error {
 		return err
 	}
 	defer func() { _ = svc.Close() }()
-	fmt.Fprintf(os.Stderr, "%s: connected to %s, feeding %d flows from stdin\n", *id, *nocAddr, len(flows))
+	feed := "stdin"
+	if *ingListen != "" {
+		feed = "live ingest"
+	}
+	fmt.Fprintf(os.Stderr, "%s: connected to %s, feeding %d flows from %s\n", *id, *nocAddr, len(flows), feed)
 	if addr := svc.DiagAddr(); addr != "" {
 		fmt.Fprintf(os.Stderr, "%s: diagnostics on http://%s/metrics\n", *id, addr)
 	}
@@ -127,6 +163,22 @@ func run(args []string, in io.Reader) error {
 				}
 			}
 		}()
+	}
+
+	if *ingListen != "" {
+		return runIngest(svc, ingestOptions{
+			listen:   *ingListen,
+			shards:   *ingShards,
+			queueLen: *ingQueue,
+			policy:   *ingPolicy,
+			interval: *ingIntvl,
+			lateness: *ingLate,
+			clock:    *ingClock,
+			routers:  *routers,
+			id:       *id,
+			flows:    flows,
+			shed:     *reconn,
+		}, shutdown)
 	}
 
 	scanner := bufio.NewScanner(in)
@@ -174,6 +226,109 @@ func run(args []string, in io.Reader) error {
 	}
 	fmt.Fprintf(os.Stderr, "%s: input exhausted\n", *id)
 	return nil
+}
+
+// ingestOptions carries the -ingest-* flag values into runIngest.
+type ingestOptions struct {
+	listen   string
+	shards   int
+	queueLen int
+	policy   string
+	interval time.Duration
+	lateness time.Duration
+	clock    string
+	routers  int
+	id       string
+	flows    []int
+	shed     bool // shed intervals instead of failing while the NOC link redials
+}
+
+// runIngest runs the live-ingestion loop: a UDP NetFlow collector feeding a
+// sharded aggregation pipeline whose sealed interval rows are sliced down to
+// this monitor's flows and reported to the NOC. It blocks until shutdown
+// fires, then drains: collector first (stop reading), pipeline second (flush
+// queues, seal the partial interval), so every received record still reaches
+// the NOC before the link closes.
+func runIngest(svc *monitor.Service, o ingestOptions, shutdown <-chan os.Signal) error {
+	var (
+		agg *flow.Aggregator
+		err error
+	)
+	if o.routers == 0 {
+		agg, err = traffic.NewAbileneAggregator()
+	} else {
+		var tbl *flow.Table
+		tbl, err = traffic.BuildRoutingTable(o.routers)
+		if err == nil {
+			agg, err = flow.NewAggregator(tbl, o.routers, nil)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("ingest topology: %w", err)
+	}
+	for _, f := range o.flows {
+		if f < 0 || f >= agg.NumFlows() {
+			return fmt.Errorf("-flows: %d outside the %d-flow topology", f, agg.NumFlows())
+		}
+	}
+	policy, err := ingest.ParsePolicy(o.policy)
+	if err != nil {
+		return fmt.Errorf("-ingest-policy: %w", err)
+	}
+	clock, err := ingest.ParseClock(o.clock)
+	if err != nil {
+		return fmt.Errorf("-ingest-clock: %w", err)
+	}
+
+	// The pipeline tags its own records component=ingest; only add the
+	// monitor identity here.
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo})).
+		With("monitor", o.id)
+	sink := func(iv ingest.Interval) error {
+		local := make([]float64, len(o.flows))
+		for i, f := range o.flows {
+			local[i] = iv.Volumes[f]
+		}
+		if err := svc.ReportInterval(iv.Seq, local); err != nil {
+			if o.shed {
+				log.Warn("interval not reported", "interval", iv.Seq, "err", err)
+				return nil
+			}
+			return err
+		}
+		return nil
+	}
+	p, err := ingest.NewPipeline(ingest.Config{
+		Aggregator: agg,
+		Interval:   o.interval,
+		Shards:     o.shards,
+		QueueLen:   o.queueLen,
+		Policy:     policy,
+		Clock:      clock,
+		Lateness:   o.lateness,
+		Sink:       sink,
+		Obs:        svc.Registry(),
+		Log:        log,
+	})
+	if err != nil {
+		return err
+	}
+	c, err := ingest.Listen(o.listen, p)
+	if err != nil {
+		_ = p.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: ingesting NetFlow v5 on %s (interval %s, %d flows of %d)\n",
+		o.id, c.Addr(), o.interval, len(o.flows), agg.NumFlows())
+
+	<-shutdown
+	fmt.Fprintf(os.Stderr, "%s: shutting down: draining ingest and sealing the open interval\n", o.id)
+	cerr := c.Close()
+	perr := p.Close()
+	if cerr != nil {
+		return cerr
+	}
+	return perr
 }
 
 func parseIntList(s string) ([]int, error) {

@@ -60,7 +60,7 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	for i, args := range cases {
 		args = append(args, "-dial-timeout", "50ms")
-		if err := run(args, strings.NewReader("")); err == nil {
+		if err := run(args, strings.NewReader(""), nil); err == nil {
 			t.Fatalf("case %d (%v): want error", i, args)
 		}
 	}
@@ -107,7 +107,7 @@ func TestRunFeedsNOC(t *testing.T) {
 			"-window", itoa(window),
 			"-sketch", itoa(sketch),
 			"-seed", itoa(seed),
-		}, pr)
+		}, pr, nil)
 	}()
 	var sb strings.Builder
 	sb.WriteString("interval,f0,f1,f2,f3,label\n")

@@ -14,17 +14,28 @@
 //	-spike       flow:start:end:magnitude
 //	-coordinated f1,f2,...:start:end:magnitude
 //	-flash       destRouter:start:end:peakMagnitude
+//
+// -netflow switches the output to NetFlow v5 datagrams for the ingest path
+// (sketchpca-monitor -ingest-listen): a file of concatenated datagrams
+// ("-" for stdout), or a live UDP replay with "udp:host:port", optionally
+// paced to -rate records per second:
+//
+//	trafficgen -intervals 288 -netflow udp:127.0.0.1:2055 -rate 50000
 package main
 
 import (
 	"bufio"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"streampca/internal/ingest"
 	"streampca/internal/traffic"
 )
 
@@ -54,6 +65,11 @@ func run(args []string, out io.Writer) error {
 		spikes     multiFlag
 		coordinate multiFlag
 		flashes    multiFlag
+
+		netflow  = fs.String("netflow", "", `emit NetFlow v5 datagrams instead of CSV: a file path, "-" for stdout, or udp:host:port for live replay`)
+		rate     = fs.Float64("rate", 0, "pace the -netflow replay to this many records per second (0 = unpaced)")
+		nfIntvl  = fs.Int("netflow-interval", 300, "seconds per trace interval in -netflow timestamps")
+		nfPerFlw = fs.Int("netflow-records-per-flow", 1, "split each flow's per-interval volume across this many records")
 	)
 	fs.Var(&spikes, "spike", "high-profile injection flow:start:end:magnitude (repeatable)")
 	fs.Var(&coordinate, "coordinated", "coordinated injection f1,f2,...:start:end:magnitude (repeatable)")
@@ -106,7 +122,84 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *netflow != "" {
+		return writeNetFlow(*netflow, out, tr, netFlowOptions{
+			rate:           *rate,
+			intervalSec:    *nfIntvl,
+			recordsPerFlow: *nfPerFlw,
+			seed:           *seed,
+		})
+	}
 	return writeCSV(out, tr)
+}
+
+type netFlowOptions struct {
+	rate           float64
+	intervalSec    int
+	recordsPerFlow int
+	seed           int64
+}
+
+// writeNetFlow serializes the trace as NetFlow v5 datagrams to dest: a file
+// path ("-" meaning stdout), or "udp:host:port" for a live replay. A
+// positive rate paces emission to that many flow records per second, so a
+// replay against a collector approximates a real exporter instead of a
+// single burst.
+func writeNetFlow(dest string, stdout io.Writer, tr *traffic.Trace, o netFlowOptions) error {
+	var (
+		emit  func([]byte) error
+		flush = func() error { return nil }
+	)
+	switch {
+	case strings.HasPrefix(dest, "udp:"):
+		conn, err := net.Dial("udp", strings.TrimPrefix(dest, "udp:"))
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		emit = func(d []byte) error {
+			_, err := conn.Write(d)
+			return err
+		}
+	case dest == "-":
+		w := bufio.NewWriter(stdout)
+		emit = func(d []byte) error {
+			_, err := w.Write(d)
+			return err
+		}
+		flush = w.Flush
+	default:
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		emit = func(d []byte) error {
+			_, err := w.Write(d)
+			return err
+		}
+		flush = w.Flush
+	}
+	if o.rate > 0 {
+		inner := emit
+		start := time.Now()
+		var sent int64
+		emit = func(d []byte) error {
+			sent += int64(binary.BigEndian.Uint16(d[2:4])) // header record count
+			due := start.Add(time.Duration(float64(sent) / o.rate * float64(time.Second)))
+			time.Sleep(time.Until(due))
+			return inner(d)
+		}
+	}
+	if err := ingest.ExportTrace(tr, ingest.ExportOptions{
+		IntervalSec:    o.intervalSec,
+		RecordsPerFlow: o.recordsPerFlow,
+		Seed:           o.seed,
+	}, emit); err != nil {
+		return err
+	}
+	return flush()
 }
 
 // parseInjection parses "ids:start:end:magnitude" with ids a comma list.

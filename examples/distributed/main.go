@@ -7,6 +7,11 @@
 // Pass -metrics-addr 127.0.0.1:9090 to watch the NOC's /metrics,
 // /healthz and /debug/pprof while the scenario streams.
 //
+// Pass -ingest to feed each monitor through an internal/ingest pipeline
+// instead of direct volume rows: the trace is serialized to NetFlow v5
+// datagrams (each monitor sees only its own flows) and re-aggregated into
+// interval rows by the sharded ingestion path before reporting.
+//
 //	go run ./examples/distributed
 package main
 
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"streampca/internal/core"
+	"streampca/internal/ingest"
 	"streampca/internal/monitor"
 	"streampca/internal/noc"
 	"streampca/internal/randproj"
@@ -28,13 +34,14 @@ import (
 func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve NOC diagnostics (/metrics, /healthz, /debug/pprof) on this address")
 	workers := flag.Int("workers", 0, "worker goroutines for sketch updates and retrains (0 = all CPUs)")
+	ingestMode := flag.Bool("ingest", false, "feed monitors through NetFlow v5 ingest pipelines instead of direct volume rows")
 	flag.Parse()
-	if err := run(*metricsAddr, *workers); err != nil {
+	if err := run(*metricsAddr, *workers, *ingestMode); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(metricsAddr string, workers int) error {
+func run(metricsAddr string, workers int, ingestMode bool) error {
 	const (
 		perDay    = traffic.IntervalsPerDay5Min
 		windowLen = perDay / 2
@@ -117,24 +124,11 @@ func run(metricsAddr string, workers int) error {
 		fmt.Printf("%s connected, owns %d flows\n", svc.ID(), len(assign[i]))
 	}
 
-	// Stream the trace: each monitor reports its slice of each interval.
+	// Stream the trace, tallying the NOC's verdicts against ground truth.
 	var hits, falseAlarms int
-	for i := 0; i < total; i++ {
-		row := tr.Volumes.RowView(i)
-		for mi, mon := range mons {
-			local := make([]float64, len(assign[mi]))
-			for k, f := range assign[mi] {
-				local[k] = row[f]
-			}
-			if err := mon.ReportInterval(int64(i+1), local); err != nil {
-				return fmt.Errorf("%s interval %d: %w", mon.ID(), i, err)
-			}
-		}
-		// Wait for the NOC's verdict on this interval to keep the demo
-		// deterministic.
-		d := waitDecision(decisions, int64(i+1))
+	tally := func(i int, d noc.Decision) {
 		if i < windowLen || !d.Result.Anomalous {
-			continue
+			return
 		}
 		if i >= anomalyStart && i < anomalyEnd {
 			hits++
@@ -142,6 +136,28 @@ func run(metricsAddr string, workers int) error {
 				i, d.Result.Distance, d.Result.Threshold)
 		} else {
 			falseAlarms++
+		}
+	}
+	if ingestMode {
+		if err := streamViaIngest(tr, mons, assign, workers, decisions, tally); err != nil {
+			return err
+		}
+	} else {
+		// Direct path: each monitor reports its slice of each interval.
+		for i := 0; i < total; i++ {
+			row := tr.Volumes.RowView(i)
+			for mi, mon := range mons {
+				local := make([]float64, len(assign[mi]))
+				for k, f := range assign[mi] {
+					local[k] = row[f]
+				}
+				if err := mon.ReportInterval(int64(i+1), local); err != nil {
+					return fmt.Errorf("%s interval %d: %w", mon.ID(), i, err)
+				}
+			}
+			// Wait for the NOC's verdict on this interval to keep the demo
+			// deterministic.
+			tally(i, waitDecision(decisions, int64(i+1)))
 		}
 	}
 
@@ -156,6 +172,96 @@ func run(metricsAddr string, workers int) error {
 		fmt.Println("result: distributed lazy protocol detected the coordinated anomaly ✔")
 	}
 	return nil
+}
+
+// streamViaIngest replays the trace as NetFlow v5 datagrams through one
+// ingest pipeline per monitor (each seeing only its own flows) in lockstep:
+// interval i's datagrams advance every pipeline's record-clock watermark,
+// sealing interval i-1 network-wide, and the NOC's verdict is awaited
+// before moving on. Closing the pipelines drains and seals the final
+// (partial) interval — the same graceful-shutdown path the daemons use.
+func streamViaIngest(tr *traffic.Trace, mons []*monitor.Service, assign [][]int,
+	workers int, decisions chan noc.Decision, tally func(int, noc.Decision)) error {
+	agg, err := traffic.NewAbileneAggregator()
+	if err != nil {
+		return err
+	}
+	total := tr.NumIntervals()
+	pipes := make([]*ingest.Pipeline, len(mons))
+	for mi := range pipes {
+		mon, mine := mons[mi], assign[mi]
+		p, err := ingest.NewPipeline(ingest.Config{
+			Aggregator: agg,
+			Interval:   300 * time.Second,
+			Shards:     workers,
+			Sink: func(iv ingest.Interval) error {
+				local := make([]float64, len(mine))
+				for k, f := range mine {
+					local[k] = iv.Volumes[f]
+				}
+				return mon.ReportInterval(iv.Seq, local)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = p.Close() }()
+		pipes[mi] = p
+	}
+	byMon := make([][][][]byte, len(mons)) // [monitor][interval][k]datagram
+	for mi := range byMon {
+		grouped, err := exportGrouped(tr, assign[mi])
+		if err != nil {
+			return err
+		}
+		byMon[mi] = grouped
+	}
+	fmt.Printf("ingest mode: replaying %d intervals as NetFlow v5 through %d pipelines\n",
+		total, len(pipes))
+	for i := 0; i < total; i++ {
+		for mi, p := range pipes {
+			for _, d := range byMon[mi][i] {
+				if err := p.HandleDatagram(d); err != nil {
+					return fmt.Errorf("%s datagram (interval %d): %w", mons[mi].ID(), i, err)
+				}
+			}
+		}
+		if i >= 1 {
+			// Interval i's datagrams sealed interval i-1 (reported as i).
+			tally(i-1, waitDecision(decisions, int64(i)))
+		}
+	}
+	for _, p := range pipes {
+		if err := p.Close(); err != nil {
+			return err
+		}
+	}
+	tally(total-1, waitDecision(decisions, int64(total)))
+	return nil
+}
+
+// exportGrouped serializes the flows of one monitor to NetFlow v5
+// datagrams, grouped by source interval (ExportTrace flushes at interval
+// boundaries, so no datagram spans two).
+func exportGrouped(tr *traffic.Trace, flows []int) ([][][]byte, error) {
+	owned := make(map[int]bool, len(flows))
+	for _, f := range flows {
+		owned[f] = true
+	}
+	out := make([][][]byte, tr.NumIntervals())
+	const base = 1_200_000_000 // ExportOptions' default BaseTime
+	var d ingest.Datagram
+	err := ingest.ExportTrace(tr, ingest.ExportOptions{
+		FlowFilter: func(id int) bool { return owned[id] },
+	}, func(buf []byte) error {
+		if err := ingest.DecodeDatagram(buf, &d); err != nil {
+			return err
+		}
+		i := (int64(d.Header.UnixSecs) - base) / 300
+		out[i] = append(out[i], append([]byte(nil), buf...))
+		return nil
+	})
+	return out, err
 }
 
 // waitDecision drains the decision stream until the given interval appears.

@@ -1,0 +1,171 @@
+package flow
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+// TestTableNestedPrefixChain installs a full nesting chain over one address
+// range and checks that every probe lands on the most specific covering
+// prefix, including exact mask-boundary addresses.
+func TestTableNestedPrefixChain(t *testing.T) {
+	tbl := NewTable()
+	chain := []struct {
+		prefix string
+		r      RouterID
+	}{
+		{"0.0.0.0/0", 0},
+		{"10.0.0.0/8", 1},
+		{"10.16.0.0/12", 2},
+		{"10.16.0.0/16", 3},
+		{"10.16.32.0/24", 4},
+		{"10.16.32.16/28", 5},
+		{"10.16.32.17/32", 6},
+	}
+	for _, e := range chain {
+		if err := tbl.Insert(mustPrefix(t, e.prefix), e.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		addr string
+		want RouterID
+	}{
+		{"203.0.113.1", 0},   // only the default route covers
+		{"10.200.0.1", 1},    // inside /8, outside /12
+		{"10.31.255.255", 2}, // last address of the /12, outside the /16
+		{"10.16.99.1", 3},    // inside /16, outside the /24
+		{"10.16.32.1", 4},    // inside /24, below the /28
+		{"10.16.32.16", 5},   // first address of the /28
+		{"10.16.32.31", 5},   // last address of the /28
+		{"10.16.32.32", 4},   // one past the /28 falls back to the /24
+		{"10.16.32.17", 6},   // the host route wins over every ancestor
+	}
+	for _, tt := range tests {
+		got, err := tbl.Lookup(mustAddr(t, tt.addr))
+		if err != nil {
+			t.Fatalf("lookup %s: %v", tt.addr, err)
+		}
+		if got != tt.want {
+			t.Errorf("lookup %s = router %d, want %d", tt.addr, got, tt.want)
+		}
+	}
+}
+
+// TestTableOverlappingSiblings checks that two same-length siblings and a
+// shorter covering prefix route disjointly: the sibling boundary must not
+// leak (10.1.255.255 vs 10.2.0.0) and addresses under neither sibling fall
+// to the covering prefix.
+func TestTableOverlappingSiblings(t *testing.T) {
+	tbl := NewTable()
+	for _, e := range []struct {
+		prefix string
+		r      RouterID
+	}{
+		{"10.0.0.0/8", 9},
+		{"10.1.0.0/16", 1},
+		{"10.2.0.0/16", 2},
+		{"10.1.128.0/17", 3}, // splits sibling 1
+	} {
+		if err := tbl.Insert(mustPrefix(t, e.prefix), e.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		addr string
+		want RouterID
+	}{
+		{"10.1.0.1", 1},
+		{"10.1.127.255", 1}, // last address below the /17 split
+		{"10.1.128.0", 3},   // first address of the /17
+		{"10.1.255.255", 3},
+		{"10.2.0.0", 2}, // sibling boundary does not leak
+		{"10.3.0.0", 9}, // covered by neither sibling
+	}
+	for _, tt := range tests {
+		got, err := tbl.Lookup(mustAddr(t, tt.addr))
+		if err != nil {
+			t.Fatalf("lookup %s: %v", tt.addr, err)
+		}
+		if got != tt.want {
+			t.Errorf("lookup %s = router %d, want %d", tt.addr, got, tt.want)
+		}
+	}
+}
+
+// TestTableNonCanonicalInsert checks that a prefix inserted with host bits
+// set is masked canonically, matching the whole range rather than only the
+// literal address.
+func TestTableNonCanonicalInsert(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Insert(mustPrefix(t, "10.9.8.7/16"), 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []string{"10.9.0.1", "10.9.8.7", "10.9.255.254"} {
+		got, err := tbl.Lookup(mustAddr(t, addr))
+		if err != nil || got != 4 {
+			t.Fatalf("lookup %s = %d, %v; want 4 via masked insert", addr, got, err)
+		}
+	}
+	if _, err := tbl.Lookup(mustAddr(t, "10.10.0.1")); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("outside masked range: %v", err)
+	}
+}
+
+// TestAggregatorTableMiss covers FlowID on packets whose source,
+// destination, or both sides match no prefix: each must surface ErrNoRoute,
+// never a bogus flow id.
+func TestAggregatorTableMiss(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Insert(mustPrefix(t, "10.0.0.0/16"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(mustPrefix(t, "10.1.0.0/16"), 1); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := NewAggregator(tbl, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := mustAddr(t, "10.0.0.1")
+	stray := mustAddr(t, "172.16.0.1")
+	v6 := netip.MustParseAddr("2001:db8::1")
+	cases := map[string]Packet{
+		"src miss":   {Src: stray, Dst: routed},
+		"dst miss":   {Src: routed, Dst: stray},
+		"both miss":  {Src: stray, Dst: stray},
+		"src ipv6":   {Src: v6, Dst: routed},
+		"dst ipv6":   {Src: routed, Dst: v6},
+		"zero value": {},
+	}
+	for name, p := range cases {
+		if _, err := agg.FlowID(p); !errors.Is(err, ErrNoRoute) {
+			t.Errorf("%s: got %v, want ErrNoRoute", name, err)
+		}
+	}
+	// Sanity: a fully routed packet still maps.
+	id, err := agg.FlowID(Packet{Src: routed, Dst: mustAddr(t, "10.1.0.1")})
+	if err != nil || id != 1 {
+		t.Fatalf("routed packet: id=%d err=%v, want id=1", id, err)
+	}
+}
+
+// TestAggregatorRouterBeyondRange covers the config-mismatch case: the
+// table routes to a router id outside the aggregator's range.
+func TestAggregatorRouterBeyondRange(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Insert(mustPrefix(t, "10.0.0.0/16"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(mustPrefix(t, "10.5.0.0/16"), 5); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := NewAggregator(tbl, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.FlowID(Packet{Src: mustAddr(t, "10.0.0.1"), Dst: mustAddr(t, "10.5.0.1")}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("out-of-range router: %v", err)
+	}
+}

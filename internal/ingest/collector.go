@@ -1,0 +1,92 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Collector is the UDP front door of the ingest pipeline: one goroutine
+// reading datagrams into a reusable buffer and handing each to
+// Pipeline.HandleDatagram. NetFlow exporters are fire-and-forget UDP
+// senders, so the collector's only flow control is the kernel socket
+// buffer; overload beyond that surfaces as sequence gaps.
+type Collector struct {
+	pc net.PacketConn
+	p  *Pipeline
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// Listen opens a UDP socket on addr (e.g. "127.0.0.1:2055", port 0 for
+// ephemeral) and starts the read loop.
+func Listen(addr string, p *Pipeline) (*Collector, error) {
+	if p == nil {
+		return nil, fmt.Errorf("%w: nil pipeline", ErrConfig)
+	}
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
+	}
+	c := &Collector{pc: pc, p: p, done: make(chan struct{})}
+	go c.readLoop()
+	return c, nil
+}
+
+// Addr returns the bound socket address.
+func (c *Collector) Addr() string { return c.pc.LocalAddr().String() }
+
+// readLoop reads datagrams until the socket closes. The buffer is reused
+// across reads; HandleDatagram copies what it keeps.
+func (c *Collector) readLoop() {
+	defer close(c.done)
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := c.pc.ReadFrom(buf)
+		if err != nil {
+			if c.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient read errors (e.g. ICMP-induced) are survivable.
+			c.p.log.Warn("collector read error", "err", err)
+			continue
+		}
+		if err := c.p.HandleDatagram(buf[:n]); err != nil {
+			// ErrClosed: the pipeline shut down (or a fault plan demanded
+			// a disconnect) — stop reading.
+			_ = c.pc.Close()
+			return
+		}
+	}
+}
+
+func (c *Collector) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Close stops the read loop and closes the socket. It does not close the
+// pipeline — callers drain it separately so queued records survive
+// shutdown. Safe to call multiple times.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.pc.Close()
+	<-c.done
+	if errors.Is(err, net.ErrClosed) {
+		// The read loop already closed the socket (pipeline shutdown or a
+		// disconnect fault); that is not a caller-visible failure.
+		return nil
+	}
+	return err
+}

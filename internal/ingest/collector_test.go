@@ -1,0 +1,88 @@
+package ingest
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"streampca/internal/faults"
+)
+
+func TestCollectorReceivesOverUDP(t *testing.T) {
+	p, rec := newTestPipeline(t, nil)
+	c, err := Listen("127.0.0.1:0", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	conn, err := net.Dial("udp", c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := conn.Write(dgram(t, uint32(i), 42, 0, 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Loopback UDP is reliable in practice but asynchronous; wait on the
+	// decode counter rather than sleeping.
+	waitCounter(t, func() int64 { return p.Metrics().Records.Value() }, 10)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.snapshot()
+	if len(got) != 1 || got[0].Volumes[1] != 1000 {
+		t.Fatalf("collected volumes wrong: %+v", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err) // double Close is a no-op
+	}
+}
+
+func TestCollectorSurvivesGarbageAndStopsOnDisconnectFault(t *testing.T) {
+	plan := faults.MustPlan(3,
+		faults.Rule{Dir: faults.DirRecv, Type: "netflow", After: 3, Disconnect: true})
+	p, _ := newTestPipeline(t, func(c *Config) { c.Faults = plan })
+	c, err := Listen("127.0.0.1:0", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	conn, err := net.Dial("udp", c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Write([]byte("not netflow")); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, func() int64 { return p.Metrics().DecodeErrors.Value() }, 1)
+	if _, err := conn.Write(dgram(t, 0, 42, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, func() int64 { return p.Metrics().Records.Value() }, 1)
+
+	// Keep sending until the disconnect rule fires and the collector
+	// closes its socket. Once that happens a connected UDP sender can see
+	// ICMP-induced write errors — those are expected, not failures.
+	deadline := time.Now().Add(5 * time.Second)
+	for plan.Fired(0) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("disconnect rule never fired")
+		}
+		_, _ = conn.Write(dgram(t, 1, 42, 0, 1, 1))
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

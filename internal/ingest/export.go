@@ -1,0 +1,196 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"streampca/internal/traffic"
+)
+
+// ExportOptions parameterizes ExportTrace.
+type ExportOptions struct {
+	// BaseTime is the unix-seconds timestamp of interval 0's start.
+	// Defaults to 1200000000 (early 2008, the paper's measurement period).
+	BaseTime int64
+	// IntervalSec is the trace's seconds-per-interval; default 300
+	// (5-minute bins).
+	IntervalSec int
+	// RecordsPerFlow splits each flow's per-interval volume across this
+	// many records (diversified host addresses), exercising the
+	// aggregation path; default 1. Volumes split exactly — the records of
+	// one flow sum to round(volume) regardless of the split.
+	RecordsPerFlow int
+	// MaxRecords caps records per datagram; default (and ceiling) 30.
+	MaxRecords int
+	// Seed drives host-address diversification.
+	Seed int64
+	// EngineID tags the synthetic exporter.
+	EngineID uint8
+	// FlowFilter, when non-nil, selects which OD flows to export (e.g. one
+	// monitor's slice); nil exports all.
+	FlowFilter func(flowID int) bool
+}
+
+// ExportTrace serializes tr into NetFlow v5 datagrams and hands each to
+// emit, in interval order with cumulative FlowSequence numbers — exactly
+// what a line exporter would send. Each flow's per-interval volume is
+// rounded to whole bytes (math.Round) and split exactly across
+// RecordsPerFlow records, so an ingest pipeline replaying the datagrams
+// reconstructs round(volume) per flow per interval.
+//
+// The trace must carry its router topology (RouterNames) to map flow
+// indices back to addresses.
+func ExportTrace(tr *traffic.Trace, opts ExportOptions, emit func(datagram []byte) error) error {
+	nR := len(tr.RouterNames)
+	if nR == 0 {
+		return fmt.Errorf("%w: trace has no router topology", ErrConfig)
+	}
+	if nR*nR != tr.NumFlows() {
+		return fmt.Errorf("%w: %d flows for %d routers", ErrConfig, tr.NumFlows(), nR)
+	}
+	if opts.BaseTime == 0 {
+		opts.BaseTime = 1_200_000_000
+	}
+	if opts.BaseTime < 0 || opts.BaseTime > math.MaxUint32 {
+		return fmt.Errorf("%w: base time %d outside uint32", ErrConfig, opts.BaseTime)
+	}
+	if opts.IntervalSec == 0 {
+		opts.IntervalSec = 300
+	}
+	if opts.IntervalSec < 1 {
+		return fmt.Errorf("%w: interval %ds", ErrConfig, opts.IntervalSec)
+	}
+	if opts.RecordsPerFlow == 0 {
+		opts.RecordsPerFlow = 1
+	}
+	if opts.RecordsPerFlow < 1 {
+		return fmt.Errorf("%w: %d records per flow", ErrConfig, opts.RecordsPerFlow)
+	}
+	if opts.MaxRecords == 0 {
+		opts.MaxRecords = MaxRecords
+	}
+	if opts.MaxRecords < 1 || opts.MaxRecords > MaxRecords {
+		return fmt.Errorf("%w: %d records per datagram outside [1, %d]", ErrConfig, opts.MaxRecords, MaxRecords)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var (
+		pending  []Record
+		buf      []byte
+		sequence uint32
+	)
+	flush := func(unixSecs uint32, uptime uint32) error {
+		if len(pending) == 0 {
+			return nil
+		}
+		h := Header{
+			SysUptime:    uptime,
+			UnixSecs:     unixSecs,
+			FlowSequence: sequence,
+			EngineID:     opts.EngineID,
+		}
+		var err error
+		buf, err = AppendDatagram(buf[:0], h, pending)
+		if err != nil {
+			return err
+		}
+		sequence += uint32(len(pending))
+		pending = pending[:0]
+		return emit(buf)
+	}
+
+	for i := 0; i < tr.NumIntervals(); i++ {
+		unixSecs := uint32(opts.BaseTime + int64(i)*int64(opts.IntervalSec))
+		uptime := uint32(i+1) * uint32(opts.IntervalSec) * 1000
+		row := tr.Volumes.RowView(i)
+		for j, vol := range row {
+			if opts.FlowFilter != nil && !opts.FlowFilter(j) {
+				continue
+			}
+			total := uint64(math.Round(vol))
+			if total == 0 {
+				continue
+			}
+			o, d := j/nR, j%nR
+			// Split exactly: base share per record, remainder spread over
+			// the first records, and any share beyond uint32 spills into
+			// extra records.
+			k := uint64(opts.RecordsPerFlow)
+			base, rem := total/k, total%k
+			for r := uint64(0); r < k; r++ {
+				share := base
+				if r < rem {
+					share++
+				}
+				for share > 0 {
+					octets := share
+					if octets > math.MaxUint32 {
+						octets = math.MaxUint32
+					}
+					share -= octets
+					src, err := traffic.RouterAddr(o, uint16(rng.Intn(1<<16)))
+					if err != nil {
+						return err
+					}
+					dst, err := traffic.RouterAddr(d, uint16(rng.Intn(1<<16)))
+					if err != nil {
+						return err
+					}
+					pending = append(pending, Record{
+						SrcAddr: src,
+						DstAddr: dst,
+						Packets: 1,
+						Octets:  uint32(octets),
+						First:   uptime - uint32(opts.IntervalSec)*1000,
+						Last:    uptime,
+						Proto:   6, // TCP
+					})
+					if len(pending) == opts.MaxRecords {
+						if err := flush(unixSecs, uptime); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		// Seal the interval's tail datagram so every datagram's timestamp
+		// lies inside its interval.
+		if err := flush(unixSecs, uptime); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDatagrams parses a stream of concatenated NetFlow v5 datagrams (the
+// trafficgen -netflow file format: no framing — each datagram's length
+// follows from its header's record count) and hands each raw datagram to
+// fn. Returns ErrDecode on a malformed stream.
+func ReadDatagrams(r io.Reader, fn func(datagram []byte) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	buf := make([]byte, MaxDatagramLen)
+	for {
+		if _, err := io.ReadFull(br, buf[:HeaderLen]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("%w: truncated header: %v", ErrDecode, err)
+		}
+		version := binary.BigEndian.Uint16(buf[0:2])
+		count := binary.BigEndian.Uint16(buf[2:4])
+		if version != Version || count == 0 || count > MaxRecords {
+			return fmt.Errorf("%w: header version %d count %d", ErrDecode, version, count)
+		}
+		n := HeaderLen + int(count)*RecordLen
+		if _, err := io.ReadFull(br, buf[HeaderLen:n]); err != nil {
+			return fmt.Errorf("%w: truncated records: %v", ErrDecode, err)
+		}
+		if err := fn(buf[:n]); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"streampca/internal/traffic"
+)
+
+func testTrace(t testing.TB) *traffic.Trace {
+	t.Helper()
+	tr, err := traffic.Generate(traffic.GeneratorConfig{
+		Routers:      []string{"A", "B", "C"},
+		NumIntervals: 4,
+		Seed:         7,
+		TotalVolume:  9e5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// replayTrace pushes every exported datagram through a fresh record-clock
+// pipeline and returns the sealed intervals.
+func replayTrace(t testing.TB, tr *traffic.Trace, opts ExportOptions) []Interval {
+	t.Helper()
+	p, rec := newTestPipeline(t, func(c *Config) {
+		c.Interval = time.Duration(300) * time.Second
+	})
+	if err := ExportTrace(tr, opts, func(d []byte) error {
+		return p.HandleDatagram(d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return rec.snapshot()
+}
+
+func assertReplayMatches(t *testing.T, tr *traffic.Trace, got []Interval) {
+	t.Helper()
+	if len(got) != tr.NumIntervals() {
+		t.Fatalf("replayed %d intervals, want %d", len(got), tr.NumIntervals())
+	}
+	for i, iv := range got {
+		if iv.Seq != int64(i+1) {
+			t.Fatalf("interval %d: Seq = %d, want %d", i, iv.Seq, i+1)
+		}
+		row := tr.Volumes.RowView(i)
+		for j, vol := range row {
+			if want := math.Round(vol); iv.Volumes[j] != want {
+				t.Fatalf("interval %d flow %d: got %v, want %v", i, j, iv.Volumes[j], want)
+			}
+		}
+	}
+}
+
+func TestExportTraceReplayReconstructsVolumes(t *testing.T) {
+	tr := testTrace(t)
+	assertReplayMatches(t, tr, replayTrace(t, tr, ExportOptions{}))
+}
+
+func TestExportTraceSplitsFlowsExactly(t *testing.T) {
+	tr := testTrace(t)
+	// Splitting each flow across several diversified records must not
+	// change any reconstructed volume.
+	assertReplayMatches(t, tr, replayTrace(t, tr, ExportOptions{
+		RecordsPerFlow: 7,
+		MaxRecords:     5,
+		Seed:           99,
+	}))
+}
+
+func TestExportTraceFlowFilter(t *testing.T) {
+	tr := testTrace(t)
+	got := replayTrace(t, tr, ExportOptions{
+		FlowFilter: func(flowID int) bool { return flowID%2 == 0 },
+	})
+	if len(got) != tr.NumIntervals() {
+		t.Fatalf("replayed %d intervals, want %d", len(got), tr.NumIntervals())
+	}
+	for i, iv := range got {
+		row := tr.Volumes.RowView(i)
+		for j, vol := range row {
+			want := math.Round(vol)
+			if j%2 != 0 {
+				want = 0
+			}
+			if iv.Volumes[j] != want {
+				t.Fatalf("interval %d flow %d: got %v, want %v", i, j, iv.Volumes[j], want)
+			}
+		}
+	}
+}
+
+func TestExportTraceSequenceIsCumulative(t *testing.T) {
+	tr := testTrace(t)
+	var s SeqTracker
+	var d Datagram
+	n := 0
+	err := ExportTrace(tr, ExportOptions{}, func(buf []byte) error {
+		if err := DecodeDatagram(buf, &d); err != nil {
+			return err
+		}
+		if gap := s.Observe(&d.Header); gap != 0 {
+			t.Fatalf("datagram %d: sequence gap %d", n, gap)
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no datagrams exported")
+	}
+}
+
+func TestExportTraceRejectsBadConfig(t *testing.T) {
+	tr := testTrace(t)
+	noEmit := func([]byte) error { return nil }
+	bare := &traffic.Trace{Volumes: tr.Volumes}
+	if err := ExportTrace(bare, ExportOptions{}, noEmit); !errors.Is(err, ErrConfig) {
+		t.Fatalf("no topology: %v", err)
+	}
+	for name, opts := range map[string]ExportOptions{
+		"negative base":     {BaseTime: -1},
+		"huge base":         {BaseTime: math.MaxUint32 + 1},
+		"negative interval": {IntervalSec: -1},
+		"negative rpf":      {RecordsPerFlow: -1},
+		"oversized batch":   {MaxRecords: MaxRecords + 1},
+	} {
+		if err := ExportTrace(tr, opts, noEmit); !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestReadDatagramsRoundTrip(t *testing.T) {
+	tr := testTrace(t)
+	var file bytes.Buffer
+	var wrote int
+	if err := ExportTrace(tr, ExportOptions{}, func(d []byte) error {
+		wrote++
+		_, err := file.Write(d)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	p, rec := newTestPipeline(t, func(c *Config) {
+		c.Interval = time.Duration(300) * time.Second
+	})
+	var read int
+	if err := ReadDatagrams(&file, func(d []byte) error {
+		read++
+		return p.HandleDatagram(d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if read != wrote {
+		t.Fatalf("read %d datagrams, wrote %d", read, wrote)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertReplayMatches(t, tr, rec.snapshot())
+}
+
+func TestReadDatagramsRejectsMalformed(t *testing.T) {
+	valid, err := AppendDatagram(nil, Header{UnixSecs: 1}, []Record{testRecord(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"garbage header":   []byte("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+		"truncated header": valid[:HeaderLen-1],
+		"truncated body":   valid[:len(valid)-1],
+		"trailing partial": append(append([]byte(nil), valid...), valid[:10]...),
+	}
+	for name, stream := range cases {
+		err := ReadDatagrams(bytes.NewReader(stream), func([]byte) error { return nil })
+		if !errors.Is(err, ErrDecode) {
+			t.Errorf("%s: got %v, want ErrDecode", name, err)
+		}
+	}
+	// Callback errors propagate unchanged.
+	sentinel := errors.New("sentinel")
+	if err := ReadDatagrams(bytes.NewReader(valid), func([]byte) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("callback error: %v", err)
+	}
+}

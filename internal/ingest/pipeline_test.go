@@ -1,0 +1,506 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"streampca/internal/faults"
+	"streampca/internal/flow"
+	"streampca/internal/traffic"
+)
+
+// testAggregator builds the synthetic 3-router (9-flow) aggregation plane.
+func testAggregator(t testing.TB) *flow.Aggregator {
+	t.Helper()
+	tbl, err := traffic.BuildRoutingTable(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := flow.NewAggregator(tbl, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// sinkRecorder collects sealed intervals (the merger delivers from its own
+// goroutine).
+type sinkRecorder struct {
+	mu        sync.Mutex
+	intervals []Interval
+	err       error // returned to the pipeline when set
+}
+
+func (s *sinkRecorder) sink(iv Interval) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.intervals = append(s.intervals, iv)
+	return s.err
+}
+
+func (s *sinkRecorder) snapshot() []Interval {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Interval(nil), s.intervals...)
+}
+
+// dgram builds a single-record datagram: flow (o→d), octets bytes, epoch
+// given in seconds (1s test interval).
+func dgram(t testing.TB, seq uint32, unixSecs int64, o, d int, octets uint32) []byte {
+	t.Helper()
+	src, err := traffic.RouterAddr(o, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := traffic.RouterAddr(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := AppendDatagram(nil, Header{
+		UnixSecs:     uint32(unixSecs),
+		FlowSequence: seq,
+	}, []Record{{SrcAddr: src, DstAddr: dst, Packets: 1, Octets: octets}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func newTestPipeline(t testing.TB, mod func(*Config)) (*Pipeline, *sinkRecorder) {
+	t.Helper()
+	rec := &sinkRecorder{}
+	cfg := Config{
+		Aggregator: testAggregator(t),
+		Interval:   time.Second,
+		Shards:     2,
+		QueueLen:   16,
+		Sink:       rec.sink,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, rec
+}
+
+func TestPipelineSealsAndMerges(t *testing.T) {
+	p, rec := newTestPipeline(t, nil)
+	base := int64(1_200_000_000)
+	// Epoch base: flows 0→1 (100 B) and 1→2 (50 B); epoch base+1: 0→1
+	// again; then an epoch base+2 datagram forces base and base+1 sealed.
+	feed := [][]byte{
+		dgram(t, 0, base, 0, 1, 100),
+		dgram(t, 1, base, 1, 2, 50),
+		dgram(t, 2, base+1, 0, 1, 75),
+		dgram(t, 3, base+2, 2, 2, 10),
+	}
+	for _, b := range feed {
+		if err := p.HandleDatagram(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.snapshot()
+	if len(got) != 3 {
+		t.Fatalf("sealed %d intervals, want 3: %+v", len(got), got)
+	}
+	for i, iv := range got {
+		if iv.Seq != int64(i+1) {
+			t.Fatalf("interval %d: seq %d, want %d", i, iv.Seq, i+1)
+		}
+		if iv.Epoch != base+int64(i) {
+			t.Fatalf("interval %d: epoch %d, want %d", i, iv.Epoch, base+int64(i))
+		}
+		if len(iv.Volumes) != 9 {
+			t.Fatalf("interval %d: %d volumes", i, len(iv.Volumes))
+		}
+	}
+	// Flow 0→1 is index 1, 1→2 index 5, 2→2 index 8.
+	if got[0].Volumes[1] != 100 || got[0].Volumes[5] != 50 {
+		t.Fatalf("epoch 0 volumes wrong: %v", got[0].Volumes)
+	}
+	if got[0].Records != 2 || got[0].Partial {
+		t.Fatalf("epoch 0 meta wrong: %+v", got[0])
+	}
+	if got[1].Volumes[1] != 75 {
+		t.Fatalf("epoch 1 volumes wrong: %v", got[1].Volumes)
+	}
+	if got[2].Volumes[8] != 10 || !got[2].Partial {
+		t.Fatalf("final interval should be partial with the 2→2 record: %+v", got[2])
+	}
+	if v := p.Metrics().Records.Value(); v != 4 {
+		t.Fatalf("records metric = %d, want 4", v)
+	}
+	if v := p.Metrics().EpochsSealed.Value(); v != 3 {
+		t.Fatalf("epochs sealed = %d, want 3", v)
+	}
+	if v := p.Metrics().PartialEpochs.Value(); v != 1 {
+		t.Fatalf("partial epochs = %d, want 1", v)
+	}
+}
+
+func TestPipelineEmptyEpochsKeepSeqContiguous(t *testing.T) {
+	p, rec := newTestPipeline(t, nil)
+	base := int64(1_000_000)
+	if err := p.HandleDatagram(dgram(t, 0, base, 0, 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Jump 4 epochs ahead: the 3 quiet epochs must still be delivered so
+	// the monitor's interval index never skips.
+	if err := p.HandleDatagram(dgram(t, 1, base+4, 0, 0, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.snapshot()
+	if len(got) != 5 {
+		t.Fatalf("sealed %d intervals, want 5", len(got))
+	}
+	for i, iv := range got {
+		if iv.Seq != int64(i+1) || iv.Epoch != base+int64(i) {
+			t.Fatalf("interval %d: seq %d epoch %d", i, iv.Seq, iv.Epoch)
+		}
+	}
+	for _, i := range []int{1, 2, 3} {
+		if got[i].Records != 0 {
+			t.Fatalf("quiet epoch %d has %d records", i, got[i].Records)
+		}
+	}
+}
+
+func TestPipelineLatenessSlack(t *testing.T) {
+	p, rec := newTestPipeline(t, func(c *Config) {
+		c.Lateness = 2 * time.Second // 2 epochs of slack at 1s intervals
+	})
+	base := int64(500_000)
+	seq := uint32(0)
+	send := func(sec int64, o, d int, octets uint32) {
+		t.Helper()
+		if err := p.HandleDatagram(dgram(t, seq, sec, o, d, octets)); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	}
+	send(base, 0, 1, 10)
+	send(base+2, 0, 1, 1) // watermark base+2: base not yet sealed (slack 2)
+	if v := p.Metrics().EpochsSealed.Value(); v != 0 {
+		t.Fatalf("sealed %d epochs before slack elapsed", v)
+	}
+	send(base, 1, 2, 20)  // late but within slack: accepted
+	send(base+3, 0, 1, 1) // watermark base+3 = base+1+slack: seals base
+	waitCounter(t, func() int64 { return p.Metrics().EpochsSealed.Value() }, 1)
+	send(base, 2, 1, 99) // now beyond slack: dropped late
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.snapshot()
+	if len(got) != 4 {
+		t.Fatalf("sealed %d intervals, want 4", len(got))
+	}
+	if got[0].Volumes[1] != 10 || got[0].Volumes[5] != 20 {
+		t.Fatalf("slack-window merge wrong: %v", got[0].Volumes)
+	}
+	if v := p.Metrics().LateRecords.Value(); v != 1 {
+		t.Fatalf("late records = %d, want 1", v)
+	}
+}
+
+func TestPipelineFutureJumpRejected(t *testing.T) {
+	p, rec := newTestPipeline(t, func(c *Config) { c.MaxEpochJump = 8 })
+	base := int64(900_000)
+	if err := p.HandleDatagram(dgram(t, 0, base, 0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.HandleDatagram(dgram(t, 1, base+1000, 0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Metrics().FutureDrops.Value(); v != 1 {
+		t.Fatalf("future drops = %d, want 1", v)
+	}
+	if got := rec.snapshot(); len(got) != 1 {
+		t.Fatalf("sealed %d intervals, want 1 (no empty-epoch flood)", len(got))
+	}
+}
+
+func TestPipelineCountsDecodeErrorsAndUnroutable(t *testing.T) {
+	p, rec := newTestPipeline(t, nil)
+	if err := p.HandleDatagram([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Address 192.0.2.1 matches no 10.r/16 prefix.
+	buf, err := AppendDatagram(nil, Header{UnixSecs: 77777}, []Record{{
+		SrcAddr: mustAddr(t, 192, 0, 2, 1),
+		DstAddr: mustAddr(t, 10, 0, 0, 1),
+		Octets:  123,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.HandleDatagram(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Metrics().DecodeErrors.Value(); v != 1 {
+		t.Fatalf("decode errors = %d, want 1", v)
+	}
+	if v := p.Metrics().Unroutable.Value(); v != 1 {
+		t.Fatalf("unroutable = %d, want 1", v)
+	}
+	got := rec.snapshot()
+	if len(got) != 1 || got[0].Records != 0 {
+		t.Fatalf("unroutable record leaked into volumes: %+v", got)
+	}
+}
+
+func TestPipelineSequenceGaps(t *testing.T) {
+	p, _ := newTestPipeline(t, nil)
+	if err := p.HandleDatagram(dgram(t, 100, 1000, 0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.HandleDatagram(dgram(t, 131, 1000, 0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Metrics().SeqGapRecords.Value(); v != 30 {
+		t.Fatalf("sequence gap records = %d, want 30", v)
+	}
+}
+
+func TestPipelineDropNewestPolicy(t *testing.T) {
+	rec := &sinkRecorder{}
+	p, err := NewPipeline(Config{
+		Aggregator: testAggregator(t),
+		Interval:   time.Second,
+		Shards:     1,
+		QueueLen:   1,
+		Policy:     PolicyDropNewest,
+		Sink:       rec.sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood the single-slot queue; the shard drains concurrently, so the
+	// exact split is timing-dependent — the invariant is accounting:
+	// every record is either folded in or counted dropped.
+	for i := 0; i < 200; i++ {
+		if err := p.HandleDatagram(dgram(t, uint32(i), 42, 0, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kept := rec.snapshot()[0].Records
+	dropped := p.Metrics().DroppedNewest.Value()
+	if kept+dropped != 200 {
+		t.Fatalf("kept %d + dropped %d != 200", kept, dropped)
+	}
+	if kept < 1 {
+		t.Fatalf("kept = %d", kept)
+	}
+}
+
+func TestPipelineDropOldestPolicy(t *testing.T) {
+	rec := &sinkRecorder{}
+	p, err := NewPipeline(Config{
+		Aggregator: testAggregator(t),
+		Interval:   time.Second,
+		Shards:     1,
+		QueueLen:   1,
+		Policy:     PolicyDropOldest,
+		Sink:       rec.sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := p.HandleDatagram(dgram(t, uint32(i), 42, 0, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kept := rec.snapshot()[0].Records
+	dropped := p.Metrics().DroppedOldest.Value()
+	if kept+dropped != 200 {
+		t.Fatalf("kept %d + dropped %d != 200", kept, dropped)
+	}
+}
+
+func TestPipelineBlockPolicyLossless(t *testing.T) {
+	rec := &sinkRecorder{}
+	p, err := NewPipeline(Config{
+		Aggregator: testAggregator(t),
+		Interval:   time.Second,
+		Shards:     2,
+		QueueLen:   1,
+		Policy:     PolicyBlock,
+		Sink:       rec.sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := p.HandleDatagram(dgram(t, uint32(i), 42, 0, 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.snapshot()
+	if len(got) != 1 {
+		t.Fatalf("sealed %d intervals, want 1", len(got))
+	}
+	if got[0].Records != n || got[0].Volumes[1] != float64(2*n) {
+		t.Fatalf("block policy lost records: %+v", got[0])
+	}
+	m := p.Metrics()
+	if m.DroppedNewest.Value()+m.DroppedOldest.Value() != 0 {
+		t.Fatal("block policy dropped records")
+	}
+}
+
+func TestPipelineFaultInjection(t *testing.T) {
+	plan := faults.MustPlan(1,
+		faults.Rule{Dir: faults.DirRecv, Type: "netflow", After: 2, Count: 3, Drop: true},
+		faults.Rule{Dir: faults.DirRecv, Type: "netflow", After: 8, Count: 2, Corrupt: true},
+	)
+	p, rec := newTestPipeline(t, func(c *Config) { c.Faults = plan })
+	for i := 0; i < 20; i++ {
+		if err := p.HandleDatagram(dgram(t, uint32(i), 42, 0, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Metrics()
+	if v := m.FaultDrops.Value(); v != 3 {
+		t.Fatalf("fault drops = %d, want 3", v)
+	}
+	if v := m.DecodeErrors.Value(); v != 2 {
+		t.Fatalf("decode errors = %d, want 2 (corrupted)", v)
+	}
+	got := rec.snapshot()
+	if len(got) != 1 || got[0].Records != 15 {
+		t.Fatalf("surviving records = %+v, want 15", got)
+	}
+}
+
+func TestPipelineFaultDisconnect(t *testing.T) {
+	plan := faults.MustPlan(1,
+		faults.Rule{Dir: faults.DirRecv, Type: "netflow", After: 1, Disconnect: true})
+	p, _ := newTestPipeline(t, func(c *Config) { c.Faults = plan })
+	if err := p.HandleDatagram(dgram(t, 0, 42, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.HandleDatagram(dgram(t, 1, 42, 0, 1, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("disconnect outcome: got %v, want ErrClosed", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineClosedRejectsDatagrams(t *testing.T) {
+	p, _ := newTestPipeline(t, nil)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.HandleDatagram(dgram(t, 0, 42, 0, 1, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err) // double Close is a no-op
+	}
+}
+
+func TestPipelineSinkErrorsCounted(t *testing.T) {
+	p, rec := newTestPipeline(t, nil)
+	rec.err = fmt.Errorf("sink says no")
+	if err := p.HandleDatagram(dgram(t, 0, 42, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Metrics().SinkErrors.Value(); v != 1 {
+		t.Fatalf("sink errors = %d, want 1", v)
+	}
+}
+
+func TestPipelineConfigValidation(t *testing.T) {
+	agg := testAggregator(t)
+	sink := func(Interval) error { return nil }
+	bad := []Config{
+		{Interval: time.Second, Sink: sink},                                          // nil aggregator
+		{Aggregator: agg, Sink: sink},                                                // zero interval
+		{Aggregator: agg, Interval: time.Microsecond, Sink: sink},                    // sub-ms interval
+		{Aggregator: agg, Interval: time.Second},                                     // nil sink
+		{Aggregator: agg, Interval: time.Second, Sink: sink, Lateness: -time.Second}, // negative slack
+		{Aggregator: agg, Interval: time.Second, Sink: sink, QueueLen: -1},           // bad queue
+		{Aggregator: agg, Interval: time.Second, Sink: sink, MaxEpochJump: -1},       // bad jump
+		{Aggregator: agg, Interval: time.Second, Sink: sink, Policy: Policy(99)},     // bad policy
+		{Aggregator: agg, Interval: time.Second, Sink: sink, Clock: Clock(99)},       // bad clock
+	}
+	for i, cfg := range bad {
+		if _, err := NewPipeline(cfg); !errors.Is(err, ErrConfig) {
+			t.Fatalf("config %d: got %v, want ErrConfig", i, err)
+		}
+	}
+}
+
+func TestPipelineWallClockSealsWithoutTraffic(t *testing.T) {
+	p, rec := newTestPipeline(t, func(c *Config) {
+		c.Clock = ClockWall
+		c.Interval = 20 * time.Millisecond
+	})
+	if err := p.HandleDatagram(dgram(t, 0, 42, 0, 1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	// No further traffic: the wall ticker must still seal the interval.
+	waitCounter(t, func() int64 { return p.Metrics().EpochsSealed.Value() }, 1)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.snapshot()
+	if len(got) == 0 || got[0].Volumes[1] != 9 {
+		t.Fatalf("wall clock lost the record: %+v", got)
+	}
+}
+
+func waitCounter(t testing.TB, get func() int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for get() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter stuck at %d, want ≥ %d", get(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func mustAddr(t testing.TB, a, b, c, d byte) netip.Addr {
+	t.Helper()
+	return netip.AddrFrom4([4]byte{a, b, c, d})
+}

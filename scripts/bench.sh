@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Runs the PR2 worker-sweep benchmarks (Gram, SymEigen, MonitorUpdate) and
-# writes BENCH_PR2.json at the repo root: one record per (op, m, workers)
-# cell with the median ns/op over COUNT runs.
+# Runs the tracked benchmark cells — the PR2 worker-sweep kernels (Gram,
+# SymEigen, MonitorUpdate) and the PR5 ingest benchmarks (IngestDecode,
+# IngestPipeline at 1/2/4 shards) — and writes BENCH_PR5.json at the repo
+# root: one record per cell with the median ns/op over COUNT runs.
 #
 # Usage: scripts/bench.sh [-count N] [-benchtime D]
+#
+# -benchtime applies to the kernel cells (whose single iterations are large
+# enough to time); the ingest cells always run 20000 iterations per
+# measurement — one iteration is a single ~µs datagram, and the run must be
+# long enough to amortize the shard queues' capacity (up to 1024 buffered
+# datagrams) so the cell reflects steady-state producer↔shard coupling, not
+# just enqueue cost.
 #
 # The absolute numbers and the parallel speedup depend on the host's core
 # count; run `nproc` alongside and record it (EXPERIMENTS.md does).
@@ -23,26 +31,42 @@ done
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-echo "running benchmarks (count=$COUNT benchtime=$BENCHTIME, GOMAXPROCS=$(nproc))..." >&2
+echo "running kernel benchmarks (count=$COUNT benchtime=$BENCHTIME, GOMAXPROCS=$(nproc))..." >&2
 go test . -run 'XXX' \
   -bench 'BenchmarkGram/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/' \
   -benchtime "$BENCHTIME" -count "$COUNT" | tee "$RAW" >&2
 
-python3 - "$RAW" <<'EOF' > BENCH_PR2.json
+echo "running ingest benchmarks (count=$COUNT benchtime=20000x)..." >&2
+go test ./internal/ingest -run 'XXX' \
+  -bench 'BenchmarkIngestDecode$|BenchmarkIngestPipeline/' \
+  -benchtime 20000x -count "$COUNT" | tee -a "$RAW" >&2
+
+python3 - "$RAW" <<'EOF' > BENCH_PR5.json
 import json, re, statistics, sys
 
 # Benchmark lines look like (the -N GOMAXPROCS suffix is absent when
 # GOMAXPROCS is 1):
-#   BenchmarkGram/m=256/workers=4-8   100   1234567 ns/op
-pat = re.compile(
+#   BenchmarkGram/m=256/workers=4-8            100   1234567 ns/op
+#   BenchmarkIngestPipeline/shards=4-8        1000      9107 ns/op ...
+kernel = re.compile(
     r'^Benchmark(Gram|SymEigen|MonitorUpdate)/'
     r'(?:m|flows)=(\d+)/workers=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+# Ingest cells reuse the same record shape: m=0 (no size sweep), workers =
+# shard count (1 for the decode microbenchmark).
+ingest = re.compile(
+    r'^Benchmark(IngestDecode|IngestPipeline)'
+    r'(?:/shards=(\d+))?(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 cells = {}
 for line in open(sys.argv[1]):
-    m = pat.match(line)
+    m = kernel.match(line)
     if m:
         key = (m.group(1), int(m.group(2)), int(m.group(3)))
         cells.setdefault(key, []).append(float(m.group(4)))
+        continue
+    m = ingest.match(line)
+    if m:
+        key = (m.group(1), 0, int(m.group(2) or 1))
+        cells.setdefault(key, []).append(float(m.group(3)))
 
 records = [
     {"op": op, "m": size, "workers": w,
@@ -53,4 +77,4 @@ json.dump(records, sys.stdout, indent=2)
 print()
 EOF
 
-echo "wrote BENCH_PR2.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR2.json"))))') cells)" >&2
+echo "wrote BENCH_PR5.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR5.json"))))') cells)" >&2

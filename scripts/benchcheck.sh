@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# Guards the PR2 kernel benchmarks (Gram, SymEigen, MonitorUpdate) against
-# performance regressions: re-runs each cell BENCHCHECK_COUNT times, takes
-# the per-cell minimum (least-noise estimate), and fails when any cell is
-# more than BENCHCHECK_TOLERANCE percent slower than the recorded median in
-# BENCH_PR2.json (written by scripts/bench.sh on the reference host).
+# Guards the tracked benchmarks — the PR2 kernels (Gram, SymEigen,
+# MonitorUpdate) and the PR5 ingest cells (IngestDecode, IngestPipeline) —
+# against performance regressions: re-runs each cell BENCHCHECK_COUNT
+# times, takes the per-cell minimum (least-noise estimate), and fails when
+# any cell is more than BENCHCHECK_TOLERANCE percent slower than the
+# recorded median in BENCH_PR5.json (written by scripts/bench.sh on the
+# reference host).
 #
 # Environment:
 #   BENCHCHECK_COUNT      runs per cell (default 3)
@@ -20,8 +22,8 @@ if [ "${SKIP_BENCHCHECK:-0}" = "1" ]; then
     echo "benchcheck: skipped (SKIP_BENCHCHECK=1)"
     exit 0
 fi
-if [ ! -f BENCH_PR2.json ]; then
-    echo "benchcheck: no BENCH_PR2.json baseline; run scripts/bench.sh first" >&2
+if [ ! -f BENCH_PR5.json ]; then
+    echo "benchcheck: no BENCH_PR5.json baseline; run scripts/bench.sh first" >&2
     exit 1
 fi
 
@@ -31,27 +33,41 @@ TOLERANCE="${BENCHCHECK_TOLERANCE:-20}"
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR2.json"
+echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR5.json"
 go test . -run 'XXXnone' \
     -bench 'BenchmarkGram/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/' \
     -benchtime 1x -count "$COUNT" > "$RAW"
+# One ingest iteration is a single ~µs datagram and the shard queues
+# buffer up to 1024 of them, so these cells measure 20000 iterations per
+# run (matching scripts/bench.sh) to capture steady state.
+go test ./internal/ingest -run 'XXXnone' \
+    -bench 'BenchmarkIngestDecode$|BenchmarkIngestPipeline/' \
+    -benchtime 20000x -count "$COUNT" >> "$RAW"
 
 python3 - "$RAW" "$TOLERANCE" <<'EOF'
 import json, re, sys
 
-pat = re.compile(
+kernel = re.compile(
     r'^Benchmark(Gram|SymEigen|MonitorUpdate)/'
     r'(?:m|flows)=(\d+)/workers=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+ingest = re.compile(
+    r'^Benchmark(IngestDecode|IngestPipeline)'
+    r'(?:/shards=(\d+))?(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 cells = {}
 for line in open(sys.argv[1]):
-    m = pat.match(line)
+    m = kernel.match(line)
     if m:
         key = (m.group(1), int(m.group(2)), int(m.group(3)))
         cells.setdefault(key, []).append(float(m.group(4)))
+        continue
+    m = ingest.match(line)
+    if m:
+        key = (m.group(1), 0, int(m.group(2) or 1))
+        cells.setdefault(key, []).append(float(m.group(3)))
 
 baseline = {
     (r["op"], r["m"], r["workers"]): r["ns_op"]
-    for r in json.load(open("BENCH_PR2.json"))
+    for r in json.load(open("BENCH_PR5.json"))
 }
 tolerance = float(sys.argv[2])
 
