@@ -22,6 +22,7 @@ import (
 	"streampca/internal/pca"
 	"streampca/internal/randproj"
 	"streampca/internal/stats"
+	"streampca/internal/trace"
 	"streampca/internal/traffic"
 	"streampca/internal/vh"
 )
@@ -224,6 +225,91 @@ func BenchmarkInstrumentedSketchUpdate(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// tracedBenchUpdate is one sketch update through the exact span pattern
+// monitor.ReportInterval uses: a "monitor.update" span with the interval
+// attrs, a sketch_updated event, End. With a nil tracer every trace call is
+// a pointer-check no-op — the "off" cell measures precisely that disabled
+// cost at a live call site.
+func tracedBenchUpdate(tr *trace.Tracer, mon *core.Monitor, t int64, volumes []float64) error {
+	sp := tr.Start(trace.ForInterval(t), 0, "monitor.update",
+		trace.S("monitor", "bench"),
+		trace.I("interval", t),
+		trace.I("flows", int64(len(volumes))))
+	if err := mon.Update(t, volumes); err != nil {
+		sp.Event("update_error", trace.S("err", err.Error()))
+		sp.End()
+		return err
+	}
+	sp.Event("sketch_updated", trace.I("vh_buckets", int64(mon.NumBucketsTotal())))
+	sp.End()
+	return nil
+}
+
+// BenchmarkTracedSketchUpdate quantifies the lineage-tracing tax on the
+// monitor's hot path. Three cells, same workload: "base" is the raw sketch
+// update with no trace calls at all; "off" threads a nil tracer through the
+// instrumented call site (what every untraced deployment pays — the ≤5%
+// acceptance bound from PR 6); "on" records the span into an enabled
+// tracer's ring. scripts/bench.sh and scripts/benchcheck.sh parse these
+// cells into BENCH_PR6.json, and benchcheck additionally fails when
+// off-vs-base exceeds BENCHCHECK_TRACE_TOLERANCE percent.
+func BenchmarkTracedSketchUpdate(b *testing.B) {
+	const w, n, l = 9, 4096, 32
+	newMon := func(b *testing.B) *core.Monitor {
+		gen, err := randproj.NewGenerator(randproj.Config{Seed: 1, SketchLen: l, WindowLen: n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flowIDs := make([]int, w)
+		for j := range flowIDs {
+			flowIDs[j] = j
+		}
+		mon, err := core.NewMonitor(core.MonitorConfig{
+			FlowIDs: flowIDs, WindowLen: n, Epsilon: 0.1, Gen: gen,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return mon
+	}
+	b.Run("mode=base", func(b *testing.B) {
+		mon := newMon(b)
+		rng := rand.New(rand.NewSource(2))
+		volumes := make([]float64, w)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range volumes {
+				volumes[j] = 1000 + 50*rng.NormFloat64()
+			}
+			if err := mon.Update(int64(i+1), volumes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, mode := range []struct {
+		name   string
+		tracer *trace.Tracer
+	}{
+		{"mode=off", nil},
+		{"mode=on", trace.New(trace.Config{Component: "bench"})},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			mon := newMon(b)
+			rng := rand.New(rand.NewSource(2))
+			volumes := make([]float64, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range volumes {
+					volumes[j] = 1000 + 50*rng.NormFloat64()
+				}
+				if err := tracedBenchUpdate(mode.tracer, mon, int64(i+1), volumes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,8 +2,10 @@
 # Tier-1+ check: everything CI (or a reviewer) needs to trust a change.
 #   ./ci.sh    fmt + vet (linux & darwin) + build + tests + race + benchcheck
 #
-# Environment: SKIP_BENCHCHECK=1, BENCHCHECK_COUNT, BENCHCHECK_TOLERANCE are
-# forwarded to scripts/benchcheck.sh.
+# Environment: SKIP_BENCHCHECK=1, BENCHCHECK_COUNT, BENCHCHECK_TOLERANCE and
+# BENCHCHECK_TRACE_TOLERANCE are forwarded to scripts/benchcheck.sh;
+# CHAOS_FLIGHT_DIR overrides where the chaos e2e's flight-recorder JSONL
+# artifacts land (default ci-artifacts/chaos-flight).
 set -eu
 
 cd "$(dirname "$0")"
@@ -45,10 +47,10 @@ step "go test"
 go test ./...
 step_done
 
-step "go test -race (par, transport, monitor, noc, obs, faults, ingest)"
+step "go test -race (par, transport, monitor, noc, obs, faults, ingest, trace)"
 go test -race ./internal/par/... ./internal/transport/... \
     ./internal/monitor/... ./internal/noc/... ./internal/obs/... \
-    ./internal/faults/... ./internal/ingest/...
+    ./internal/faults/... ./internal/ingest/... ./internal/trace/...
 step_done
 
 # The live-ingestion end-to-end suites (NetFlow replay through the monitor
@@ -66,11 +68,27 @@ step "go test -race oracle differential validation"
 go test -race ./internal/oracle/...
 step_done
 
-# The chaos e2e suite (fault-injected NOC/monitor deployments) is where the
-# retry, breaker and reconnect goroutines actually contend; run it under the
-# race detector explicitly so a -run filter change elsewhere can't drop it.
+# The chaos e2e suite (fault-injected NOC/monitor deployments, including the
+# trace-lineage e2e) is where the retry, breaker and reconnect goroutines
+# actually contend; run it under the race detector explicitly so a -run
+# filter change elsewhere can't drop it. CHAOS_FLIGHT_DIR redirects the
+# suite's flight-recorder JSONL to a kept directory; on failure the audit
+# records are dumped so the workflow can collect them as artifacts.
 step "go test -race chaos e2e"
-go test -race -run 'TestChaos' ./internal/noc/ ./cmd/sketchpca-monitor/
+CHAOS_FLIGHT_DIR="${CHAOS_FLIGHT_DIR:-$(pwd)/ci-artifacts/chaos-flight}"
+export CHAOS_FLIGHT_DIR
+mkdir -p "$CHAOS_FLIGHT_DIR"
+rm -f "$CHAOS_FLIGHT_DIR"/*.jsonl
+if ! go test -race -run 'TestChaos' ./internal/noc/ ./cmd/sketchpca-monitor/; then
+    echo "chaos e2e FAILED; flight-recorder JSONL from $CHAOS_FLIGHT_DIR:" >&2
+    for f in "$CHAOS_FLIGHT_DIR"/*.jsonl; do
+        [ -f "$f" ] || continue
+        echo "--- $f ---" >&2
+        cat "$f" >&2
+    done
+    exit 1
+fi
+unset CHAOS_FLIGHT_DIR
 step_done
 
 # Fuzz smokes: ten seconds of coverage-guided input on the two hostile
@@ -96,7 +114,7 @@ step "bench smoke (1 iteration per benchmark)"
 go test . ./internal/... -run 'XXXnone' -bench . -benchtime 1x > /dev/null
 step_done
 
-step "benchcheck (vs BENCH_PR5.json)"
+step "benchcheck (vs BENCH_PR6.json)"
 sh scripts/benchcheck.sh
 step_done
 

@@ -41,6 +41,7 @@ import (
 	"streampca/internal/monitor"
 	"streampca/internal/obs"
 	"streampca/internal/randproj"
+	"streampca/internal/trace"
 	"streampca/internal/traffic"
 	"streampca/internal/transport"
 )
@@ -73,6 +74,9 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
 		statsEv = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
 		workers = fs.Int("workers", 0, "worker goroutines for the sketch-update path (0 = all CPUs)")
+		traceOn = fs.Bool("trace", false, "record interval-lineage spans, served on /debug/trace (needs -metrics-addr to be visible)")
+		traceSm = fs.Int("trace-sample", 1, "with -trace, keep every trace whose id %% N == 0 (1 = all)")
+		flight  = fs.String("flight-recorder", "", "append one JSONL audit record per received alarm to this file (off when empty)")
 
 		ingListen = fs.String("ingest-listen", "", "UDP address for live NetFlow v5 ingestion (off when empty; replaces the stdin CSV path)")
 		ingShards = fs.Int("ingest-shards", 0, "ingest aggregation shards (0 = all CPUs)")
@@ -111,6 +115,19 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 		}
 	}
 
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(trace.Config{Component: "monitor/" + *id, Sample: *traceSm})
+	}
+	var recorder *trace.FlightRecorder
+	if *flight != "" {
+		recorder, err = trace.OpenFlightRecorder(*flight)
+		if err != nil {
+			return fmt.Errorf("-flight-recorder: %w", err)
+		}
+		defer func() { _ = recorder.Close() }()
+	}
+
 	svc, err := monitor.New(monitor.Config{
 		ID:                  *id,
 		FlowIDs:             flows,
@@ -124,6 +141,8 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 		ReconnectBackoffMax: *reconnM,
 		Log:                 obs.NewLogger(os.Stderr, slog.LevelInfo, "monitor"),
 		MetricsAddr:         *metrics,
+		Trace:               tracer,
+		FlightRecorder:      recorder,
 		OnAlarm: func(a transport.Alarm) {
 			degraded := ""
 			if a.Degraded {
@@ -178,6 +197,7 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 			id:       *id,
 			flows:    flows,
 			shed:     *reconn,
+			trace:    tracer,
 		}, shutdown)
 	}
 
@@ -241,6 +261,7 @@ type ingestOptions struct {
 	id       string
 	flows    []int
 	shed     bool // shed intervals instead of failing while the NOC link redials
+	trace    *trace.Tracer
 }
 
 // runIngest runs the live-ingestion loop: a UDP NetFlow collector feeding a
@@ -309,10 +330,24 @@ func runIngest(svc *monitor.Service, o ingestOptions, shutdown <-chan os.Signal)
 		Sink:       sink,
 		Obs:        svc.Registry(),
 		Log:        log,
+		Trace:      o.trace,
 	})
 	if err != nil {
 		return err
 	}
+	// Fold the pipeline's counters into the monitor's -stats-every summary
+	// line, so one log line covers the whole daemon.
+	met := p.Metrics()
+	svc.SetIngestStats(func() monitor.IngestStats {
+		return monitor.IngestStats{
+			QueueDepth:     int64(met.QueueDepth.Value()),
+			DroppedRecords: met.DroppedOldest.Value() + met.DroppedNewest.Value(),
+			FutureDrops:    met.FutureDrops.Value(),
+			LateRecords:    met.LateRecords.Value(),
+			EpochsSealed:   met.EpochsSealed.Value(),
+			PartialEpochs:  met.PartialEpochs.Value(),
+		}
+	})
 	c, err := ingest.Listen(o.listen, p)
 	if err != nil {
 		_ = p.Close()

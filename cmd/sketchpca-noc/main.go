@@ -24,6 +24,7 @@ import (
 	"streampca/internal/core"
 	"streampca/internal/noc"
 	"streampca/internal/obs"
+	"streampca/internal/trace"
 )
 
 func main() {
@@ -72,6 +73,9 @@ func run(args []string) error {
 		metrics  = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
 		statsEvr = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
 		workers  = fs.Int("workers", 0, "worker goroutines for the retrain kernels (0 = all CPUs)")
+		traceOn  = fs.Bool("trace", false, "record interval-lineage spans, served on /debug/trace (needs -metrics-addr to be visible)")
+		traceSm  = fs.Int("trace-sample", 1, "with -trace, keep every trace whose id %% N == 0 (1 = all)")
+		flight   = fs.String("flight-recorder", "", "append one JSONL audit record per alarm/degraded decision to this file (off when empty)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,10 +86,25 @@ func run(args []string) error {
 		return err
 	}
 
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(trace.Config{Component: "noc", Sample: *traceSm})
+	}
+	var recorder *trace.FlightRecorder
+	if *flight != "" {
+		recorder, err = trace.OpenFlightRecorder(*flight)
+		if err != nil {
+			return fmt.Errorf("-flight-recorder: %w", err)
+		}
+		defer func() { _ = recorder.Close() }()
+	}
+
 	logger := obs.NewLogger(os.Stderr, slog.LevelInfo, "noc")
 	svc, err := noc.New(noc.Config{
-		Log:         logger,
-		MetricsAddr: *metrics,
+		Log:            logger,
+		MetricsAddr:    *metrics,
+		Trace:          tracer,
+		FlightRecorder: recorder,
 		Detector: core.DetectorConfig{
 			NumFlows:   *flows,
 			WindowLen:  *window,

@@ -27,21 +27,25 @@ import (
 	"streampca/internal/monitor"
 	"streampca/internal/noc"
 	"streampca/internal/randproj"
+	"streampca/internal/trace"
 	"streampca/internal/traffic"
 	"streampca/internal/transport"
 )
 
 func main() {
-	metricsAddr := flag.String("metrics-addr", "", "serve NOC diagnostics (/metrics, /healthz, /debug/pprof) on this address")
+	metricsAddr := flag.String("metrics-addr", "", "serve NOC diagnostics (/metrics, /healthz, /debug/pprof, /debug/trace) on this address")
 	workers := flag.Int("workers", 0, "worker goroutines for sketch updates and retrains (0 = all CPUs)")
 	ingestMode := flag.Bool("ingest", false, "feed monitors through NetFlow v5 ingest pipelines instead of direct volume rows")
+	traceOn := flag.Bool("trace", false, "record interval-lineage spans on the NOC (served on /debug/trace with -metrics-addr)")
+	traceSm := flag.Int("trace-sample", 1, "with -trace, keep every trace whose id % N == 0 (1 = all)")
+	flight := flag.String("flight-recorder", "", "append one JSONL audit record per alarm/degraded decision to this file")
 	flag.Parse()
-	if err := run(*metricsAddr, *workers, *ingestMode); err != nil {
+	if err := run(*metricsAddr, *workers, *ingestMode, *traceOn, *traceSm, *flight); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(metricsAddr string, workers int, ingestMode bool) error {
+func run(metricsAddr string, workers int, ingestMode, traceOn bool, traceSample int, flightPath string) error {
 	const (
 		perDay    = traffic.IntervalsPerDay5Min
 		windowLen = perDay / 2
@@ -61,6 +65,20 @@ func run(metricsAddr string, workers int, ingestMode bool) error {
 	}
 	m := tr.NumFlows()
 
+	var tracer *trace.Tracer
+	if traceOn {
+		tracer = trace.New(trace.Config{Component: "noc", Sample: traceSample})
+	}
+	var recorder *trace.FlightRecorder
+	if flightPath != "" {
+		var err error
+		recorder, err = trace.OpenFlightRecorder(flightPath)
+		if err != nil {
+			return fmt.Errorf("-flight-recorder: %w", err)
+		}
+		defer func() { _ = recorder.Close() }()
+	}
+
 	// NOC.
 	decisions := make(chan noc.Decision, total)
 	nocSvc, err := noc.New(noc.Config{
@@ -76,10 +94,12 @@ func run(metricsAddr string, workers int, ingestMode bool) error {
 		Workers: workers,
 		// Fault tolerance: retry missing sketch responses and, should a
 		// monitor vanish mid-run, keep deciding on its cached state.
-		FetchRetries: 2,
-		Degraded:     noc.DegradedPolicy{Enabled: true},
-		OnDecision:   func(d noc.Decision) { decisions <- d },
-		MetricsAddr:  metricsAddr,
+		FetchRetries:   2,
+		Degraded:       noc.DegradedPolicy{Enabled: true},
+		OnDecision:     func(d noc.Decision) { decisions <- d },
+		MetricsAddr:    metricsAddr,
+		Trace:          tracer,
+		FlightRecorder: recorder,
 	})
 	if err != nil {
 		return err
@@ -170,6 +190,13 @@ func run(metricsAddr string, workers int, ingestMode bool) error {
 		hits, anomalyEnd-anomalyStart, falseAlarms)
 	if hits > 0 {
 		fmt.Println("result: distributed lazy protocol detected the coordinated anomaly ✔")
+	}
+	if tracer != nil {
+		fmt.Printf("trace: %d spans retained (GET /debug/trace on the NOC diagnostics address)\n",
+			tracer.Recorder().Len())
+	}
+	if recorder != nil {
+		fmt.Printf("flight recorder: %d audit records appended to %s\n", recorder.Count(), flightPath)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"streampca/internal/flow"
 	"streampca/internal/obs"
 	"streampca/internal/par"
+	"streampca/internal/trace"
 )
 
 // Clock selects how records are assigned to intervals.
@@ -107,6 +108,11 @@ type Config struct {
 	Obs *obs.Registry
 	// Log receives structured logs; nil discards them.
 	Log *slog.Logger
+	// Trace, when non-nil, emits one "ingest.seal" span per delivered
+	// interval (trace id trace.ForInterval(Seq)) carrying the drop/partial/
+	// lateness counters at seal time — the first hop of the interval's
+	// lineage. Nil costs one pointer check per interval.
+	Trace *trace.Tracer
 }
 
 // sealed is one shard's contribution to a sealed epoch.
@@ -477,6 +483,11 @@ func (p *Pipeline) mergerLoop() {
 // deliver merges st's shard rows into one volume vector and hands it to
 // the sink.
 func (p *Pipeline) deliver(epoch, seq int64, st *mergeState) {
+	sp := p.cfg.Trace.Start(trace.ForInterval(seq), 0, "ingest.seal",
+		trace.I("interval", seq),
+		trace.I("epoch", epoch),
+		trace.I("records", st.records),
+		trace.B("partial", st.partial))
 	m := p.agg.NumFlows()
 	volumes := make([]float64, m)
 	if len(st.rows) == 1 {
@@ -501,12 +512,26 @@ func (p *Pipeline) deliver(epoch, seq int64, st *mergeState) {
 	if err := p.cfg.Sink(iv); err != nil {
 		p.met.SinkErrors.Inc()
 		p.log.Warn("ingest sink rejected interval", "seq", seq, "epoch", epoch, "err", err)
+		sp.Event("sink_error", trace.S("err", err.Error()))
 	}
 	p.met.EpochsSealed.Inc()
 	if st.partial {
 		p.met.PartialEpochs.Inc()
 	}
 	p.met.RolloverSeconds.Observe(time.Since(st.sealedAt).Seconds())
+	if sp != nil {
+		// Cumulative pipeline counters at seal time: diffing consecutive
+		// seal spans localizes drops and late arrivals to an interval.
+		sp.SetAttr(
+			trace.I("late_records", p.met.LateRecords.Value()),
+			trace.I("future_drops", p.met.FutureDrops.Value()),
+			trace.I("dropped_oldest", p.met.DroppedOldest.Value()),
+			trace.I("dropped_newest", p.met.DroppedNewest.Value()),
+			trace.I("partial_epochs", p.met.PartialEpochs.Value()),
+			trace.F("queue_depth", p.met.QueueDepth.Value()),
+		)
+		sp.End()
+	}
 }
 
 // wallLoop rolls intervals on wall time so epochs seal even when traffic

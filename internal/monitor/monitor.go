@@ -19,6 +19,7 @@ import (
 	"streampca/internal/oracle"
 	"streampca/internal/par"
 	"streampca/internal/randproj"
+	"streampca/internal/trace"
 	"streampca/internal/transport"
 )
 
@@ -76,8 +77,19 @@ type Config struct {
 	Log *slog.Logger
 	// MetricsAddr, when non-empty, serves /metrics, /healthz and
 	// /debug/pprof on that address for this monitor's registry. The server
-	// lives until Close. Empty (the default) opens no listener.
+	// lives until Close. Empty (the default) opens no listener. With Trace
+	// set it also serves the span ring on /debug/trace.
 	MetricsAddr string
+	// Trace, when non-nil, emits interval-lineage spans: one
+	// "monitor.update" per ReportInterval (trace.ForInterval(t)) and one
+	// "monitor.sketch_report" per served sketch pull, parented under the
+	// NOC's fetch span via the envelope TraceContext. Nil (the default)
+	// costs one pointer check per call site.
+	Trace *trace.Tracer
+	// FlightRecorder, when non-nil, appends one JSONL record per alarm
+	// broadcast received from the NOC — the monitor-side half of the alarm
+	// audit trail. Nil disables.
+	FlightRecorder *trace.FlightRecorder
 }
 
 // metrics is the monitor's instrumentation surface. All names are under
@@ -144,6 +156,9 @@ type Service struct {
 	nocAddr     string
 	dialTimeout time.Duration
 	closed      bool
+	// ingestStats, when set, snapshots the live-ingest pipeline feeding
+	// this monitor for Stats/LogSummary (see SetIngestStats).
+	ingestStats func() IngestStats
 
 	readerDone chan struct{}
 }
@@ -209,7 +224,7 @@ func New(cfg Config) (*Service, error) {
 	s.health.Set("monitor", obs.StatusOK, "sketch state ready")
 	s.health.Set("noc-link", obs.StatusDegraded, "not connected")
 	if cfg.MetricsAddr != "" {
-		diag, err := obs.StartServer(cfg.MetricsAddr, reg, s.health, s.log)
+		diag, err := obs.StartServerWith(cfg.MetricsAddr, reg, s.health, cfg.Trace.Recorder(), s.log)
 		if err != nil {
 			return nil, err
 		}
@@ -302,15 +317,28 @@ loop:
 		switch {
 		case env.Request != nil:
 			s.met.sketchReqs.Inc()
+			// Parent the serving span under the NOC's fetch span when the
+			// request carries a trace context (cross-process lineage).
+			var sp *trace.Span
+			if tc := env.Trace; tc != nil {
+				sp = s.cfg.Trace.Start(trace.ID(tc.TraceID), trace.SpanID(tc.SpanID),
+					"monitor.sketch_report", trace.I("request", int64(env.Request.RequestID)))
+			}
 			s.mu.Lock()
 			rep := s.core.Report()
 			s.mu.Unlock()
+			sp.SetAttr(trace.I("sketch_interval", rep.Interval), trace.I("flows", int64(len(rep.FlowIDs))))
 			resp := transport.SketchResponse{
 				RequestID: env.Request.RequestID,
 				MonitorID: s.cfg.ID,
 				Report:    rep,
 			}
-			if err := conn.Send(transport.Envelope{Response: &resp}); err != nil {
+			err := conn.Send(transport.Envelope{Response: &resp, Trace: env.Trace})
+			if err != nil {
+				sp.Event("send_error", trace.S("err", err.Error()))
+			}
+			sp.End()
+			if err != nil {
 				break loop
 			}
 		case env.Alarm != nil:
@@ -318,6 +346,24 @@ loop:
 			s.log.Warn("alarm from NOC", "interval", env.Alarm.Interval,
 				"distance", env.Alarm.Distance, "threshold", env.Alarm.Threshold,
 				"degraded", env.Alarm.Degraded)
+			if fr := s.cfg.FlightRecorder; fr != nil {
+				s.mu.Lock()
+				last := s.core.Now()
+				s.mu.Unlock()
+				if err := fr.Record(alarmRecord{
+					Kind:         "monitor.alarm_received",
+					Monitor:      s.cfg.ID,
+					Trace:        trace.ForInterval(env.Alarm.Interval),
+					Interval:     env.Alarm.Interval,
+					SPE:          env.Alarm.Distance,
+					Threshold:    env.Alarm.Threshold,
+					Degraded:     env.Alarm.Degraded,
+					LastInterval: last,
+					UnixNanos:    time.Now().UnixNano(),
+				}); err != nil {
+					s.log.Warn("flight record failed", "err", err)
+				}
+			}
 			if s.cfg.OnAlarm != nil {
 				s.cfg.OnAlarm(*env.Alarm)
 			}
@@ -399,10 +445,16 @@ func (s *Service) reconnectLoop(addr string) {
 // send — skips the update and only re-sends the report, so the call is
 // safe to repeat across link losses and reconnects.
 func (s *Service) ReportInterval(t int64, volumes []float64) error {
+	sp := s.cfg.Trace.Start(trace.ForInterval(t), 0, "monitor.update",
+		trace.S("monitor", s.cfg.ID),
+		trace.I("interval", t),
+		trace.I("flows", int64(len(volumes))))
 	s.mu.Lock()
 	conn := s.conn
 	if conn == nil {
 		s.mu.Unlock()
+		sp.Event("not_connected")
+		sp.End()
 		return ErrNotConnected
 	}
 	if t > s.core.Now() {
@@ -410,17 +462,22 @@ func (s *Service) ReportInterval(t int64, volumes []float64) error {
 		if err := s.core.Update(t, volumes); err != nil {
 			s.mu.Unlock()
 			s.met.reportErrors.Inc()
+			sp.Event("update_error", trace.S("err", err.Error()))
+			sp.End()
 			return fmt.Errorf("sketch update: %w", err)
 		}
 		s.met.updateSeconds.Observe(time.Since(start).Seconds())
 		s.met.vhBuckets.Set(float64(s.core.NumBucketsTotal()))
 		s.met.intervals.Inc()
 		s.met.lastInterval.Set(float64(t))
+		sp.Event("sketch_updated", trace.I("vh_buckets", int64(s.core.NumBucketsTotal())))
 		if s.oracle != nil {
 			// Shadow only intervals actually folded into the sketch state
 			// (retries re-enter with t ≤ Now and must not double-push).
 			s.oracle.ObserveMonitor(t, volumes, s.core)
 		}
+	} else {
+		sp.Event("update_skipped", trace.I("now", s.core.Now()))
 	}
 	flowIDs := s.core.FlowIDs()
 	s.mu.Unlock()
@@ -431,12 +488,63 @@ func (s *Service) ReportInterval(t int64, volumes []float64) error {
 		FlowIDs:   flowIDs,
 		Volumes:   append([]float64(nil), volumes...),
 	}
-	if err := conn.Send(transport.Envelope{Volume: &report}); err != nil {
+	env := transport.Envelope{Volume: &report}
+	if sp != nil {
+		env.Trace = &transport.TraceContext{TraceID: uint64(sp.Trace()), SpanID: uint64(sp.ID())}
+	}
+	if err := conn.Send(env); err != nil {
 		s.met.reportErrors.Inc()
 		s.health.Set("noc-link", obs.StatusDown, err.Error())
+		sp.Event("report_send_error", trace.S("err", err.Error()))
+		sp.End()
 		return fmt.Errorf("volume report: %w", err)
 	}
+	sp.Event("volume_report_sent")
+	sp.End()
 	return nil
+}
+
+// alarmRecord is the monitor-side flight-recorder line: one per alarm
+// broadcast received from the NOC, keyed by the same interval-derived trace
+// ID the NOC's decision record carries.
+type alarmRecord struct {
+	Kind         string   `json:"kind"`
+	Monitor      string   `json:"monitor"`
+	Trace        trace.ID `json:"trace"`
+	Interval     int64    `json:"interval"`
+	SPE          float64  `json:"spe"`
+	Threshold    float64  `json:"threshold"`
+	Degraded     bool     `json:"degraded"`
+	LastInterval int64    `json:"last_interval"`
+	UnixNanos    int64    `json:"unix_ns"`
+}
+
+// IngestStats is a snapshot of the live-ingestion pipeline feeding this
+// monitor, surfaced in Stats and the LogSummary line so drops are visible
+// without scraping /metrics. The daemon wires it with SetIngestStats; a
+// CSV- or test-fed monitor has none.
+type IngestStats struct {
+	// QueueDepth is the current shard-queue backlog in batches.
+	QueueDepth int64
+	// DroppedRecords counts records shed by backpressure (both the
+	// drop-oldest and drop-newest policies), FutureDrops the clock-anomaly
+	// rejections and LateRecords the arrivals behind the seal watermark.
+	DroppedRecords int64
+	FutureDrops    int64
+	LateRecords    int64
+	// EpochsSealed and PartialEpochs count delivered intervals and the
+	// subset sealed early by shutdown drain.
+	EpochsSealed  int64
+	PartialEpochs int64
+}
+
+// SetIngestStats installs the callback LogSummary/Stats use to snapshot the
+// ingest pipeline (nil detaches). The monitor never depends on
+// internal/ingest directly; the daemon that owns both wires them together.
+func (s *Service) SetIngestStats(fn func() IngestStats) {
+	s.mu.Lock()
+	s.ingestStats = fn
+	s.mu.Unlock()
 }
 
 // Stats is the monitor's counterpart to the NOC's DetectorStats: a snapshot
@@ -453,6 +561,9 @@ type Stats struct {
 	// its current total bucket count.
 	LastInterval int64
 	VHBuckets    int
+	// Ingest is the live-ingestion snapshot; nil when the monitor is not
+	// fed by an ingest pipeline (see SetIngestStats).
+	Ingest *IngestStats
 }
 
 // Stats returns a snapshot of the service counters.
@@ -460,8 +571,9 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	last := s.core.Now()
 	buckets := s.core.NumBucketsTotal()
+	ingestFn := s.ingestStats
 	s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Intervals:      s.met.intervals.Value(),
 		SketchRequests: s.met.sketchReqs.Value(),
 		AlarmsReceived: s.met.alarmsRecv.Value(),
@@ -469,19 +581,38 @@ func (s *Service) Stats() Stats {
 		LastInterval:   last,
 		VHBuckets:      buckets,
 	}
+	if ingestFn != nil {
+		in := ingestFn()
+		st.Ingest = &in
+	}
+	return st
 }
 
 // LogSummary emits the one-line slog summary daemons print periodically.
+// With an ingest pipeline attached (SetIngestStats) the line also covers
+// the ingest side, so backpressure drops and partial epochs show up in the
+// same place as sketch-side stats.
 func (s *Service) LogSummary() {
 	st := s.Stats()
-	s.log.Info("monitor stats",
+	args := []any{
 		"intervals", st.Intervals,
 		"sketch_requests", st.SketchRequests,
 		"alarms", st.AlarmsReceived,
 		"report_errors", st.ReportErrors,
 		"last_interval", st.LastInterval,
 		"vh_buckets", st.VHBuckets,
-	)
+	}
+	if st.Ingest != nil {
+		args = append(args,
+			"ingest_queue_depth", st.Ingest.QueueDepth,
+			"ingest_dropped", st.Ingest.DroppedRecords,
+			"ingest_future_drops", st.Ingest.FutureDrops,
+			"ingest_late", st.Ingest.LateRecords,
+			"ingest_sealed", st.Ingest.EpochsSealed,
+			"ingest_partial", st.Ingest.PartialEpochs,
+		)
+	}
+	s.log.Info("monitor stats", args...)
 }
 
 // Report returns the current sketch state (local inspection).

@@ -1,0 +1,129 @@
+package noc
+
+import (
+	"sort"
+	"time"
+
+	"streampca/internal/core"
+	"streampca/internal/trace"
+)
+
+// flightTopK is how many residual flows a flight record attributes; five
+// covers the paper's evaluation scenarios (1–2 injected flows) with room
+// for collateral contributions.
+const flightTopK = 5
+
+// FlightFlow is one flow's contribution to the anomalous residual, from
+// core.Detector.Attribute (paper eq. 4).
+type FlightFlow struct {
+	Flow     int     `json:"flow"`
+	Residual float64 `json:"residual"`
+	Share    float64 `json:"share"`
+}
+
+// FlightMonitor describes one registered monitor's state at decision time:
+// how fresh its last validated sketch report was and whether its circuit
+// breaker currently excludes it from fetches.
+type FlightMonitor struct {
+	ID    string `json:"id"`
+	Flows int    `json:"flows"`
+	// SketchInterval is the interval of the monitor's last validated
+	// sketch report and SketchAge the decision interval minus it; both are
+	// -1 when the NOC has never validated a report from this monitor.
+	SketchInterval int64 `json:"sketch_interval"`
+	SketchAge      int64 `json:"sketch_age"`
+	// Stale marks a sketch older than DegradedPolicy.MaxStaleness.
+	Stale       bool `json:"stale,omitempty"`
+	BreakerOpen bool `json:"breaker_open,omitempty"`
+}
+
+// FlightRecord is one line of the NOC's alarm flight recorder: everything
+// needed to reconstruct an alarm (or a degraded decision) offline — the
+// trace to look up in /debug/trace, the SPE-vs-threshold comparison, which
+// flows drove the residual, and how fresh each monitor's contribution was.
+type FlightRecord struct {
+	Kind      string   `json:"kind"` // "noc.decision"
+	Trace     trace.ID `json:"trace"`
+	Interval  int64    `json:"interval"`
+	UnixNanos int64    `json:"unix_ns"`
+	// SPE is the distance d(y) and Threshold the Q-statistic limit δ_α it
+	// was compared against (unset when ThresholdUnavailable or Warmup).
+	SPE                  float64 `json:"spe"`
+	Threshold            float64 `json:"threshold"`
+	ThresholdUnavailable bool    `json:"threshold_unavailable,omitempty"`
+	Anomalous            bool    `json:"anomalous"`
+	Warmup               bool    `json:"warmup,omitempty"`
+	// Degraded is the decision-level flag; VectorDegraded/ModelDegraded
+	// split it into its two causes (cached volumes vs cached sketches).
+	Degraded         bool `json:"degraded"`
+	VectorDegraded   bool `json:"vector_degraded,omitempty"`
+	StaleVolumeFlows int  `json:"stale_volume_flows,omitempty"`
+	ModelDegraded    bool `json:"model_degraded,omitempty"`
+	ModelStaleFlows  int  `json:"model_stale_flows,omitempty"`
+	Refreshed        bool `json:"refreshed,omitempty"`
+	// TopFlows ranks the flows driving the anomalous residual (empty
+	// during warmup, when no model exists to attribute against).
+	TopFlows []FlightFlow `json:"top_flows,omitempty"`
+	// Monitors is the contributing monitor set, sorted by ID.
+	Monitors []FlightMonitor `json:"monitors,omitempty"`
+}
+
+// flightRecord appends one audit line for this decision. Called only from
+// the processing goroutine (lastSketch and detMu discipline).
+func (s *Service) flightRecord(item workItem, res core.Decision, warmup, degraded bool) {
+	fr := s.cfg.FlightRecorder
+	if fr == nil {
+		return
+	}
+	rec := FlightRecord{
+		Kind:                 "noc.decision",
+		Trace:                trace.ForInterval(item.interval),
+		Interval:             item.interval,
+		UnixNanos:            time.Now().UnixNano(),
+		SPE:                  res.Distance,
+		Threshold:            res.Threshold,
+		ThresholdUnavailable: res.ThresholdUnavailable,
+		Anomalous:            res.Anomalous,
+		Warmup:               warmup,
+		Degraded:             degraded,
+		VectorDegraded:       item.degraded,
+		StaleVolumeFlows:     item.staleFlows,
+		ModelDegraded:        res.Degraded,
+		ModelStaleFlows:      res.StaleFlows,
+		Refreshed:            res.Refreshed,
+	}
+	if !warmup {
+		s.detMu.Lock()
+		top, err := s.det.Attribute(item.volumes, flightTopK)
+		s.detMu.Unlock()
+		if err == nil {
+			for _, c := range top {
+				rec.TopFlows = append(rec.TopFlows, FlightFlow{Flow: c.Flow, Residual: c.Residual, Share: c.Share})
+			}
+		}
+	}
+	s.mu.Lock()
+	now := time.Now()
+	for _, e := range s.monitors {
+		fm := FlightMonitor{ID: e.id, Flows: len(e.flows), SketchInterval: -1, SketchAge: -1}
+		if at, ok := s.lastSketch[e.id]; ok {
+			fm.SketchInterval = at
+			fm.SketchAge = item.interval - at
+			if s.cfg.Degraded.MaxStaleness > 0 && fm.SketchAge > s.cfg.Degraded.MaxStaleness {
+				fm.Stale = true
+			}
+		}
+		if b := s.breakers[e.id]; b != nil && s.cfg.BreakerThreshold > 0 &&
+			b.failures >= s.cfg.BreakerThreshold && now.Before(b.openUntil) {
+			fm.BreakerOpen = true
+		}
+		rec.Monitors = append(rec.Monitors, fm)
+	}
+	s.mu.Unlock()
+	sort.Slice(rec.Monitors, func(i, j int) bool { return rec.Monitors[i].ID < rec.Monitors[j].ID })
+	if err := fr.Record(rec); err != nil {
+		s.log.Warn("flight record failed", "interval", item.interval, "err", err)
+		return
+	}
+	s.met.flightRecords.Inc()
+}

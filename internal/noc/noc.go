@@ -19,6 +19,7 @@ import (
 	"streampca/internal/obs"
 	"streampca/internal/oracle"
 	"streampca/internal/randproj"
+	"streampca/internal/trace"
 	"streampca/internal/transport"
 )
 
@@ -137,8 +138,21 @@ type Config struct {
 	Log *slog.Logger
 	// MetricsAddr, when non-empty, serves /metrics, /healthz and
 	// /debug/pprof on that address once Serve is called; Shutdown closes
-	// it. Empty (the default) opens no listener.
+	// it. Empty (the default) opens no listener. With Trace set it also
+	// serves the span ring on /debug/trace.
 	MetricsAddr string
+	// Trace, when non-nil, emits interval-lineage spans: one "noc.decide"
+	// per completed interval with a child "noc.fetch" covering the §IV-C
+	// sketch pull (retry rounds, breaker transitions and degraded
+	// fallbacks recorded as events). Sketch requests carry the fetch
+	// span's TraceContext so monitor-side serving spans parent under it.
+	// Nil (the default) costs one pointer check per call site.
+	Trace *trace.Tracer
+	// FlightRecorder, when non-nil, appends one JSONL FlightRecord per
+	// alarm and per degraded decision: trace ID, SPE vs threshold, top-k
+	// residual flows and the contributing monitor set with sketch ages —
+	// enough to reconstruct the decision offline. Nil disables.
+	FlightRecorder *trace.FlightRecorder
 }
 
 // metrics is the NOC's instrumentation surface. All names are under
@@ -175,6 +189,8 @@ type metrics struct {
 	// thresholdUnavailable counts intervals decided without a usable δ
 	// (degenerate residual spectrum — the detector is blind, not "normal").
 	thresholdUnavailable *obs.Counter
+	// flightRecords counts audit lines written by the alarm flight recorder.
+	flightRecords *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -221,6 +237,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Circuit-breaker open transitions (consecutive-failure threshold crossed)."),
 		thresholdUnavailable: reg.Counter("streampca_noc_threshold_unavailable_total",
 			"Intervals with no usable Q threshold (degenerate residual spectrum)."),
+		flightRecords: reg.Counter("streampca_noc_flight_records_total",
+			"Alarm/degraded-decision audit records appended to the flight recorder."),
 	}
 }
 
@@ -295,6 +313,10 @@ type Service struct {
 	// source, seeded from Config.Seed for reproducible chaos tests.
 	sketchCache []sketchEntry
 	rng         *rand.Rand
+	// lastSketch remembers each monitor's most recent validated sketch
+	// report interval, for flight-record sketch ages. Processing-goroutine
+	// only (fetchRound writes, flight records read).
+	lastSketch map[string]int64
 
 	completeCh chan Decision // buffered channel feeding the processor
 	workCh     chan workItem
@@ -417,6 +439,7 @@ func New(cfg Config) (*Service, error) {
 		lastVolAt:   lastVolAt,
 		sketchCache: make([]sketchEntry, m),
 		rng:         rand.New(rand.NewSource(int64(cfg.Seed) + 1)),
+		lastSketch:  make(map[string]int64),
 		det:         det,
 		localMon:    localMon,
 		workCh:      make(chan workItem, 256),
@@ -471,7 +494,7 @@ func (s *Service) Serve(addr string) error {
 		return err
 	}
 	if s.cfg.MetricsAddr != "" {
-		diag, err := obs.StartServer(s.cfg.MetricsAddr, s.reg, s.health, s.log)
+		diag, err := obs.StartServerWith(s.cfg.MetricsAddr, s.reg, s.health, s.cfg.Trace.Recorder(), s.log)
 		if err != nil {
 			srv.Shutdown()
 			return err
@@ -823,13 +846,20 @@ func (s *Service) processLoop() {
 				s.oracle.ObserveNOC(item.interval, item.volumes, dec, model)
 			}
 		}
+		sp := s.cfg.Trace.Start(trace.ForInterval(item.interval), 0, "noc.decide",
+			trace.I("interval", item.interval),
+			trace.B("vector_degraded", item.degraded),
+			trace.I("stale_volume_flows", int64(item.staleFlows)))
 		if item.interval < int64(s.cfg.Detector.WindowLen) {
 			absorb()
 			shadow(core.Decision{ThresholdUnavailable: true}, nil)
 			s.met.warmups.Inc()
+			sp.Event("warmup")
 			if item.degraded {
 				s.met.degraded.Inc()
+				s.flightRecord(item, core.Decision{ThresholdUnavailable: true}, true, true)
 			}
+			sp.End()
 			if s.cfg.OnDecision != nil {
 				s.cfg.OnDecision(Decision{Interval: item.interval, Vector: item.volumes,
 					Warmup: true, Degraded: item.degraded, StaleFlows: item.staleFlows})
@@ -845,13 +875,21 @@ func (s *Service) processLoop() {
 		// O(m²·log n) retrain the paper bounds).
 		var fetchDur time.Duration
 		timedFetch := func() (core.Fetch, error) {
+			fsp := s.cfg.Trace.Start(sp.Trace(), sp.ID(), "noc.fetch")
 			t0 := time.Now()
-			f, err := fetch()
+			f, err := fetch(fsp)
 			fetchDur = time.Since(t0)
 			s.met.fetchSeconds.Observe(fetchDur.Seconds())
 			if err != nil {
 				s.met.fetchErrors.Inc()
+				fsp.Event("fetch_error", trace.S("err", err.Error()))
+			} else {
+				fsp.SetAttr(
+					trace.I("sketch_interval", f.Interval),
+					trace.B("degraded", f.Degraded),
+					trace.I("stale_flows", int64(f.StaleFlows)))
 			}
+			fsp.End()
 			return f, err
 		}
 		s.met.observations.Inc()
@@ -863,6 +901,8 @@ func (s *Service) processLoop() {
 		absorb()
 		if err != nil {
 			s.log.Warn("observation failed", "interval", item.interval, "err", err)
+			sp.Event("observation_failed", trace.S("err", err.Error()))
+			sp.End()
 			continue // fetch failed (e.g. monitor churn); next interval retries
 		}
 		if res.Refreshed {
@@ -872,6 +912,10 @@ func (s *Service) processLoop() {
 				retrain = 0
 			}
 			s.met.retrainSeconds.Observe(retrain.Seconds())
+			sp.Event("retrain",
+				trace.F("seconds", retrain.Seconds()),
+				trace.B("model_degraded", res.Degraded),
+				trace.I("model_stale_flows", int64(res.StaleFlows)))
 			if res.Degraded {
 				s.health.Set("detector", obs.StatusDegraded,
 					fmt.Sprintf("model rebuilt with %d cached flows", res.StaleFlows))
@@ -895,6 +939,7 @@ func (s *Service) processLoop() {
 			// always false and silently never alarms) and leave the
 			// threshold gauge at its last usable value.
 			s.met.thresholdUnavailable.Inc()
+			sp.Event("threshold_unavailable")
 			s.health.Set("detector", obs.StatusDegraded,
 				"threshold unavailable: degenerate residual spectrum")
 			s.log.Warn("threshold unavailable, interval not classified",
@@ -902,17 +947,32 @@ func (s *Service) processLoop() {
 		} else {
 			s.met.threshold.Set(res.Threshold)
 		}
+		sp.Event("decision",
+			trace.F("spe", res.Distance),
+			trace.F("threshold", res.Threshold),
+			trace.B("anomalous", res.Anomalous),
+			trace.B("degraded", degraded),
+			trace.B("refreshed", res.Refreshed))
 		if res.Anomalous {
 			s.met.alarms.Inc()
 			s.log.Warn("anomaly detected", "interval", item.interval,
 				"distance", res.Distance, "threshold", res.Threshold, "degraded", degraded)
-			s.broadcastAlarm(transport.Alarm{
+			var tc *transport.TraceContext
+			if sp != nil {
+				tc = &transport.TraceContext{TraceID: uint64(sp.Trace()), SpanID: uint64(sp.ID())}
+			}
+			sent := s.broadcastAlarm(transport.Alarm{
 				Interval:  item.interval,
 				Distance:  res.Distance,
 				Threshold: res.Threshold,
 				Degraded:  degraded,
-			})
+			}, tc)
+			sp.Event("alarm_broadcast", trace.I("monitors", int64(sent)))
 		}
+		if res.Anomalous || degraded {
+			s.flightRecord(item, res, false, degraded)
+		}
+		sp.End()
 		if s.cfg.OnDecision != nil {
 			s.cfg.OnDecision(Decision{Interval: item.interval, Vector: item.volumes,
 				Degraded: degraded, StaleFlows: item.staleFlows, Result: res})
@@ -922,7 +982,8 @@ func (s *Service) processLoop() {
 
 // fetchLocal implements core.FetchFunc from the NOC-side histograms
 // (§V-A variant). Called only from the processing goroutine.
-func (s *Service) fetchLocal() (core.Fetch, error) {
+func (s *Service) fetchLocal(sp *trace.Span) (core.Fetch, error) {
+	sp.Event("local_sketches")
 	rep := s.localMon.Report()
 	if err := rep.Validate(s.cfg.Detector.SketchLen); err != nil {
 		return core.Fetch{}, err
@@ -948,7 +1009,11 @@ func missingFlows(sketches [][]float64) []int {
 // a late response to an earlier round is dropped, never misattributed).
 // If flows remain uncovered afterwards and DegradedPolicy allows it, each
 // missing flow is served from its last validated sketch report.
-func (s *Service) fetchSketches() (core.Fetch, error) {
+//
+// sp is the enclosing "noc.fetch" span (nil when tracing is off); retry
+// rounds, per-monitor failures, breaker transitions and the degraded
+// fallback are recorded on it as events.
+func (s *Service) fetchSketches(sp *trace.Span) (core.Fetch, error) {
 	m := s.cfg.Detector.NumFlows
 	sketches := make([][]float64, m)
 	means := make([]float64, m)
@@ -969,6 +1034,10 @@ func (s *Service) fetchSketches() (core.Fetch, error) {
 			if j := int64(backoff / 2); j > 0 {
 				d += time.Duration(s.rng.Int63n(j))
 			}
+			sp.Event("retry",
+				trace.I("round", int64(round)),
+				trace.I("missing_flows", int64(len(miss))),
+				trace.F("backoff_ms", float64(d)/float64(time.Millisecond)))
 			time.Sleep(d)
 			if backoff *= 2; backoff > s.cfg.FetchBackoffMax {
 				backoff = s.cfg.FetchBackoffMax
@@ -976,7 +1045,7 @@ func (s *Service) fetchSketches() (core.Fetch, error) {
 			s.log.Info("sketch fetch retry", "round", round, "missing_flows", len(miss))
 		}
 		attempted = round + 1
-		if s.fetchRound(miss, sketches, means, &newest) == 0 {
+		if s.fetchRound(sp, miss, sketches, means, &newest) == 0 {
 			// Nothing askable: the missing flows are unowned or their
 			// monitors are breaker-open / unreachable. More rounds cannot
 			// make progress within this fetch.
@@ -1015,6 +1084,9 @@ func (s *Service) fetchSketches() (core.Fetch, error) {
 				newest = cachedNewest
 			}
 			s.met.staleFlows.Set(float64(filled))
+			sp.Event("degraded_fallback",
+				trace.I("stale_flows", int64(filled)),
+				trace.I("rounds", int64(attempted)))
 			s.log.Warn("degraded sketch fetch", "stale_flows", filled,
 				"rounds", attempted, "interval", newest)
 			return core.Fetch{Sketches: sketches, Means: means, Interval: newest,
@@ -1030,21 +1102,29 @@ func (s *Service) fetchSketches() (core.Fetch, error) {
 // sketches/means. A failed send or bad report from one monitor never aborts
 // the round — it is charged to that monitor's breaker and the others
 // proceed. Returns the number of monitors successfully asked.
-func (s *Service) fetchRound(missing []int, sketches [][]float64, means []float64, newest *int64) int {
+func (s *Service) fetchRound(sp *trace.Span, missing []int, sketches [][]float64, means []float64, newest *int64) int {
 	m := s.cfg.Detector.NumFlows
 	now := time.Now()
 
 	s.mu.Lock()
 	targets := make(map[*transport.Conn]*monitorEntry)
+	var skipped []string
 	for _, f := range missing {
 		if c, ok := s.flowOwner[f]; ok {
-			if e, live := s.monitors[c]; live && s.breakerAllowLocked(e.id, now) {
-				targets[c] = e
+			if e, live := s.monitors[c]; live {
+				if s.breakerAllowLocked(e.id, now) {
+					targets[c] = e
+				} else if _, seen := targets[c]; !seen {
+					skipped = append(skipped, e.id)
+				}
 			}
 		}
 	}
 	if len(targets) == 0 {
 		s.mu.Unlock()
+		for _, id := range dedupSorted(skipped) {
+			sp.Event("breaker_skip", trace.S("monitor", id))
+		}
 		return 0
 	}
 	s.nextReq++
@@ -1052,6 +1132,9 @@ func (s *Service) fetchRound(missing []int, sketches [][]float64, means []float6
 	p := &pendingFetch{respCh: make(chan *transport.SketchResponse, len(targets))}
 	s.pending[id] = p
 	s.mu.Unlock()
+	for _, mid := range dedupSorted(skipped) {
+		sp.Event("breaker_skip", trace.S("monitor", mid))
+	}
 	defer func() {
 		// Deleting the entry makes routeResponse drop any straggler reply
 		// to this round's ID.
@@ -1060,11 +1143,20 @@ func (s *Service) fetchRound(missing []int, sketches [][]float64, means []float6
 		s.mu.Unlock()
 	}()
 
+	// Requests carry the fetch span's context so the monitor's serving
+	// span parents under it (cross-process lineage).
+	var tc *transport.TraceContext
+	if sp != nil {
+		tc = &transport.TraceContext{TraceID: uint64(sp.Trace()), SpanID: uint64(sp.ID())}
+	}
 	awaiting := make(map[string]bool, len(targets))
 	for c, e := range targets {
-		if err := c.Send(transport.Envelope{Request: &transport.SketchRequest{RequestID: id}}); err != nil {
+		if err := c.Send(transport.Envelope{Request: &transport.SketchRequest{RequestID: id}, Trace: tc}); err != nil {
 			s.log.Warn("sketch request send failed", "monitor", e.id, "err", err)
-			s.breakerFailure(e.id)
+			sp.Event("request_send_failed", trace.S("monitor", e.id))
+			if s.breakerFailure(e.id) {
+				sp.Event("breaker_open", trace.S("monitor", e.id))
+			}
 			continue
 		}
 		awaiting[e.id] = true
@@ -1086,7 +1178,10 @@ func (s *Service) fetchRound(missing []int, sketches [][]float64, means []float6
 			remaining--
 			if err := r.Report.Validate(s.cfg.Detector.SketchLen); err != nil {
 				s.log.Warn("invalid sketch report", "monitor", r.MonitorID, "err", err)
-				s.breakerFailure(r.MonitorID)
+				sp.Event("invalid_report", trace.S("monitor", r.MonitorID))
+				if s.breakerFailure(r.MonitorID) {
+					sp.Event("breaker_open", trace.S("monitor", r.MonitorID))
+				}
 				continue
 			}
 			ok := true
@@ -1098,7 +1193,10 @@ func (s *Service) fetchRound(missing []int, sketches [][]float64, means []float6
 			}
 			if !ok {
 				s.log.Warn("sketch report names unknown flow", "monitor", r.MonitorID)
-				s.breakerFailure(r.MonitorID)
+				sp.Event("invalid_report", trace.S("monitor", r.MonitorID))
+				if s.breakerFailure(r.MonitorID) {
+					sp.Event("breaker_open", trace.S("monitor", r.MonitorID))
+				}
 				continue
 			}
 			for i, f := range r.Report.FlowIDs {
@@ -1108,20 +1206,44 @@ func (s *Service) fetchRound(missing []int, sketches [][]float64, means []float6
 			if r.Report.Interval > *newest {
 				*newest = r.Report.Interval
 			}
+			s.lastSketch[r.MonitorID] = r.Report.Interval
+			sp.Event("report", trace.S("monitor", r.MonitorID),
+				trace.I("sketch_interval", r.Report.Interval))
 			s.cacheReport(&r.Report)
-			s.breakerSuccess(r.MonitorID)
+			if s.breakerSuccess(r.MonitorID) {
+				sp.Event("breaker_close", trace.S("monitor", r.MonitorID))
+			}
 		case <-timer.C:
 			for mid, waiting := range awaiting {
 				if waiting {
 					s.log.Warn("sketch response timed out", "monitor", mid,
 						"request", id, "timeout", s.cfg.FetchTimeout)
-					s.breakerFailure(mid)
+					sp.Event("response_timeout", trace.S("monitor", mid))
+					if s.breakerFailure(mid) {
+						sp.Event("breaker_open", trace.S("monitor", mid))
+					}
 				}
 			}
 			return asked
 		}
 	}
 	return asked
+}
+
+// dedupSorted sorts ids and removes duplicates (stable breaker_skip event
+// order regardless of map iteration).
+func dedupSorted(ids []string) []string {
+	if len(ids) < 2 {
+		return ids
+	}
+	sort.Strings(ids)
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // cacheReport remembers a validated report's per-flow sketches for the
@@ -1150,11 +1272,13 @@ func (s *Service) breakerAllowLocked(id string, now time.Time) bool {
 }
 
 // breakerFailure charges one consecutive failure to monitor id, opening
-// (or re-arming) its breaker at the threshold.
-func (s *Service) breakerFailure(id string) {
+// (or re-arming) its breaker at the threshold. Reports whether this call
+// performed the closed→open transition (for span events).
+func (s *Service) breakerFailure(id string) bool {
 	if s.cfg.BreakerThreshold <= 0 {
-		return
+		return false
 	}
+	opened := false
 	s.mu.Lock()
 	b := s.breakers[id]
 	if b == nil {
@@ -1163,9 +1287,9 @@ func (s *Service) breakerFailure(id string) {
 	}
 	b.failures++
 	if b.failures >= s.cfg.BreakerThreshold {
-		first := b.failures == s.cfg.BreakerThreshold
+		opened = b.failures == s.cfg.BreakerThreshold
 		b.openUntil = time.Now().Add(s.cfg.BreakerCooldown)
-		if first {
+		if opened {
 			s.met.breakerOpens.Inc()
 			s.log.Warn("circuit breaker opened", "monitor", id,
 				"failures", b.failures, "cooldown", s.cfg.BreakerCooldown)
@@ -1173,19 +1297,24 @@ func (s *Service) breakerFailure(id string) {
 		s.breakerGaugeLocked()
 	}
 	s.mu.Unlock()
+	return opened
 }
 
-// breakerSuccess clears monitor id's failure streak (closing its breaker).
-func (s *Service) breakerSuccess(id string) {
+// breakerSuccess clears monitor id's failure streak. Reports whether an
+// open breaker actually closed (for span events).
+func (s *Service) breakerSuccess(id string) bool {
+	closed := false
 	s.mu.Lock()
 	if b := s.breakers[id]; b != nil {
 		if s.cfg.BreakerThreshold > 0 && b.failures >= s.cfg.BreakerThreshold {
+			closed = true
 			s.log.Info("circuit breaker closed", "monitor", id)
 		}
 		delete(s.breakers, id)
 		s.breakerGaugeLocked()
 	}
 	s.mu.Unlock()
+	return closed
 }
 
 // breakerGaugeLocked recomputes the open-breaker gauge. Caller holds s.mu.
@@ -1199,8 +1328,10 @@ func (s *Service) breakerGaugeLocked() {
 	s.met.breakerOpen.Set(float64(open))
 }
 
-// broadcastAlarm pushes an alarm to every monitor.
-func (s *Service) broadcastAlarm(a transport.Alarm) {
+// broadcastAlarm pushes an alarm to every monitor (with the decision
+// span's trace context attached when tracing is on) and returns the number
+// of sends attempted.
+func (s *Service) broadcastAlarm(a transport.Alarm, tc *transport.TraceContext) int {
 	s.mu.Lock()
 	conns := make([]*transport.Conn, 0, len(s.monitors))
 	for c := range s.monitors {
@@ -1209,6 +1340,7 @@ func (s *Service) broadcastAlarm(a transport.Alarm) {
 	s.mu.Unlock()
 	for _, c := range conns {
 		s.met.alarmSends.Inc()
-		_ = c.Send(transport.Envelope{Alarm: &a}) // best effort
+		_ = c.Send(transport.Envelope{Alarm: &a, Trace: tc}) // best effort
 	}
+	return len(conns)
 }

@@ -499,7 +499,7 @@ func TestFetchErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.fetchSketches(); !errors.Is(err, ErrCoverage) {
+	if _, err := svc.fetchSketches(nil); !errors.Is(err, ErrCoverage) {
 		t.Fatalf("no monitors: %v", err)
 	}
 }

@@ -1,18 +1,23 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
+
+	"streampca/internal/trace"
 )
 
 // Server is the diagnostics HTTP endpoint: /metrics (Prometheus text
-// format), /healthz (JSON component status) and /debug/pprof/*. It binds
-// its own mux so importing net/http/pprof's default-mux side effects is
-// avoided and two services in one process can each run their own server.
+// format), /healthz (JSON component status), /debug/trace (span ring, when
+// tracing is enabled) and /debug/pprof/*. It binds its own mux so importing
+// net/http/pprof's default-mux side effects is avoided and two services in
+// one process can each run their own server.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
@@ -24,6 +29,21 @@ type Server struct {
 // A nil reg or health disables the respective endpoint with 404; log may be
 // nil.
 func StartServer(addr string, reg *Registry, health *Health, log *slog.Logger) (*Server, error) {
+	return StartServerWith(addr, reg, health, nil, log)
+}
+
+// traceResponse is the /debug/trace JSON body: the retained spans with
+// seq >= since, plus the cursor to pass as since on the next poll.
+type traceResponse struct {
+	Next  uint64         `json:"next"`
+	Spans []trace.Record `json:"spans"`
+}
+
+// StartServerWith is StartServer plus a span ring: when spans is non-nil,
+// /debug/trace serves its contents as JSON. The endpoint is a cursor poll —
+// GET /debug/trace?since=N returns spans with sequence >= N and the next
+// cursor, so a scraper can tail the ring without re-reading it.
+func StartServerWith(addr string, reg *Registry, health *Health, spans *trace.Recorder, log *slog.Logger) (*Server, error) {
 	if log == nil {
 		log = Nop()
 	}
@@ -42,6 +62,27 @@ func StartServer(addr string, reg *Registry, health *Health, log *slog.Logger) (
 	}
 	if health != nil {
 		mux.Handle("/healthz", health)
+	}
+	if spans != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			var since uint64
+			if q := r.URL.Query().Get("since"); q != "" {
+				v, err := strconv.ParseUint(q, 10, 64)
+				if err != nil {
+					http.Error(w, "bad since cursor: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				since = v
+			}
+			recs, next := spans.Snapshot(since)
+			if recs == nil {
+				recs = []trace.Record{} // render [] rather than null
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(traceResponse{Next: next, Spans: recs}); err != nil {
+				log.Warn("trace write failed", "err", err)
+			}
+		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"streampca/internal/trace"
+)
+
+// fetchTrace GETs /debug/trace?since=cursor and decodes the body.
+func fetchTrace(t *testing.T, base string, since uint64) (next uint64, spans []trace.Record) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/debug/trace?since=%d", base, since))
+	if err != nil {
+		t.Fatalf("GET /debug/trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", resp.StatusCode)
+	}
+	var body struct {
+		Next  uint64         `json:"next"`
+		Spans []trace.Record `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode /debug/trace: %v", err)
+	}
+	return body.Next, body.Spans
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	tr := trace.New(trace.Config{Component: "test", Capacity: 32})
+	srv, err := StartServerWith("127.0.0.1:0", nil, nil, tr.Recorder(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	next, spans := fetchTrace(t, base, 0)
+	if next != 0 || len(spans) != 0 {
+		t.Fatalf("empty ring: next=%d spans=%d", next, len(spans))
+	}
+	for i := int64(0); i < 5; i++ {
+		sp := tr.Start(trace.ForInterval(i), 0, "op", trace.I("interval", i))
+		sp.Event("step", trace.S("detail", "x"))
+		sp.End()
+	}
+	next, spans = fetchTrace(t, base, 0)
+	if next != 5 || len(spans) != 5 {
+		t.Fatalf("next=%d spans=%d, want 5/5", next, len(spans))
+	}
+	if spans[0].Name != "op" || spans[0].Component != "test" || len(spans[0].Events) != 1 {
+		t.Fatalf("span content: %+v", spans[0])
+	}
+	// Cursor poll returns only the new spans.
+	sp := tr.Start(trace.ForInterval(6), 0, "op")
+	sp.End()
+	next2, spans := fetchTrace(t, base, next)
+	if next2 != 6 || len(spans) != 1 {
+		t.Fatalf("cursor poll: next=%d spans=%d, want 6/1", next2, len(spans))
+	}
+
+	// Malformed cursors are a client error, not a panic.
+	resp, err := http.Get(base + "/debug/trace?since=potato")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cursor status %d, want 400", resp.StatusCode)
+	}
+
+	// Without a recorder the endpoint does not exist.
+	plain, err := StartServer("127.0.0.1:0", nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	resp, err = http.Get("http://" + plain.Addr() + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no-recorder status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerConcurrentScrapes hammers /metrics and /debug/trace from many
+// goroutines while health flips and spans are recorded — the race detector
+// is the real assertion (obs runs under -race in ci.sh).
+func TestServerConcurrentScrapes(t *testing.T) {
+	reg := NewRegistry()
+	health := NewHealth()
+	tr := trace.New(trace.Config{Component: "conc", Capacity: 64})
+	srv, err := StartServerWith("127.0.0.1:0", reg, health, tr.Recorder(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	c := reg.Counter("streampca_test_ops_total", "test counter")
+	const iters = 50
+	var wg sync.WaitGroup
+
+	// Writers: health transitions, metric increments, span records.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		states := []Status{StatusOK, StatusDegraded, StatusDown}
+		for i := 0; i < iters; i++ {
+			health.Set("flapper", states[i%len(states)], "spin")
+			c.Inc()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < iters; i++ {
+			sp := tr.Start(trace.ForInterval(i), 0, "work", trace.I("i", i))
+			sp.Event("tick")
+			sp.End()
+		}
+	}()
+
+	// Readers: parallel scrapes of every endpoint.
+	get := func(path string, check func(status int, body string)) {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			resp, err := http.Get(base + path)
+			if err != nil {
+				t.Errorf("GET %s: %v", path, err)
+				return
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Errorf("read %s: %v", path, err)
+				return
+			}
+			check(resp.StatusCode, string(b))
+		}
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go get("/metrics", func(status int, body string) {
+			if status != http.StatusOK || !strings.Contains(body, "streampca_test_ops_total") {
+				t.Errorf("/metrics status=%d", status)
+			}
+		})
+		wg.Add(1)
+		go get("/debug/trace", func(status int, body string) {
+			if status != http.StatusOK {
+				t.Errorf("/debug/trace status=%d", status)
+				return
+			}
+			var out struct {
+				Spans []trace.Record `json:"spans"`
+			}
+			if err := json.Unmarshal([]byte(body), &out); err != nil {
+				t.Errorf("/debug/trace not JSON: %v", err)
+			}
+		})
+		wg.Add(1)
+		go get("/healthz", func(status int, body string) {
+			// Down flapper makes 503 legitimate; both are well-formed.
+			if status != http.StatusOK && status != http.StatusServiceUnavailable {
+				t.Errorf("/healthz status=%d", status)
+			}
+		})
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != iters {
+		t.Fatalf("counter=%d want %d", got, iters)
+	}
+	if _, next := tr.Recorder().Snapshot(0); next != iters {
+		t.Fatalf("spans=%d want %d", next, iters)
+	}
+}

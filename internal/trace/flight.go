@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// FlightRecorder is an append-only JSONL audit log for decisions that need
+// offline reconstruction — every alarm and every degraded decision gets one
+// record (see noc.FlightRecord). It is deliberately dumber than the span
+// ring: plain lines on a writer, flushed per record, so the evidence
+// survives a crash of the process that produced it.
+//
+// A nil *FlightRecorder is valid and records nothing.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	w       io.Writer
+	c       io.Closer // non-nil when OpenFlightRecorder owns the file
+	records atomic.Int64
+	errs    atomic.Int64
+}
+
+// NewFlightRecorder records onto w (the caller keeps ownership of w).
+func NewFlightRecorder(w io.Writer) *FlightRecorder {
+	return &FlightRecorder{w: w}
+}
+
+// OpenFlightRecorder creates or appends to the JSONL file at path; Close
+// releases it.
+func OpenFlightRecorder(path string) (*FlightRecorder, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open flight recorder: %w", err)
+	}
+	return &FlightRecorder{w: f, c: f}, nil
+}
+
+// Record marshals v as one JSON line. Errors are counted (Errs) and
+// returned but never panic — losing an audit record must not take down
+// detection.
+func (f *FlightRecorder) Record(v any) error {
+	if f == nil {
+		return nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		f.errs.Add(1)
+		return fmt.Errorf("trace: flight record marshal: %w", err)
+	}
+	b = append(b, '\n')
+	f.mu.Lock()
+	_, err = f.w.Write(b)
+	f.mu.Unlock()
+	if err != nil {
+		f.errs.Add(1)
+		return fmt.Errorf("trace: flight record write: %w", err)
+	}
+	f.records.Add(1)
+	return nil
+}
+
+// Count returns the number of records written successfully.
+func (f *FlightRecorder) Count() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.records.Load()
+}
+
+// Errs returns the number of failed record attempts.
+func (f *FlightRecorder) Errs() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.errs.Load()
+}
+
+// Close releases the underlying file when the recorder owns one.
+func (f *FlightRecorder) Close() error {
+	if f == nil || f.c == nil {
+		return nil
+	}
+	return f.c.Close()
+}

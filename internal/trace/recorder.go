@@ -1,0 +1,67 @@
+package trace
+
+import "sync"
+
+// Recorder is a fixed-size ring of finished spans. Every span gets a
+// monotonically increasing sequence number, so a client can poll
+// incrementally: Snapshot(next) returns only spans recorded after the
+// previous call's cursor (/debug/trace?since=N).
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []Record
+	next uint64 // total spans ever recorded; rec.Seq of the next add
+}
+
+// NewRecorder builds a ring holding the most recent capacity spans.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Recorder{buf: make([]Record, capacity)}
+}
+
+// add stamps the record's Seq and stores it, evicting the oldest when full.
+func (r *Recorder) add(rec Record) {
+	r.mu.Lock()
+	rec.Seq = r.next
+	r.buf[r.next%uint64(len(r.buf))] = rec
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len reports how many spans are currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Snapshot copies out every retained span with Seq >= since, oldest first,
+// and returns the cursor to pass as since next time (the Seq one past the
+// newest span ever recorded). Spans older than the ring's capacity are
+// gone — a caller that polls slower than spans arrive sees a gap in Seq,
+// which is the signal to widen the ring or poll faster.
+func (r *Recorder) Snapshot(since uint64) (spans []Record, next uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	oldest := uint64(0)
+	if r.next > uint64(len(r.buf)) {
+		oldest = r.next - uint64(len(r.buf))
+	}
+	if since < oldest {
+		since = oldest
+	}
+	for seq := since; seq < r.next; seq++ {
+		spans = append(spans, r.buf[seq%uint64(len(r.buf))])
+	}
+	return spans, r.next
+}

@@ -1,0 +1,302 @@
+// Package trace is the stdlib-only interval-lineage tracing layer: one
+// trace per measurement interval, followed from NetFlow ingest through the
+// monitor's sketch update, the NOC's §IV-C fetch/retrain protocol, and the
+// final detection decision.
+//
+// The design exploits the system's shared clock: every component already
+// agrees on the interval index t, so the trace ID is *derived* from t
+// (ForInterval) instead of propagated — ingest, monitor and NOC join the
+// same trace without a handshake, and per-trace sampling decisions agree
+// fleet-wide for free. A TraceContext still crosses the wire on transport
+// envelopes so request/response spans (the sketch pull) can parent
+// correctly across processes.
+//
+// Cost model: a nil *Tracer (tracing disabled) makes every call site a nil
+// check — see BenchmarkTracedSketchUpdate. An enabled tracer allocates one
+// Record per sampled span and appends it to a fixed-size ring (Recorder)
+// at End; unsampled traces cost one hash+modulo in Start.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ID identifies one trace — one measurement interval's journey through the
+// system. IDs render as 16-digit hex strings in JSON so they survive
+// JavaScript number precision and grep alike.
+type ID uint64
+
+// SpanID identifies one span within a trace.
+type SpanID uint64
+
+// String renders the ID as fixed-width hex.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// String renders the SpanID as fixed-width hex.
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// MarshalJSON renders the ID as a hex string.
+func (id ID) MarshalJSON() ([]byte, error) { return []byte(`"` + id.String() + `"`), nil }
+
+// MarshalJSON renders the SpanID as a hex string.
+func (id SpanID) MarshalJSON() ([]byte, error) { return []byte(`"` + id.String() + `"`), nil }
+
+// UnmarshalJSON parses the hex-string rendering back (flight-record and
+// /debug/trace consumers round-trip IDs).
+func (id *ID) UnmarshalJSON(b []byte) error {
+	v, err := parseHexID(b)
+	*id = ID(v)
+	return err
+}
+
+// UnmarshalJSON parses the hex-string rendering back.
+func (id *SpanID) UnmarshalJSON(b []byte) error {
+	v, err := parseHexID(b)
+	*id = SpanID(v)
+	return err
+}
+
+func parseHexID(b []byte) (uint64, error) {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return 0, fmt.Errorf("trace: id not a JSON string: %w", err)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad id %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective hash whose output
+// bits are uniform enough that (id % sample) is an unbiased trace sampler.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ForInterval derives the trace ID for measurement interval t. Every
+// component calls this independently, so spans emitted by ingest, monitor
+// and NOC for the same interval share a trace without any propagation, and
+// deterministic sampling (Tracer.Sampled) agrees across processes.
+func ForInterval(t int64) ID { return ID(mix64(uint64(t))) }
+
+// Attr is one key/value annotation on a span or event. Values are kept as
+// any for JSON flexibility; use the I/F/S/B constructors.
+type Attr struct {
+	Key   string `json:"k"`
+	Value any    `json:"v"`
+}
+
+// I constructs an integer attribute.
+func I(key string, v int64) Attr { return Attr{Key: key, Value: v} }
+
+// F constructs a float attribute.
+func F(key string, v float64) Attr { return Attr{Key: key, Value: v} }
+
+// S constructs a string attribute.
+func S(key, v string) Attr { return Attr{Key: key, Value: v} }
+
+// B constructs a boolean attribute.
+func B(key string, v bool) Attr { return Attr{Key: key, Value: v} }
+
+// Event is a point-in-time annotation within a span (a fetch retry, a
+// breaker opening, a degraded fallback). At is the offset from the span's
+// start on the monotonic clock.
+type Event struct {
+	At    time.Duration `json:"at_ns"`
+	Kind  string        `json:"kind"`
+	Attrs []Attr        `json:"attrs,omitempty"`
+}
+
+// Record is one finished span as stored in the Recorder ring and served by
+// /debug/trace. Seq is the recorder-assigned cursor position.
+type Record struct {
+	Seq       uint64        `json:"seq"`
+	Trace     ID            `json:"trace"`
+	Span      SpanID        `json:"span"`
+	Parent    SpanID        `json:"parent,omitempty"`
+	Component string        `json:"component"`
+	Name      string        `json:"name"`
+	Start     int64         `json:"start_unix_ns"`
+	Duration  time.Duration `json:"duration_ns"`
+	Attrs     []Attr        `json:"attrs,omitempty"`
+	Events    []Event       `json:"events,omitempty"`
+}
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// Component names the emitting process ("ingest", "monitor-3", "noc")
+	// and is stamped on every span.
+	Component string
+	// Capacity is the span ring size; default 4096. Old spans are evicted
+	// FIFO — the recorder is a flight buffer, not an archive.
+	Capacity int
+	// Sample keeps 1 trace in Sample (by trace ID, so all components keep
+	// the same traces); values ≤ 1 keep everything.
+	Sample int
+}
+
+// Tracer creates spans. A nil *Tracer is valid and means "disabled": Start
+// returns a nil *Span and every span method is a no-op, so call sites need
+// no conditionals.
+type Tracer struct {
+	component string
+	sample    uint64
+	rec       *Recorder
+	nextSpan  atomic.Uint64
+	spanSeed  uint64
+}
+
+// New builds an enabled tracer recording into a fresh ring.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4096
+	}
+	sample := uint64(cfg.Sample)
+	if cfg.Sample <= 1 {
+		sample = 1
+	}
+	t := &Tracer{
+		component: cfg.Component,
+		sample:    sample,
+		rec:       NewRecorder(cfg.Capacity),
+	}
+	// Seed span IDs from the component name so two processes' spans rarely
+	// collide even though allocation is a plain counter.
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	for i := 0; i < len(cfg.Component); i++ {
+		h ^= uint64(cfg.Component[i])
+		h *= 1099511628211
+	}
+	t.spanSeed = h
+	return t
+}
+
+// Enabled reports whether the tracer records anything at all.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Recorder exposes the span ring (for /debug/trace); nil when disabled.
+func (t *Tracer) Recorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// Sampled reports whether trace id is kept by this tracer's sampling
+// policy. Deterministic in id, so every component with the same Sample
+// keeps the same traces.
+func (t *Tracer) Sampled(id ID) bool {
+	if t == nil {
+		return false
+	}
+	return t.sample <= 1 || uint64(id)%t.sample == 0
+}
+
+// newSpanID allocates a process-unique span ID.
+func (t *Tracer) newSpanID() SpanID {
+	return SpanID(mix64(t.spanSeed + t.nextSpan.Add(1)))
+}
+
+// Start opens a span on trace id. parent is the causally preceding span (0
+// for a root). Returns nil — a valid no-op span — when the tracer is
+// disabled or the trace is not sampled.
+func (t *Tracer) Start(id ID, parent SpanID, name string, attrs ...Attr) *Span {
+	if !t.Sampled(id) {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		start:  time.Now(),
+		rec: Record{
+			Trace:     id,
+			Span:      t.newSpanID(),
+			Parent:    parent,
+			Component: t.component,
+			Name:      name,
+			Attrs:     attrs,
+		},
+	}
+}
+
+// Span is one in-progress operation within a trace. All methods are
+// nil-safe; a nil span (disabled tracer or unsampled trace) costs one
+// branch per call.
+type Span struct {
+	tracer *Tracer
+	start  time.Time
+
+	mu    sync.Mutex
+	ended bool
+	rec   Record
+}
+
+// ID returns the span's ID (0 for a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.rec.Span
+}
+
+// Trace returns the span's trace ID (0 for a nil span).
+func (s *Span) Trace() ID {
+	if s == nil {
+		return 0
+	}
+	return s.rec.Trace
+}
+
+// Event appends a point-in-time event, stamped with the monotonic offset
+// from the span's start.
+func (s *Span) Event(kind string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	at := time.Since(s.start)
+	s.mu.Lock()
+	if !s.ended {
+		s.rec.Events = append(s.rec.Events, Event{At: at, Kind: kind, Attrs: attrs})
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr appends attributes to the span itself.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.rec.Attrs = append(s.rec.Attrs, attrs...)
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span and pushes it into the tracer's ring. The duration
+// comes from the monotonic clock. Multiple Ends are harmless; only the
+// first records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.rec.Start = s.start.UnixNano()
+	s.rec.Duration = time.Since(s.start)
+	rec := s.rec
+	s.mu.Unlock()
+	s.tracer.rec.add(rec)
+}

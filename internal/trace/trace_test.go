@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestForIntervalDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[ID]int64)
+	for i := int64(0); i < 10_000; i++ {
+		id := ForInterval(i)
+		if id != ForInterval(i) {
+			t.Fatalf("ForInterval(%d) not deterministic", i)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("ForInterval collision: intervals %d and %d -> %v", prev, i, id)
+		}
+		seen[id] = i
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Sampled(ForInterval(1)) {
+		t.Fatal("nil tracer samples")
+	}
+	if tr.Recorder() != nil {
+		t.Fatal("nil tracer has a recorder")
+	}
+	sp := tr.Start(ForInterval(1), 0, "noop")
+	if sp != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	// Every span method must be callable on nil.
+	sp.Event("e", I("k", 1))
+	sp.SetAttr(S("k", "v"))
+	if sp.ID() != 0 || sp.Trace() != 0 {
+		t.Fatal("nil span has non-zero ids")
+	}
+	sp.End()
+
+	var fr *FlightRecorder
+	if err := fr.Record(struct{}{}); err != nil {
+		t.Fatalf("nil flight recorder: %v", err)
+	}
+	if fr.Count() != 0 || fr.Errs() != 0 {
+		t.Fatal("nil flight recorder has counts")
+	}
+	if err := fr.Close(); err != nil {
+		t.Fatalf("nil flight recorder close: %v", err)
+	}
+
+	var rec *Recorder
+	if spans, next := rec.Snapshot(0); spans != nil || next != 0 {
+		t.Fatal("nil recorder snapshot not empty")
+	}
+}
+
+func TestSpanLifecycleAndRecord(t *testing.T) {
+	tr := New(Config{Component: "test", Capacity: 16})
+	id := ForInterval(7)
+	sp := tr.Start(id, 0, "parent", I("interval", 7))
+	child := tr.Start(id, sp.ID(), "child")
+	child.Event("retry", I("round", 1))
+	child.SetAttr(B("ok", true))
+	child.End()
+	sp.End()
+	sp.End() // double End must not duplicate
+
+	spans, next := tr.Recorder().Snapshot(0)
+	if len(spans) != 2 || next != 2 {
+		t.Fatalf("got %d spans next=%d, want 2/2", len(spans), next)
+	}
+	// Ring order is End order: child first.
+	c, p := spans[0], spans[1]
+	if c.Name != "child" || p.Name != "parent" {
+		t.Fatalf("span order: %q, %q", c.Name, p.Name)
+	}
+	if c.Trace != id || p.Trace != id {
+		t.Fatalf("trace ids differ: %v %v want %v", c.Trace, p.Trace, id)
+	}
+	if c.Parent != p.Span {
+		t.Fatalf("child parent %v, want %v", c.Parent, p.Span)
+	}
+	if c.Component != "test" {
+		t.Fatalf("component %q", c.Component)
+	}
+	if len(c.Events) != 1 || c.Events[0].Kind != "retry" {
+		t.Fatalf("child events %+v", c.Events)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0].Key != "ok" {
+		t.Fatalf("child attrs %+v", c.Attrs)
+	}
+	if c.Duration < 0 || c.Start == 0 {
+		t.Fatalf("timestamps: start=%d dur=%d", c.Start, c.Duration)
+	}
+	// After End, mutations are dropped, not raced.
+	child2 := tr.Start(id, 0, "x")
+	child2.End()
+	child2.Event("late")
+	child2.SetAttr(I("late", 1))
+	spans, _ = tr.Recorder().Snapshot(0)
+	last := spans[len(spans)-1]
+	if len(last.Events) != 0 || len(last.Attrs) != 0 {
+		t.Fatalf("post-End mutation recorded: %+v", last)
+	}
+}
+
+func TestSamplingDeterministicAcrossTracers(t *testing.T) {
+	a := New(Config{Component: "a", Sample: 4})
+	b := New(Config{Component: "b", Sample: 4})
+	kept := 0
+	for i := int64(0); i < 4000; i++ {
+		id := ForInterval(i)
+		if a.Sampled(id) != b.Sampled(id) {
+			t.Fatalf("tracers disagree on interval %d", i)
+		}
+		if a.Sampled(id) {
+			kept++
+		}
+		if sp := a.Start(id, 0, "s"); a.Sampled(id) != (sp != nil) {
+			t.Fatalf("Start disagrees with Sampled for interval %d", i)
+		}
+	}
+	// Expect ~1000 of 4000; splitmix64 is uniform enough for wide bounds.
+	if kept < 800 || kept > 1200 {
+		t.Fatalf("sample=4 kept %d of 4000", kept)
+	}
+	all := New(Config{Component: "c"}) // Sample 0 -> keep all
+	for i := int64(0); i < 100; i++ {
+		if !all.Sampled(ForInterval(i)) {
+			t.Fatalf("sample<=1 dropped interval %d", i)
+		}
+	}
+}
+
+func TestRecorderRingEvictionAndCursor(t *testing.T) {
+	tr := New(Config{Component: "ring", Capacity: 8})
+	for i := int64(0); i < 20; i++ {
+		sp := tr.Start(ForInterval(i), 0, "s", I("i", i))
+		sp.End()
+	}
+	rec := tr.Recorder()
+	if rec.Len() != 8 {
+		t.Fatalf("Len=%d want 8", rec.Len())
+	}
+	spans, next := rec.Snapshot(0)
+	if next != 20 {
+		t.Fatalf("next=%d want 20", next)
+	}
+	if len(spans) != 8 {
+		t.Fatalf("retained %d spans, want 8", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint64(12 + i); s.Seq != want {
+			t.Fatalf("span %d seq=%d want %d", i, s.Seq, want)
+		}
+	}
+	// Incremental poll: since=18 returns the last two only.
+	spans, next = rec.Snapshot(18)
+	if len(spans) != 2 || spans[0].Seq != 18 || next != 20 {
+		t.Fatalf("since=18: %d spans first=%v next=%d", len(spans), spans, next)
+	}
+	// A cursor at the frontier returns nothing.
+	spans, next = rec.Snapshot(next)
+	if len(spans) != 0 || next != 20 {
+		t.Fatalf("frontier poll: %d spans next=%d", len(spans), next)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	tr := New(Config{Component: "conc", Capacity: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := int64(0); i < 200; i++ {
+				sp := tr.Start(ForInterval(i), 0, "s")
+				sp.Event("e", I("g", int64(g)))
+				sp.End()
+			}
+		}(g)
+	}
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		var cursor uint64
+		for i := 0; i < 100; i++ {
+			var spans []Record
+			spans, cursor = tr.Recorder().Snapshot(cursor)
+			for j := 1; j < len(spans); j++ {
+				if spans[j].Seq != spans[j-1].Seq+1 {
+					t.Errorf("non-contiguous snapshot: %d then %d", spans[j-1].Seq, spans[j].Seq)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-readDone
+	if _, next := tr.Recorder().Snapshot(0); next != 8*200 {
+		t.Fatalf("recorded %d spans, want %d", next, 8*200)
+	}
+}
+
+func TestFlightRecorderJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	fr := NewFlightRecorder(&buf)
+	type rec struct {
+		Trace ID      `json:"trace"`
+		SPE   float64 `json:"spe"`
+	}
+	for i := int64(0); i < 3; i++ {
+		if err := fr.Record(rec{Trace: ForInterval(i), SPE: float64(i) + 0.5}); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if fr.Count() != 3 || fr.Errs() != 0 {
+		t.Fatalf("count=%d errs=%d", fr.Count(), fr.Errs())
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var got rec
+		if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		// Trace IDs round-trip as hex strings.
+		if !strings.Contains(sc.Text(), `"trace":"`) {
+			t.Fatalf("trace id not hex-encoded: %s", sc.Text())
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("got %d JSONL lines, want 3", lines)
+	}
+	// Unmarshalable values are counted, not fatal.
+	if err := fr.Record(func() {}); err == nil {
+		t.Fatal("expected marshal error")
+	}
+	if fr.Errs() != 1 {
+		t.Fatalf("errs=%d want 1", fr.Errs())
+	}
+}
+
+func TestOpenFlightRecorderAppends(t *testing.T) {
+	path := t.TempDir() + "/flight.jsonl"
+	for i := 0; i < 2; i++ {
+		fr, err := OpenFlightRecorder(path)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		if err := fr.Record(map[string]int{"run": i}); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if err := fr.Close(); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(b), "\n"); n != 2 {
+		t.Fatalf("appended file has %d lines, want 2:\n%s", n, b)
+	}
+}

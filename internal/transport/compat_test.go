@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// legacyEnvelope mirrors the pre-TraceContext wire frame: same payload
+// fields, no Trace. gob matches struct fields by name, so this stands in
+// for a peer built from an older checkout — the mixed-version scenario of
+// a tracing rollout done one monitor at a time.
+type legacyEnvelope struct {
+	Hello    *Hello
+	Volume   *VolumeReport
+	Request  *SketchRequest
+	Response *SketchResponse
+	Alarm    *Alarm
+	Error    *ProtocolError
+}
+
+// TestTraceContextNewToOldPeer checks that envelopes carrying a
+// TraceContext decode cleanly on a peer that has never heard of the field:
+// the payload arrives intact and the trace metadata is silently dropped.
+func TestTraceContextNewToOldPeer(t *testing.T) {
+	frames := []Envelope{
+		{Request: &SketchRequest{RequestID: 42},
+			Trace: &TraceContext{TraceID: 0xdeadbeef, SpanID: 7}},
+		{Volume: &VolumeReport{MonitorID: "m1", Interval: 9,
+			FlowIDs: []int{0, 1}, Volumes: []float64{1.5, 2.5}},
+			Trace: &TraceContext{TraceID: 1, SpanID: 2}},
+		{Alarm: &Alarm{Interval: 9, Distance: 3.5, Threshold: 1.25},
+			Trace: &TraceContext{TraceID: 3}},
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for i := range frames {
+		if err := enc.Encode(&frames[i]); err != nil {
+			t.Fatalf("encode frame %d: %v", i, err)
+		}
+	}
+	dec := gob.NewDecoder(&buf)
+	for i := range frames {
+		var got legacyEnvelope
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("old peer failed to decode traced frame %d: %v", i, err)
+		}
+		switch i {
+		case 0:
+			if got.Request == nil || got.Request.RequestID != 42 {
+				t.Fatalf("frame 0 payload mangled: %+v", got)
+			}
+		case 1:
+			if got.Volume == nil || got.Volume.MonitorID != "m1" || len(got.Volume.Volumes) != 2 {
+				t.Fatalf("frame 1 payload mangled: %+v", got)
+			}
+		case 2:
+			if got.Alarm == nil || got.Alarm.Distance != 3.5 {
+				t.Fatalf("frame 2 payload mangled: %+v", got)
+			}
+		}
+	}
+}
+
+// TestTraceContextOldToNewPeer checks the reverse direction: frames from a
+// peer built without the field decode into the current Envelope with a nil
+// Trace and pass Validate.
+func TestTraceContextOldToNewPeer(t *testing.T) {
+	frames := []legacyEnvelope{
+		{Hello: &Hello{MonitorID: "m2", FlowIDs: []int{3}, SketchLen: 8, WindowLen: 16, Seed: 99}},
+		{Response: &SketchResponse{RequestID: 5, MonitorID: "m2"}},
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for i := range frames {
+		if err := enc.Encode(&frames[i]); err != nil {
+			t.Fatalf("encode frame %d: %v", i, err)
+		}
+	}
+	dec := gob.NewDecoder(&buf)
+	for i := range frames {
+		var got Envelope
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("new peer failed to decode legacy frame %d: %v", i, err)
+		}
+		if got.Trace != nil {
+			t.Fatalf("frame %d grew a trace context from nowhere: %+v", i, got.Trace)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("frame %d invalid after decode: %v", i, err)
+		}
+	}
+	if frames[0].Hello.Seed != 99 {
+		t.Fatal("sanity")
+	}
+}
+
+// TestTraceContextOverConn checks the live transport path: a TraceContext
+// attached on one Conn end arrives intact on the other, and untraced frames
+// still round-trip with a nil Trace.
+func TestTraceContextOverConn(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		_ = a.Send(Envelope{Request: &SketchRequest{RequestID: 1},
+			Trace: &TraceContext{TraceID: 0xabc, SpanID: 0xdef}})
+		_ = a.Send(Envelope{Request: &SketchRequest{RequestID: 2}})
+	}()
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv traced: %v", err)
+	}
+	if env.Trace == nil || env.Trace.TraceID != 0xabc || env.Trace.SpanID != 0xdef {
+		t.Fatalf("trace context lost in transit: %+v", env.Trace)
+	}
+	env, err = b.Recv()
+	if err != nil {
+		t.Fatalf("recv untraced: %v", err)
+	}
+	if env.Trace != nil {
+		t.Fatalf("untraced frame carries context: %+v", env.Trace)
+	}
+}

@@ -74,8 +74,20 @@ type ProtocolError struct {
 	Msg string
 }
 
+// TraceContext carries interval-lineage tracing across the wire (see
+// internal/trace): the trace this frame belongs to and the sender-side span
+// that caused it, so a sketch pull served on a monitor parents correctly
+// under the NOC's fetch span. It is optional metadata, not a payload —
+// a peer built without tracing decodes the envelope cleanly (gob ignores
+// unknown fields) and simply never sets it.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
 // Envelope is the single message frame exchanged on the wire; exactly one
-// payload field is set.
+// payload field is set. Trace is optional metadata that may accompany any
+// payload.
 type Envelope struct {
 	Hello    *Hello
 	Volume   *VolumeReport
@@ -83,6 +95,7 @@ type Envelope struct {
 	Response *SketchResponse
 	Alarm    *Alarm
 	Error    *ProtocolError
+	Trace    *TraceContext
 }
 
 // Validate checks that exactly one payload is present.
@@ -122,4 +135,5 @@ func registerTypes() {
 	gob.Register(SketchResponse{})
 	gob.Register(Alarm{})
 	gob.Register(ProtocolError{})
+	gob.Register(TraceContext{})
 }

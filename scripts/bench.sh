@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the tracked benchmark cells — the PR2 worker-sweep kernels (Gram,
-# SymEigen, MonitorUpdate) and the PR5 ingest benchmarks (IngestDecode,
-# IngestPipeline at 1/2/4 shards) — and writes BENCH_PR5.json at the repo
-# root: one record per cell with the median ns/op over COUNT runs.
+# SymEigen, MonitorUpdate), the PR5 ingest benchmarks (IngestDecode,
+# IngestPipeline at 1/2/4 shards) and the PR6 tracing cells
+# (TracedSketchUpdate at mode=base/off/on) — and writes BENCH_PR6.json at
+# the repo root: one record per cell with the median ns/op over COUNT runs.
 #
 # Usage: scripts/bench.sh [-count N] [-benchtime D]
 #
@@ -41,7 +42,20 @@ go test ./internal/ingest -run 'XXX' \
   -bench 'BenchmarkIngestDecode$|BenchmarkIngestPipeline/' \
   -benchtime 20000x -count "$COUNT" | tee -a "$RAW" >&2
 
-python3 - "$RAW" <<'EOF' > BENCH_PR5.json
+# One traced iteration is a single ~130µs sketch update; 5000 iterations per
+# measurement keeps the base/off/on comparison above the timer noise floor.
+# COUNT separate invocations (not one -count=COUNT run) interleave the three
+# modes in time, so host drift over the run can't bias the later modes — the
+# off-vs-base overhead gate in benchcheck.sh depends on that comparison
+# staying honest.
+echo "running tracing benchmarks ($COUNT interleaved runs, benchtime=5000x)..." >&2
+for _ in $(seq "$COUNT"); do
+  go test . -run 'XXX' \
+    -bench 'BenchmarkTracedSketchUpdate/' \
+    -benchtime 5000x | tee -a "$RAW" >&2
+done
+
+python3 - "$RAW" <<'EOF' > BENCH_PR6.json
 import json, re, statistics, sys
 
 # Benchmark lines look like (the -N GOMAXPROCS suffix is absent when
@@ -56,6 +70,10 @@ kernel = re.compile(
 ingest = re.compile(
     r'^Benchmark(IngestDecode|IngestPipeline)'
     r'(?:/shards=(\d+))?(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+# Tracing cells: the op carries the mode (base = raw update, off = nil
+# tracer through the call site, on = recording); m=0, workers=1.
+traced = re.compile(
+    r'^BenchmarkTracedSketchUpdate/(mode=\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 cells = {}
 for line in open(sys.argv[1]):
     m = kernel.match(line)
@@ -67,6 +85,11 @@ for line in open(sys.argv[1]):
     if m:
         key = (m.group(1), 0, int(m.group(2) or 1))
         cells.setdefault(key, []).append(float(m.group(3)))
+        continue
+    m = traced.match(line)
+    if m:
+        key = ("TracedSketchUpdate/" + m.group(1), 0, 1)
+        cells.setdefault(key, []).append(float(m.group(2)))
 
 records = [
     {"op": op, "m": size, "workers": w,
@@ -77,4 +100,4 @@ json.dump(records, sys.stdout, indent=2)
 print()
 EOF
 
-echo "wrote BENCH_PR5.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR5.json"))))') cells)" >&2
+echo "wrote BENCH_PR6.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR6.json"))))') cells)" >&2

@@ -1,16 +1,24 @@
 #!/usr/bin/env sh
 # Guards the tracked benchmarks — the PR2 kernels (Gram, SymEigen,
-# MonitorUpdate) and the PR5 ingest cells (IngestDecode, IngestPipeline) —
-# against performance regressions: re-runs each cell BENCHCHECK_COUNT
-# times, takes the per-cell minimum (least-noise estimate), and fails when
-# any cell is more than BENCHCHECK_TOLERANCE percent slower than the
-# recorded median in BENCH_PR5.json (written by scripts/bench.sh on the
-# reference host).
+# MonitorUpdate), the PR5 ingest cells (IngestDecode, IngestPipeline) and
+# the PR6 tracing cells (TracedSketchUpdate at mode=base/off/on) — against
+# performance regressions: re-runs each cell BENCHCHECK_COUNT times, takes
+# the per-cell minimum (least-noise estimate), and fails when any cell is
+# more than BENCHCHECK_TOLERANCE percent slower than the recorded median in
+# BENCH_PR6.json (written by scripts/bench.sh on the reference host).
+#
+# The tracing cells additionally gate the disabled-tracing overhead: the
+# mode=off cell (nil tracer threaded through the instrumented call site)
+# must stay within BENCHCHECK_TRACE_TOLERANCE percent of mode=base (no
+# trace calls at all), compared min-to-min within the same run so host
+# speed cancels out.
 #
 # Environment:
-#   BENCHCHECK_COUNT      runs per cell (default 3)
-#   BENCHCHECK_TOLERANCE  allowed slowdown in percent (default 20)
-#   SKIP_BENCHCHECK=1     skip entirely (e.g. on known-noisy hosts)
+#   BENCHCHECK_COUNT            runs per cell (default 3)
+#   BENCHCHECK_TOLERANCE        allowed slowdown in percent (default 20)
+#   BENCHCHECK_TRACE_TOLERANCE  allowed disabled-tracing overhead in percent
+#                               (default 5, the PR6 acceptance bound)
+#   SKIP_BENCHCHECK=1           skip entirely (e.g. on known-noisy hosts)
 #
 # Cells present in only one of {baseline, current run} are reported but do
 # not fail the check, so adding or retiring a benchmark does not require a
@@ -22,18 +30,19 @@ if [ "${SKIP_BENCHCHECK:-0}" = "1" ]; then
     echo "benchcheck: skipped (SKIP_BENCHCHECK=1)"
     exit 0
 fi
-if [ ! -f BENCH_PR5.json ]; then
-    echo "benchcheck: no BENCH_PR5.json baseline; run scripts/bench.sh first" >&2
+if [ ! -f BENCH_PR6.json ]; then
+    echo "benchcheck: no BENCH_PR6.json baseline; run scripts/bench.sh first" >&2
     exit 1
 fi
 
 COUNT="${BENCHCHECK_COUNT:-3}"
 TOLERANCE="${BENCHCHECK_TOLERANCE:-20}"
+TRACE_TOLERANCE="${BENCHCHECK_TRACE_TOLERANCE:-5}"
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR5.json"
+echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR6.json, trace overhead <= ${TRACE_TOLERANCE}%"
 go test . -run 'XXXnone' \
     -bench 'BenchmarkGram/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/' \
     -benchtime 1x -count "$COUNT" > "$RAW"
@@ -43,8 +52,22 @@ go test . -run 'XXXnone' \
 go test ./internal/ingest -run 'XXXnone' \
     -bench 'BenchmarkIngestDecode$|BenchmarkIngestPipeline/' \
     -benchtime 20000x -count "$COUNT" >> "$RAW"
+# Tracing cells at 5000 iterations (one iteration is a ~130µs sketch
+# update), matching scripts/bench.sh. These run as COUNT separate
+# single-count invocations rather than one -count=COUNT run: go test runs
+# all COUNT measurements of one sub-benchmark before the next, so host
+# drift (thermal, noisy neighbours) over the run would bias whichever mode
+# runs later and break the off-vs-base comparison below. Interleaving puts
+# every mode in each invocation, so drift cancels out of the gate.
+i=0
+while [ "$i" -lt "$COUNT" ]; do
+    go test . -run 'XXXnone' \
+        -bench 'BenchmarkTracedSketchUpdate/' \
+        -benchtime 5000x >> "$RAW"
+    i=$((i + 1))
+done
 
-python3 - "$RAW" "$TOLERANCE" <<'EOF'
+python3 - "$RAW" "$TOLERANCE" "$TRACE_TOLERANCE" <<'EOF'
 import json, re, sys
 
 kernel = re.compile(
@@ -53,6 +76,8 @@ kernel = re.compile(
 ingest = re.compile(
     r'^Benchmark(IngestDecode|IngestPipeline)'
     r'(?:/shards=(\d+))?(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+traced = re.compile(
+    r'^BenchmarkTracedSketchUpdate/(mode=\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 cells = {}
 for line in open(sys.argv[1]):
     m = kernel.match(line)
@@ -64,12 +89,18 @@ for line in open(sys.argv[1]):
     if m:
         key = (m.group(1), 0, int(m.group(2) or 1))
         cells.setdefault(key, []).append(float(m.group(3)))
+        continue
+    m = traced.match(line)
+    if m:
+        key = ("TracedSketchUpdate/" + m.group(1), 0, 1)
+        cells.setdefault(key, []).append(float(m.group(2)))
 
 baseline = {
     (r["op"], r["m"], r["workers"]): r["ns_op"]
-    for r in json.load(open("BENCH_PR5.json"))
+    for r in json.load(open("BENCH_PR6.json"))
 }
 tolerance = float(sys.argv[2])
+trace_tolerance = float(sys.argv[3])
 
 failed = False
 for key in sorted(set(cells) | set(baseline)):
@@ -88,6 +119,22 @@ for key in sorted(set(cells) | set(baseline)):
         failed = True
     print("benchcheck: %-34s %12.0f ns/op vs %12.0f baseline (%+6.1f%%) %s"
           % (name, best, base, delta, verdict))
+
+# Disabled-tracing overhead: off vs base within THIS run, so the check is
+# host-independent. min-of-COUNT on both sides suppresses scheduler noise.
+untraced = cells.get(("TracedSketchUpdate/mode=base", 0, 1))
+disabled = cells.get(("TracedSketchUpdate/mode=off", 0, 1))
+if untraced and disabled:
+    overhead = 100.0 * (min(disabled) - min(untraced)) / min(untraced)
+    verdict = "ok"
+    if overhead > trace_tolerance:
+        verdict = "REGRESSION"
+        failed = True
+    print("benchcheck: disabled-tracing overhead (off vs base) %+6.1f%% "
+          "(bound %g%%) %s" % (overhead, trace_tolerance, verdict))
+else:
+    print("benchcheck: disabled-tracing overhead not measured "
+          "(traced cells missing)")
 
 if failed:
     print("benchcheck: FAILED (>%g%% regression; rerun scripts/bench.sh to "
