@@ -499,7 +499,7 @@ func BenchmarkSymEigen(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), bench(n, 1))
 	}
 	for _, n := range []int{64, 256} {
-		for _, w := range []int{1, 2, 4} {
+		for _, w := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("m=%d/workers=%d", n, w), bench(n, w))
 		}
 	}
@@ -519,13 +519,45 @@ func BenchmarkGram(b *testing.B) {
 				row[j] = rng.NormFloat64()
 			}
 		}
-		for _, w := range []int{1, 2, 4} {
+		for _, w := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("m=%d/workers=%d", m, w), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					_ = z.GramWorkers(w)
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkMul sweeps the blocked-tile MulWorkers kernel over the worker
+// grid on a NOC-shaped product (model projection: a tall window panel times
+// a flow-space operator). The inner dimension exceeds one L2 panel of the
+// right operand, so the k-blocking path is exercised, not just sharding.
+func BenchmarkMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	const rows, inner, cols = 200, 1024, 256
+	a := mat.NewMatrix(rows, inner)
+	for i := 0; i < rows; i++ {
+		row := a.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	o := mat.NewMatrix(inner, cols)
+	for i := 0; i < inner; i++ {
+		row := o.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shape=%dx%dx%d/workers=%d", rows, inner, cols, w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := a.MulWorkers(o, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -114,8 +114,15 @@ step "bench smoke (1 iteration per benchmark)"
 go test . ./internal/... -run 'XXXnone' -bench . -benchtime 1x > /dev/null
 step_done
 
-step "benchcheck (vs BENCH_PR6.json)"
+step "benchcheck (vs BENCH_PR7.json)"
 sh scripts/benchcheck.sh
+step_done
+
+# Short CPU-profile capture: one pprof per benchmark group under
+# ci-artifacts/bench-profiles/, uploaded by the workflow alongside the chaos
+# flight JSONL so a regression flagged above can be diagnosed offline.
+step "bench CPU profiles (scripts/bench.sh -cpuprofile)"
+bash scripts/bench.sh -cpuprofile 2> /dev/null
 step_done
 
 echo "ci.sh: all checks passed"

@@ -79,6 +79,7 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 		flight  = fs.String("flight-recorder", "", "append one JSONL audit record per received alarm to this file (off when empty)")
 
 		ingListen = fs.String("ingest-listen", "", "UDP address for live NetFlow v5 ingestion (off when empty; replaces the stdin CSV path)")
+		ingColl   = fs.Int("ingest-collectors", 1, "UDP collector sockets (SO_REUSEPORT where available; falls back to shared-socket readers)")
 		ingShards = fs.Int("ingest-shards", 0, "ingest aggregation shards (0 = all CPUs)")
 		ingQueue  = fs.Int("ingest-queue", 256, "per-shard ingest queue length, in record batches")
 		ingPolicy = fs.String("ingest-policy", "block", "ingest backpressure policy: block, drop-oldest or drop-newest")
@@ -110,8 +111,8 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 
 	if *ingListen == "" {
 		// CSV mode ignores the ingest tuning flags; catch accidental mixes.
-		if *ingShards != 0 || *routers != 0 {
-			return fmt.Errorf("-ingest-shards/-routers need -ingest-listen")
+		if *ingShards != 0 || *routers != 0 || *ingColl != 1 {
+			return fmt.Errorf("-ingest-shards/-ingest-collectors/-routers need -ingest-listen")
 		}
 	}
 
@@ -186,18 +187,19 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 
 	if *ingListen != "" {
 		return runIngest(svc, ingestOptions{
-			listen:   *ingListen,
-			shards:   *ingShards,
-			queueLen: *ingQueue,
-			policy:   *ingPolicy,
-			interval: *ingIntvl,
-			lateness: *ingLate,
-			clock:    *ingClock,
-			routers:  *routers,
-			id:       *id,
-			flows:    flows,
-			shed:     *reconn,
-			trace:    tracer,
+			listen:     *ingListen,
+			collectors: *ingColl,
+			shards:     *ingShards,
+			queueLen:   *ingQueue,
+			policy:     *ingPolicy,
+			interval:   *ingIntvl,
+			lateness:   *ingLate,
+			clock:      *ingClock,
+			routers:    *routers,
+			id:         *id,
+			flows:      flows,
+			shed:       *reconn,
+			trace:      tracer,
 		}, shutdown)
 	}
 
@@ -250,18 +252,19 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 
 // ingestOptions carries the -ingest-* flag values into runIngest.
 type ingestOptions struct {
-	listen   string
-	shards   int
-	queueLen int
-	policy   string
-	interval time.Duration
-	lateness time.Duration
-	clock    string
-	routers  int
-	id       string
-	flows    []int
-	shed     bool // shed intervals instead of failing while the NOC link redials
-	trace    *trace.Tracer
+	listen     string
+	collectors int
+	shards     int
+	queueLen   int
+	policy     string
+	interval   time.Duration
+	lateness   time.Duration
+	clock      string
+	routers    int
+	id         string
+	flows      []int
+	shed       bool // shed intervals instead of failing while the NOC link redials
+	trace      *trace.Tracer
 }
 
 // runIngest runs the live-ingestion loop: a UDP NetFlow collector feeding a
@@ -348,13 +351,13 @@ func runIngest(svc *monitor.Service, o ingestOptions, shutdown <-chan os.Signal)
 			PartialEpochs:  met.PartialEpochs.Value(),
 		}
 	})
-	c, err := ingest.Listen(o.listen, p)
+	c, err := ingest.ListenN(o.listen, o.collectors, p)
 	if err != nil {
 		_ = p.Close()
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "%s: ingesting NetFlow v5 on %s (interval %s, %d flows of %d)\n",
-		o.id, c.Addr(), o.interval, len(o.flows), agg.NumFlows())
+	fmt.Fprintf(os.Stderr, "%s: ingesting NetFlow v5 on %s (%d socket(s), interval %s, %d flows of %d)\n",
+		o.id, c.Addr(), c.Sockets(), o.interval, len(o.flows), agg.NumFlows())
 
 	<-shutdown
 	fmt.Fprintf(os.Stderr, "%s: shutting down: draining ingest and sealing the open interval\n", o.id)

@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -78,6 +79,62 @@ func BenchmarkIngestDecode(b *testing.B) {
 // measures the per-record hot path; sealing is exercised once at Close,
 // outside the timer (rollover is a once-per-interval event, not a
 // throughput factor).
+// BenchmarkIngestCollectors measures front-end scalability: N concurrent
+// producers (standing in for N SO_REUSEPORT collector read loops, minus the
+// kernel socket — loopback UDP would add loss and jitter, not signal) feed
+// HandleDatagram simultaneously. Decode runs outside the pipeline lock, so
+// added collectors should raise aggregate throughput until the lock or the
+// shards saturate; the reported records/s across the collectors cells is the
+// ingest-scaling curve scripts/bench.sh records.
+func BenchmarkIngestCollectors(b *testing.B) {
+	agg, err := traffic.NewAbileneAggregator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	grams := benchDatagrams(b, 64, 1_200_000_000)
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("collectors=%d", n), func(b *testing.B) {
+			p, err := NewPipeline(Config{
+				Aggregator: agg,
+				Interval:   300 * time.Second,
+				Shards:     4,
+				QueueLen:   256,
+				Sink:       func(Interval) error { return nil },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var fed atomic.Int64
+			b.SetBytes(int64(len(grams[0])))
+			b.ReportAllocs()
+			b.SetParallelism(n)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if err := p.HandleDatagram(grams[i%len(grams)]); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+				fed.Add(int64(i))
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*MaxRecords/b.Elapsed().Seconds(), "records/s")
+			if err := p.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if got := p.Metrics().Records.Value(); got != fed.Load()*MaxRecords {
+				b.Fatalf("pipeline folded %d records, fed %d", got, fed.Load()*MaxRecords)
+			}
+			if un := p.Metrics().Unroutable.Value(); un != 0 {
+				b.Fatalf("%d unroutable records", un)
+			}
+		})
+	}
+}
+
 func BenchmarkIngestPipeline(b *testing.B) {
 	agg, err := traffic.NewAbileneAggregator()
 	if err != nil {

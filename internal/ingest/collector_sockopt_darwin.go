@@ -1,0 +1,8 @@
+//go:build darwin
+
+package ingest
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT on Darwin.
+const soReusePort = syscall.SO_REUSEPORT

@@ -1,0 +1,7 @@
+//go:build linux
+
+package ingest
+
+// soReusePort is SO_REUSEPORT on Linux (supported since 3.9). The frozen
+// syscall package predates the option, so the value is spelled out here.
+const soReusePort = 0xf

@@ -1,0 +1,16 @@
+//go:build !linux && !darwin
+
+package ingest
+
+import (
+	"errors"
+	"net"
+)
+
+// reusePortSupported: without SO_REUSEPORT the collector shares one socket
+// across its reader goroutines instead of binding several.
+const reusePortSupported = false
+
+func listenReusePort(addr string) (net.PacketConn, error) {
+	return nil, errors.New("ingest: SO_REUSEPORT not supported on this platform")
+}

@@ -1,0 +1,32 @@
+//go:build linux || darwin
+
+package ingest
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported reports whether this platform can bind multiple UDP
+// sockets to one address via SO_REUSEPORT (kernel-hashed datagram fan-out).
+const reusePortSupported = true
+
+// listenReusePort binds one UDP socket to addr with SO_REUSEPORT set before
+// bind, so further sockets can join the same address.
+func listenReusePort(addr string) (net.PacketConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET,
+					soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.ListenPacket(context.Background(), "udp", addr)
+}

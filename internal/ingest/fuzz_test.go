@@ -28,9 +28,34 @@ func FuzzDecodeDatagram(f *testing.F) {
 	f.Add(corrupt)
 
 	f.Fuzz(func(t *testing.T, buf []byte) {
+		// The pipeline's batch decoder must agree with the reference decoder
+		// on accept/reject and, for accepted datagrams, on every field the
+		// shards consume (header, endpoint addresses, octet counts).
+		var slab recSlab
+		var sh Header
+		serr := decodeRecords(buf, &sh, &slab)
 		var d Datagram
 		if err := DecodeDatagram(buf, &d); err != nil {
+			if serr == nil {
+				t.Fatalf("decodeRecords accepted what DecodeDatagram rejected: %v", err)
+			}
 			return
+		}
+		if serr != nil {
+			t.Fatalf("decodeRecords rejected what DecodeDatagram accepted: %v", serr)
+		}
+		if sh != d.Header {
+			t.Fatalf("decodeRecords header %+v vs %+v", sh, d.Header)
+		}
+		if slab.n != len(d.Records) {
+			t.Fatalf("decodeRecords %d records, DecodeDatagram %d", slab.n, len(d.Records))
+		}
+		for i := range d.Records {
+			r, want := &slab.recs[i], &d.Records[i]
+			if r.src != want.SrcAddr.As4() || r.dst != want.DstAddr.As4() || r.octets != want.Octets {
+				t.Fatalf("record %d: slab %v/%v/%d vs %v/%v/%d", i,
+					r.src, r.dst, r.octets, want.SrcAddr.As4(), want.DstAddr.As4(), want.Octets)
+			}
 		}
 		// Semantic round trip: whatever decodes must re-encode to a
 		// same-length datagram that decodes to identical contents. (Byte

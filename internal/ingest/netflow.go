@@ -168,6 +168,48 @@ func DecodeDatagram(buf []byte, d *Datagram) error {
 	return nil
 }
 
+// decodeRecords is the pipeline's batch-decode hot path: it validates buf
+// exactly like DecodeDatagram (same length, version and count checks, so the
+// two paths accept and reject identical inputs — pinned by FuzzDecodeDatagram)
+// but parses only the fields the aggregation shards consume — endpoint
+// addresses and octet counts — straight into a pooled record slab, skipping
+// the netip.Addr conversions and the ten unused per-record fields. It
+// allocates nothing, whatever the input.
+func decodeRecords(buf []byte, h *Header, slab *recSlab) error {
+	if len(buf) < HeaderLen {
+		return fmt.Errorf("%w: %d bytes, header needs %d", ErrDecode, len(buf), HeaderLen)
+	}
+	h.Version = binary.BigEndian.Uint16(buf[0:2])
+	if h.Version != Version {
+		return fmt.Errorf("%w: version %d, want %d", ErrDecode, h.Version, Version)
+	}
+	h.Count = binary.BigEndian.Uint16(buf[2:4])
+	if h.Count == 0 || h.Count > MaxRecords {
+		return fmt.Errorf("%w: record count %d outside [1, %d]", ErrDecode, h.Count, MaxRecords)
+	}
+	if want := HeaderLen + int(h.Count)*RecordLen; len(buf) != want {
+		return fmt.Errorf("%w: %d bytes for %d records, want %d", ErrDecode, len(buf), h.Count, want)
+	}
+	h.SysUptime = binary.BigEndian.Uint32(buf[4:8])
+	h.UnixSecs = binary.BigEndian.Uint32(buf[8:12])
+	h.UnixNsecs = binary.BigEndian.Uint32(buf[12:16])
+	h.FlowSequence = binary.BigEndian.Uint32(buf[16:20])
+	h.EngineType = buf[20]
+	h.EngineID = buf[21]
+	h.SamplingInterval = binary.BigEndian.Uint16(buf[22:24])
+
+	n := int(h.Count)
+	for i := 0; i < n; i++ {
+		b := buf[HeaderLen+i*RecordLen : HeaderLen+(i+1)*RecordLen]
+		r := &slab.recs[i]
+		r.src = [4]byte(b[0:4])
+		r.dst = [4]byte(b[4:8])
+		r.octets = binary.BigEndian.Uint32(b[20:24])
+	}
+	slab.n = n
+	return nil
+}
+
 // AppendDatagram serializes a header and records into dst and returns the
 // extended slice. h.Count and h.Version are forced to match; other header
 // fields are taken as given. Non-IPv4 record addresses encode as 0.0.0.0

@@ -152,11 +152,13 @@ type Pipeline struct {
 	mergeCh chan sealed
 	depth   atomic.Int64 // queued data batches across shards
 
-	// mu serializes the front end: decode scratch, sequence tracking,
-	// watermark/seal bookkeeping, and the queue pushes themselves (so a
-	// seal token can never overtake the data it must follow).
+	// mu serializes the front end's bookkeeping: sequence tracking,
+	// watermark/seal state, round-robin shard selection, and the queue
+	// pushes themselves (so a seal token can never overtake the data it
+	// must follow). Datagram decode happens *before* the lock, into a
+	// pooled slab, so concurrent collector sockets pay the lock only for
+	// the cheap ordered tail of the path.
 	mu            sync.Mutex
-	scratch       Datagram
 	seq           SeqTracker
 	started       bool
 	watermark     int64
@@ -164,7 +166,7 @@ type Pipeline struct {
 	rr            int
 	closed        bool
 
-	recPool sync.Pool
+	slabPool sync.Pool
 
 	mergerDone chan struct{}
 	wallStop   chan struct{}
@@ -228,7 +230,7 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		mergeCh:     make(chan sealed, 4*n),
 		mergerDone:  make(chan struct{}),
 	}
-	p.recPool.New = func() any { s := make([]rec, 0, MaxRecords); return &s }
+	p.slabPool.New = func() any { return new(recSlab) }
 	p.met.Shards.Set(float64(n))
 	for i := 0; i < n; i++ {
 		sh := &shard{
@@ -285,32 +287,37 @@ func (p *Pipeline) HandleDatagram(buf []byte) error {
 		}
 	}
 
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return ErrClosed
-	}
-	if err := DecodeDatagram(buf, &p.scratch); err != nil {
+	// Batch decode before taking the front-end lock: the expensive per-record
+	// parse runs concurrently across collector sockets, straight into a
+	// pooled slab in the compact shard-facing layout.
+	slab := p.slabPool.Get().(*recSlab)
+	var h Header
+	if err := decodeRecords(buf, &h, slab); err != nil {
+		p.slabPool.Put(slab)
 		p.met.DecodeErrors.Inc()
-		p.mu.Unlock()
 		return nil
 	}
-	d := &p.scratch
-	count := int64(d.Header.Count)
-	p.met.Datagrams.Inc()
-	p.met.Records.Add(count)
-	p.met.Bytes.Add(int64(len(buf)))
-	if gap := p.seq.Observe(&d.Header); gap > 0 {
-		p.met.SeqGapRecords.Add(int64(gap))
-	}
-
+	count := int64(h.Count)
 	var ns int64
 	if p.cfg.Clock == ClockWall {
 		ns = time.Now().UnixNano()
 	} else {
-		ns = int64(d.Header.UnixSecs)*int64(time.Second) + int64(d.Header.UnixNsecs)
+		ns = int64(h.UnixSecs)*int64(time.Second) + int64(h.UnixNsecs)
 	}
 	epoch := ns / p.intervalNs
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.slabPool.Put(slab)
+		return ErrClosed
+	}
+	p.met.Datagrams.Inc()
+	p.met.Records.Add(count)
+	p.met.Bytes.Add(int64(len(buf)))
+	if gap := p.seq.Observe(&h); gap > 0 {
+		p.met.SeqGapRecords.Add(int64(gap))
+	}
 	if !p.started {
 		// The stream starts at the first observed epoch; anything older is
 		// late regardless of slack (no leading empty intervals).
@@ -321,11 +328,13 @@ func (p *Pipeline) HandleDatagram(buf []byte) error {
 	if epoch <= p.sealedThrough {
 		p.met.LateRecords.Add(count)
 		p.mu.Unlock()
+		p.slabPool.Put(slab)
 		return nil
 	}
 	if epoch > p.watermark+p.maxJump {
 		p.met.FutureDrops.Add(count)
 		p.mu.Unlock()
+		p.slabPool.Put(slab)
 		return nil
 	}
 	if epoch > p.watermark {
@@ -333,35 +342,23 @@ func (p *Pipeline) HandleDatagram(buf []byte) error {
 	}
 	p.sealThroughLocked(p.watermark-1-p.slackEpochs, false)
 
-	// Round-robin the datagram to a shard; the batch carries a compact
-	// copy of the records (the decode scratch is reused).
-	recs := *p.recPool.Get().(*[]rec)
-	recs = recs[:0]
-	for i := range d.Records {
-		r := &d.Records[i]
-		recs = append(recs, rec{src: r.SrcAddr.As4(), dst: r.DstAddr.As4(), octets: r.Octets})
-	}
+	// Round-robin the datagram's slab to a shard.
 	sh := p.shards[p.rr%len(p.shards)]
 	p.rr++
-	admitted, evicted := sh.q.pushData(batch{epoch: epoch, recs: recs})
+	admitted, evicted := sh.q.pushData(batch{epoch: epoch, slab: slab})
 	if admitted {
 		p.met.QueueDepth.Set(float64(p.depth.Add(1)))
 	} else {
-		p.met.DroppedNewest.Add(int64(len(recs)))
-		p.putRecs(recs)
+		p.met.DroppedNewest.Add(int64(slab.n))
+		p.slabPool.Put(slab)
 	}
 	if evicted != nil {
-		p.met.DroppedOldest.Add(int64(len(evicted)))
+		p.met.DroppedOldest.Add(int64(evicted.n))
 		p.met.QueueDepth.Set(float64(p.depth.Add(-1)))
-		p.putRecs(evicted)
+		p.slabPool.Put(evicted)
 	}
 	p.mu.Unlock()
 	return nil
-}
-
-func (p *Pipeline) putRecs(recs []rec) {
-	recs = recs[:0]
-	p.recPool.Put(&recs)
 }
 
 // sealThroughLocked broadcasts seal tokens for every unsealed epoch up to
@@ -397,8 +394,9 @@ func (p *Pipeline) shardLoop(sh *shard) {
 				sh.acc[b.epoch] = row
 			}
 			var unroutable int64
-			for i := range b.recs {
-				r := &b.recs[i]
+			recs := b.slab.recs[:b.slab.n]
+			for i := range recs {
+				r := &recs[i]
 				id, err := sh.agg.FlowID(flow.Packet{
 					Src: netip.AddrFrom4(r.src),
 					Dst: netip.AddrFrom4(r.dst),
@@ -409,11 +407,11 @@ func (p *Pipeline) shardLoop(sh *shard) {
 				}
 				row[id] += float64(r.octets)
 			}
-			sh.recCount[b.epoch] += int64(len(b.recs)) - unroutable
+			sh.recCount[b.epoch] += int64(len(recs)) - unroutable
 			if unroutable > 0 {
 				p.met.Unroutable.Add(unroutable)
 			}
-			p.putRecs(b.recs)
+			p.slabPool.Put(b.slab)
 		case ctlSeal:
 			row := sh.acc[b.epoch]
 			records := sh.recCount[b.epoch]

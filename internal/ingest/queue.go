@@ -72,12 +72,22 @@ type rec struct {
 	octets   uint32
 }
 
-// batch is one unit of shard work: a datagram's records stamped with their
-// epoch, or a control token.
+// recSlab is a fixed-capacity arena one datagram's records decode into. The
+// front end pulls slabs from a pool, the owning shard returns them after
+// folding, and because the pooled value is the *recSlab pointer itself (not
+// an interface-boxed slice header) the steady-state hand-off allocates
+// nothing — asserted by TestIngestHotPathZeroAlloc.
+type recSlab struct {
+	n    int
+	recs [MaxRecords]rec
+}
+
+// batch is one unit of shard work: a datagram's decoded records stamped with
+// their epoch, or a control token.
 type batch struct {
 	ctl   ctlKind
 	epoch int64
-	recs  []rec
+	slab  *recSlab
 	// partial marks a ctlSeal forced by shutdown before the epoch's
 	// lateness slack elapsed.
 	partial bool
@@ -136,8 +146,8 @@ func (q *queue) appendLocked(b batch) {
 
 // pushData enqueues a data batch under the queue's policy. It reports
 // whether the batch was admitted and, for drop-oldest, returns the evicted
-// batch's records so the caller can account (and recycle) them.
-func (q *queue) pushData(b batch) (admitted bool, evicted []rec) {
+// batch's record slab so the caller can account (and recycle) it.
+func (q *queue) pushData(b batch) (admitted bool, evicted *recSlab) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.n >= q.capacity {
@@ -173,13 +183,13 @@ func (q *queue) pushCtl(b batch) {
 
 // evictOldestDataLocked removes the oldest data batch, skipping control
 // tokens. Returns false when no data batch is queued.
-func (q *queue) evictOldestDataLocked() ([]rec, bool) {
+func (q *queue) evictOldestDataLocked() (*recSlab, bool) {
 	for i := 0; i < q.n; i++ {
 		idx := (q.head + i) % len(q.buf)
 		if q.buf[idx].ctl != ctlData {
 			continue
 		}
-		recs := q.buf[idx].recs
+		slab := q.buf[idx].slab
 		// Shift the (rare, control-only) prefix forward one slot.
 		for j := i; j > 0; j-- {
 			q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j-1)%len(q.buf)]
@@ -187,7 +197,7 @@ func (q *queue) evictOldestDataLocked() ([]rec, bool) {
 		q.buf[q.head] = batch{}
 		q.head = (q.head + 1) % len(q.buf)
 		q.n--
-		return recs, true
+		return slab, true
 	}
 	return nil, false
 }

@@ -96,6 +96,9 @@ func SymEigenWorkers(a *Matrix, workers int) (*EigenSym, error) {
 	defer pool.Close()
 	// Grain in pairs: each pair costs ≈8n multiply-adds per phase.
 	grain := 1 + shardWork/(8*n)
+	// Grain in rows for the row-sharded column phase: each row pays ≈6 flops
+	// per rotation and a round carries up to n/2 rotations.
+	rowGrain := 1 + shardWork/(3*n)
 
 	// Round-robin tournament schedule. slots is n rounded up to even; the
 	// extra slot (index ≥ n) is a bye. Position 0 is fixed, the rest rotate.
@@ -118,15 +121,25 @@ func SymEigenWorkers(a *Matrix, workers int) (*EigenSym, error) {
 		for round := 0; round < slots-1; round++ {
 			rots = planRound(w, idx, rots[:0])
 			if len(rots) > 0 {
-				// Phase 1: column rotations of W and V (each pair owns
-				// columns p and q; pairs are disjoint).
-				pool.For(len(rots), grain, func(lo, hi int) {
-					for _, r := range rots[lo:hi] {
-						rotateColumns(w, r)
-						rotateColumns(v, r)
+				// Phase 1: column rotations of W and V, sharded by matrix
+				// row. The round's pairs touch disjoint column pairs, so for
+				// a fixed row every rotation updates disjoint entries —
+				// applying them row-major touches each cache line once per
+				// round (the pair-major order re-streamed every row n/16
+				// times) and the per-entry arithmetic is unchanged, keeping
+				// results bit-identical for any worker count. Rows [0, n)
+				// are W's, rows [n, 2n) are V's: one barrier covers both.
+				pool.For(2*n, rowGrain, func(lo, hi int) {
+					for k := lo; k < hi; k++ {
+						if k < n {
+							rotateRowEntries(w.data[k*n:(k+1)*n], rots)
+						} else {
+							rotateRowEntries(v.data[(k-n)*n:(k-n+1)*n], rots)
+						}
 					}
 				})
-				// Phase 2: row rotations of W (disjoint rows per pair).
+				// Phase 2: row rotations of W (disjoint row pairs per
+				// rotation; two contiguous rows each — already streaming).
 				pool.For(len(rots), grain, func(lo, hi int) {
 					for _, r := range rots[lo:hi] {
 						rotateRows(w, r)
@@ -213,11 +226,11 @@ func jacobiRotation(app, aqq, apq float64) (c, s float64) {
 	return c, s
 }
 
-// rotateColumns applies M ← M·J in place, where J rotates columns p and q.
-func rotateColumns(m *Matrix, r rotation) {
-	n := m.cols
-	for k := 0; k < m.rows; k++ {
-		row := m.data[k*n:]
+// rotateRowEntries applies every rotation of a round to one matrix row:
+// entry-wise this is exactly M ← M·J for each disjoint column pair J, in a
+// row-major order that streams the matrix once per round.
+func rotateRowEntries(row []float64, rots []rotation) {
+	for _, r := range rots {
 		mp, mq := row[r.p], row[r.q]
 		row[r.p] = r.c*mp - r.s*mq
 		row[r.q] = r.s*mp + r.c*mq

@@ -17,12 +17,44 @@ const (
 	// derived from it so shards stay coarse enough to be cache- and
 	// scheduling-friendly.
 	shardWork = 1 << 13
+	// tileBytes is the input footprint one Gram/Mul tile targets: half of a
+	// conservative 256KB per-core L2, leaving the other half for the output
+	// panel the tile streams against.
+	tileBytes = 128 << 10
 )
 
+// gramTileRows returns the input-row tile height for a rows×cols Gram. It is
+// a pure function of the matrix shape — never of the worker count — because
+// the tile boundaries fix the floating-point summation order: every per-entry
+// sum is "accumulate rows within a tile in ascending order, then combine
+// tiles in a fixed binary tree", so the result is bit-identical no matter how
+// many workers the tiles are spread across.
+func gramTileRows(rows, cols int) int {
+	if rows < 1 || cols < 1 {
+		return 1
+	}
+	// One tile when the whole kernel is below the fork threshold: the single
+	// tile degenerates to the plain serial accumulation order.
+	if rows*cols*(cols+1)/2 < minParWork {
+		return rows
+	}
+	t := tileBytes / (8 * cols)
+	if t < 16 {
+		t = 16
+	}
+	if t > rows {
+		t = rows
+	}
+	return t
+}
+
 // MulWorkers is Mul with the output rows sharded across up to workers
-// goroutines (0 = auto, see par.Workers). Every worker runs the identical
-// inner loops over its disjoint range of output rows, so the product is
-// bit-identical to the serial result for any worker count.
+// goroutines (0 = auto, see par.Workers) and the inner dimension blocked into
+// L2-sized tiles of o's rows, so each worker streams a hot panel of o across
+// its whole output range instead of re-streaming all of o per output row.
+// Per output entry the k-summation order is ascending regardless of blocking
+// or sharding, so the product is bit-identical to the serial result for any
+// worker count.
 func (m *Matrix) MulWorkers(o *Matrix, workers int) (*Matrix, error) {
 	if m.cols != o.rows {
 		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, m.rows, m.cols, o.rows, o.cols)
@@ -37,17 +69,35 @@ func (m *Matrix) MulWorkers(o *Matrix, workers int) (*Matrix, error) {
 	if rowWork > 0 {
 		grain = 1 + shardWork/rowWork
 	}
+	// Block o's rows so the panel o[k0:k1) stays cache-resident while the
+	// worker sweeps its output rows. Pure function of the shapes.
+	kb := o.rows
+	if o.cols > 0 {
+		if kb = tileBytes / (8 * o.cols); kb < 16 {
+			kb = 16
+		}
+		if kb > o.rows {
+			kb = o.rows
+		}
+	}
 	par.For(w, m.rows, grain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			mrow := m.data[i*m.cols : (i+1)*m.cols]
-			orow := out.data[i*o.cols : (i+1)*o.cols]
-			for k, mv := range mrow {
-				if mv == 0 {
-					continue
-				}
-				okrow := o.data[k*o.cols : (k+1)*o.cols]
-				for j, ov := range okrow {
-					orow[j] += mv * ov
+		for k0 := 0; k0 < m.cols; k0 += kb {
+			k1 := k0 + kb
+			if k1 > m.cols {
+				k1 = m.cols
+			}
+			for i := lo; i < hi; i++ {
+				mrow := m.data[i*m.cols+k0 : i*m.cols+k1]
+				orow := out.data[i*o.cols : (i+1)*o.cols]
+				for kk, mv := range mrow {
+					if mv == 0 {
+						continue
+					}
+					k := k0 + kk
+					okrow := o.data[k*o.cols : (k+1)*o.cols]
+					for j, ov := range okrow {
+						orow[j] += mv * ov
+					}
 				}
 			}
 		}
@@ -55,14 +105,21 @@ func (m *Matrix) MulWorkers(o *Matrix, workers int) (*Matrix, error) {
 	return out, nil
 }
 
-// triangularBounds splits the output rows [0, c) of an upper-triangular
-// accumulation into at most maxShards contiguous ranges of roughly equal
-// work, where row a costs proportionally to c−a (low rows own long
-// triangle tails). The bounds depend only on (c, maxShards), keeping the
-// sharding deterministic.
+// triangularBounds splits the rows [0, c) of a triangular workload into at
+// most maxShards contiguous non-empty ranges of roughly equal work, where row
+// a costs proportionally to c−a (low rows own long triangle tails). Fewer
+// than maxShards ranges are returned when c is small — every returned shard
+// is non-empty and their union is exactly [0, c). The bounds depend only on
+// (c, maxShards), keeping the sharding deterministic.
 func triangularBounds(c, maxShards int) []int {
 	if maxShards < 1 {
 		maxShards = 1
+	}
+	if maxShards > c {
+		maxShards = c
+	}
+	if c == 0 {
+		return []int{0, 0}
 	}
 	bounds := []int{0}
 	total := float64(c) * float64(c+1) / 2
@@ -73,11 +130,14 @@ func triangularBounds(c, maxShards int) []int {
 		rem := (1 - frac) * total
 		// rows [a, c) hold (c−a)(c−a+1)/2 ≈ (c−a)²/2 work.
 		a := c - int(math.Sqrt(2*rem))
-		if last := bounds[len(bounds)-1]; a < last {
-			a = last
+		// Every shard owns at least one row: maxShards ≤ c guarantees there
+		// is room both below (strictly increasing bounds) and above (the
+		// remaining shards each still get a row).
+		if lo := bounds[len(bounds)-1] + 1; a < lo {
+			a = lo
 		}
-		if a > c {
-			a = c
+		if hi := c - (maxShards - k); a > hi {
+			a = hi
 		}
 		bounds = append(bounds, a)
 	}
@@ -85,59 +145,136 @@ func triangularBounds(c, maxShards int) []int {
 	return bounds
 }
 
-// GramWorkers is Gram with the output rows sharded across up to workers
-// goroutines (0 = auto). Each worker owns a contiguous range of output rows
-// and accumulates input rows in the same ascending order as the serial
-// kernel, so the Gram matrix is bit-identical for any worker count. Shard
-// boundaries follow the triangular work profile (row a costs ∝ c−a), keeping
-// the load balanced.
+// GramWorkers computes mᵀ·m with the *input* rows partitioned into L2-sized
+// tiles (see gramTileRows): each tile accumulates a private partial Gram
+// panel, tiles are distributed across up to workers goroutines (0 = auto),
+// and the partial panels are reduced in a fixed binary tree over the tile
+// index. Both the tile boundaries and the reduction tree depend only on the
+// matrix shape, so the result is bit-identical for any worker count — only
+// *which goroutine* computes a tile changes, never what is summed in which
+// order. Unlike output-sharded designs, every worker streams only its own
+// tiles' input rows, so the kernel's memory traffic shrinks with the worker
+// count instead of being re-paid per worker.
 func (m *Matrix) GramWorkers(workers int) *Matrix {
-	out := NewMatrix(m.cols, m.cols)
 	c := m.cols
-	w := par.Workers(workers)
-	if w > 1 && m.rows*c*c/2 < minParWork {
-		w = 1
+	out := NewMatrix(c, c)
+	if c == 0 || m.rows == 0 {
+		return out
 	}
-	if w <= 1 || c == 0 {
-		gramRows(m, out, 0, c)
+	w := par.Workers(workers)
+	if w > 1 && m.rows*c*(c+1)/2 < minParWork {
+		w = 1 // run inline: forking costs more than the whole kernel
+	}
+	tile := gramTileRows(m.rows, c)
+	nt := (m.rows + tile - 1) / tile
+	if nt == 1 {
+		gramAccumulate(m, out.data, 0, m.rows)
 	} else {
-		bounds := triangularBounds(c, w)
-		par.For(w, len(bounds)-1, 1, func(lo, hi int) {
-			for s := lo; s < hi; s++ {
-				gramRows(m, out, bounds[s], bounds[s+1])
+		// Tile t accumulates rows [t·tile, (t+1)·tile) into its own panel;
+		// tile 0 owns the output itself, the rest scratch panels.
+		scratch := make([]float64, (nt-1)*c*c)
+		panel := func(t int) []float64 {
+			if t == 0 {
+				return out.data
+			}
+			return scratch[(t-1)*c*c : t*c*c]
+		}
+		par.For(w, nt, 1, func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				rowHi := (t + 1) * tile
+				if rowHi > m.rows {
+					rowHi = m.rows
+				}
+				gramAccumulate(m, panel(t), t*tile, rowHi)
 			}
 		})
+		// Fixed-tree reduction: level s merges panel t+s into panel t for
+		// every t ≡ 0 (mod 2s). The tree shape is a pure function of nt, and
+		// within a level the destinations are disjoint, so the per-entry
+		// summation order never depends on scheduling. Sharded by output row
+		// (disjoint writes).
+		rowGrain := 1 + shardWork/(c+1)
+		for stride := 1; stride < nt; stride *= 2 {
+			var pairs [][2][]float64
+			for t := 0; t+stride < nt; t += 2 * stride {
+				pairs = append(pairs, [2][]float64{panel(t), panel(t + stride)})
+			}
+			par.For(w, c, rowGrain, func(lo, hi int) {
+				for _, pr := range pairs {
+					dst, src := pr[0], pr[1]
+					for a := lo; a < hi; a++ {
+						drow := dst[a*c+a : (a+1)*c]
+						srow := src[a*c+a : (a+1)*c]
+						for b := range drow {
+							drow[b] += srow[b]
+						}
+					}
+				}
+			})
+		}
 	}
-	// Mirror the upper triangle into the lower one, sharded by destination
-	// row (disjoint writes; the upper triangle is complete after the barrier
-	// above).
-	par.For(w, c, 1+shardWork/(c+1), func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			brow := out.data[b*c : (b+1)*c]
-			for a := 0; a < b; a++ {
-				brow[a] = out.data[a*c+b]
+	// Mirror the upper triangle into the lower one (disjoint writes; the
+	// upper triangle is complete after the barrier above). Destination row b
+	// copies b entries, so the work profile is triangular: reuse the
+	// triangular partition with the row index reversed.
+	mb := triangularBounds(c, w)
+	par.For(w, len(mb)-1, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			for b := c - mb[s+1]; b < c-mb[s]; b++ {
+				brow := out.data[b*c : b*c+b]
+				for a := range brow {
+					brow[a] = out.data[a*c+b]
+				}
 			}
 		}
 	})
 	return out
 }
 
-// gramRows accumulates the upper-triangular Gram rows [rowLo, rowHi): for
-// each input row, out[a][b] += row[a]·row[b] for a in range, b ≥ a. The
-// per-entry accumulation order over input rows matches the serial kernel
-// exactly.
-func gramRows(m, out *Matrix, rowLo, rowHi int) {
+// gramAccumulate folds input rows [rowLo, rowHi) into the upper triangle of
+// the c×c panel: out[a][b] += row[a]·row[b] for b ≥ a. Rows are consumed in
+// pairs — the panel is streamed once per pair instead of once per row, and
+// the two accumulation chains pipeline — with the pairing fixed by the tile
+// boundary, so the per-entry summation order is a pure function of the row
+// range. Zero entries skip their inner sweep entirely (the sketch matrices
+// this kernel serves are sparse for the sparse projection families); the
+// skip only elides adding ra·row[b] terms that are exactly ±0, and both rows
+// of a pair take the same path, so the fast path is deterministic too.
+func gramAccumulate(m *Matrix, out []float64, rowLo, rowHi int) {
 	c := m.cols
-	for i := 0; i < m.rows; i++ {
+	i := rowLo
+	for ; i+1 < rowHi; i += 2 {
+		row0 := m.data[i*c : (i+1)*c]
+		row1 := m.data[(i+1)*c : (i+2)*c]
+		for a := 0; a < c; a++ {
+			r0, r1 := row0[a], row1[a]
+			orow := out[a*c+a : (a+1)*c]
+			switch {
+			case r0 != 0 && r1 != 0:
+				for b := range orow {
+					orow[b] += r0*row0[a+b] + r1*row1[a+b]
+				}
+			case r0 != 0:
+				for b := range orow {
+					orow[b] += r0 * row0[a+b]
+				}
+			case r1 != 0:
+				for b := range orow {
+					orow[b] += r1 * row1[a+b]
+				}
+			}
+		}
+	}
+	for ; i < rowHi; i++ {
 		row := m.data[i*c : (i+1)*c]
-		for a := rowLo; a < rowHi; a++ {
+		for a := 0; a < c; a++ {
 			ra := row[a]
 			if ra == 0 {
 				continue
 			}
-			orow := out.data[a*c : (a+1)*c]
-			for b := a; b < c; b++ {
-				orow[b] += ra * row[b]
+			orow := out[a*c+a : (a+1)*c]
+			for b := range orow {
+				orow[b] += ra * row[a+b]
 			}
 		}
 	}

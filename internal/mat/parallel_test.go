@@ -10,7 +10,7 @@ import (
 
 // workerCounts is the grid the determinism property tests sweep, per the
 // parallel-layer contract: results must be identical for any worker count.
-var workerCounts = []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+var workerCounts = []int{1, 2, 3, 7, 8, runtime.GOMAXPROCS(0)}
 
 func randomSparseMatrix(rng *rand.Rand, r, c int) *Matrix {
 	m := NewMatrix(r, c)
@@ -28,7 +28,9 @@ func randomSparseMatrix(rng *rand.Rand, r, c int) *Matrix {
 // above and below the serial-fallback threshold).
 func TestGramWorkersBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
-	shapes := [][2]int{{1, 1}, {3, 2}, {17, 33}, {64, 64}, {50, 200}, {256, 81}, {128, 256}}
+	// The taller shapes split into several input-row tiles (gramTileRows), so
+	// the sweep covers the tree reduction as well as the single-tile path.
+	shapes := [][2]int{{1, 1}, {3, 2}, {17, 33}, {64, 64}, {50, 200}, {256, 81}, {128, 256}, {300, 256}, {1200, 64}}
 	for _, sh := range shapes {
 		m := randomSparseMatrix(rng, sh[0], sh[1])
 		ref := m.GramWorkers(1)
@@ -41,6 +43,54 @@ func TestGramWorkersBitIdentical(t *testing.T) {
 		// The legacy entry point must be the workers=1 path.
 		if !bitIdentical(ref, m.Gram()) {
 			t.Fatalf("%dx%d: Gram() differs from GramWorkers(1)", sh[0], sh[1])
+		}
+	}
+}
+
+// TestGramWorkersZeroHeavy: the zero-skip fast path must stay bit-identical
+// across worker counts on matrices dominated by zeros (whole zero rows, zero
+// columns, and isolated nonzeros — the shapes the sparse projection families
+// actually produce).
+func TestGramWorkersZeroHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	for _, sh := range [][2]int{{256, 81}, {600, 64}, {37, 21}} {
+		m := NewMatrix(sh[0], sh[1])
+		for i := 0; i < sh[0]; i++ {
+			if rng.Intn(4) == 0 {
+				continue // whole zero row
+			}
+			for j := 0; j < sh[1]; j++ {
+				if j%7 == 3 {
+					continue // structurally zero column stripe
+				}
+				if rng.Intn(10) == 0 {
+					m.Set(i, j, rng.NormFloat64())
+				}
+			}
+		}
+		ref := m.GramWorkers(1)
+		for _, w := range workerCounts[1:] {
+			if got := m.GramWorkers(w); !bitIdentical(ref, got) {
+				t.Fatalf("%dx%d workers=%d: zero-heavy Gram differs from serial", sh[0], sh[1], w)
+			}
+		}
+	}
+}
+
+// TestGramWorkersMatchesTranspose pins the tiled kernel to the naive mᵀ·m on
+// a multi-tile shape: the tree reduction reorders the per-entry sums, so the
+// comparison is tolerance-based, not bit-exact.
+func TestGramWorkersMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	m := randomSparseMatrix(rng, 700, 96)
+	want, err := m.T().Mul(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		got := m.GramWorkers(w)
+		if !got.Equal(want, 1e-9*math.Max(1, want.MaxAbs())) {
+			t.Fatalf("workers=%d: tiled Gram deviates from mᵀ·m", w)
 		}
 	}
 }
@@ -65,7 +115,9 @@ func TestGramWorkersSymmetric(t *testing.T) {
 // TestMulWorkersBitIdentical: parallel Mul equals serial Mul exactly.
 func TestMulWorkersBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
-	shapes := [][3]int{{1, 1, 1}, {5, 3, 4}, {33, 17, 29}, {81, 81, 81}, {128, 200, 64}, {256, 128, 256}}
+	// {64, 600, 64} forces several k-blocks (the inner dimension exceeds one
+	// L2 panel of o's rows), exercising the blocked accumulation order.
+	shapes := [][3]int{{1, 1, 1}, {5, 3, 4}, {33, 17, 29}, {81, 81, 81}, {128, 200, 64}, {256, 128, 256}, {64, 600, 64}}
 	for _, sh := range shapes {
 		a := randomSparseMatrix(rng, sh[0], sh[1])
 		b := randomSparseMatrix(rng, sh[1], sh[2])
@@ -164,18 +216,31 @@ func TestSymEigenWorkersCorrect(t *testing.T) {
 // TestTriangularBounds: the Gram shard boundaries must be monotone, cover
 // [0, c] and depend only on (c, shards).
 func TestTriangularBounds(t *testing.T) {
-	for _, c := range []int{1, 2, 7, 81, 256, 1000} {
-		for _, k := range []int{1, 2, 4, 7, 16} {
+	// The grid deliberately includes maxShards > c (small sketch, many
+	// workers): historically that produced empty trailing shards; every
+	// returned shard must now be non-empty with the union exactly [0, c).
+	for _, c := range []int{1, 2, 3, 5, 7, 16, 81, 256, 1000} {
+		for _, k := range []int{1, 2, 4, 7, 16, 64, 1024} {
 			b := triangularBounds(c, k)
 			if b[0] != 0 || b[len(b)-1] != c {
-				t.Fatalf("c=%d k=%d: bounds %v", c, k, b)
+				t.Fatalf("c=%d k=%d: bounds %v do not cover [0,%d]", c, k, b, c)
+			}
+			want := k
+			if want > c {
+				want = c
+			}
+			if len(b)-1 != want {
+				t.Fatalf("c=%d k=%d: %d shards, want %d: %v", c, k, len(b)-1, want, b)
 			}
 			for i := 1; i < len(b); i++ {
-				if b[i] < b[i-1] {
-					t.Fatalf("c=%d k=%d: bounds not monotone: %v", c, k, b)
+				if b[i] <= b[i-1] {
+					t.Fatalf("c=%d k=%d: empty or non-monotone shard at %d: %v", c, k, i, b)
 				}
 			}
 		}
+	}
+	if b := triangularBounds(0, 8); len(b) != 2 || b[0] != 0 || b[1] != 0 {
+		t.Fatalf("c=0: bounds %v", b)
 	}
 	// Balance sanity: for a large triangle, no shard should own more than
 	// ~2× its fair share of the triangular area.

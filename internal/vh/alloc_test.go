@@ -1,0 +1,25 @@
+package vh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEstimateVarianceZeroAlloc pins the query path to zero allocations: the
+// detector calls EstimateVariance once per flow per interval, and the
+// aggregate-moments walk over the bucket list must not heap-allocate.
+func TestEstimateVarianceZeroAlloc(t *testing.T) {
+	h, err := New(Config{WindowLen: 256, Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1024; i++ {
+		if err := h.Update(int64(i+1), rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() { _ = h.EstimateVariance() }); avg != 0 {
+		t.Fatalf("EstimateVariance allocates %.2f per call, want 0", avg)
+	}
+}

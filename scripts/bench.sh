@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Runs the tracked benchmark cells — the PR2 worker-sweep kernels (Gram,
-# SymEigen, MonitorUpdate), the PR5 ingest benchmarks (IngestDecode,
-# IngestPipeline at 1/2/4 shards) and the PR6 tracing cells
-# (TracedSketchUpdate at mode=base/off/on) — and writes BENCH_PR6.json at
-# the repo root: one record per cell with the median ns/op over COUNT runs.
+# Runs the tracked benchmark cells — the kernel worker sweeps (Gram, Mul,
+# SymEigen, MonitorUpdate at workers 1/2/4/8), the ingest benchmarks
+# (IngestDecode, IngestPipeline at 1/2/4 shards, IngestCollectors at 1/2/4/8
+# concurrent producers) and the PR6 tracing cells (TracedSketchUpdate at
+# mode=base/off/on) — and writes BENCH_PR7.json at the repo root: one record
+# per cell with the median ns/op over COUNT runs.
 #
-# Usage: scripts/bench.sh [-count N] [-benchtime D]
+# Usage: scripts/bench.sh [-count N] [-benchtime D] [-cpuprofile]
 #
 # -benchtime applies to the kernel cells (whose single iterations are large
 # enough to time); the ingest cells always run 20000 iterations per
@@ -14,32 +15,59 @@
 # datagrams) so the cell reflects steady-state producer↔shard coupling, not
 # just enqueue cost.
 #
+# -cpuprofile switches to a short profile-capture mode: each benchmark group
+# runs once (count=1) with -cpuprofile, writing pprof files and test
+# binaries under ci-artifacts/bench-profiles/ for artifact upload (the same
+# pattern as the chaos flight-recorder JSONL). No JSON baseline is written
+# in this mode — profiles and medians come from separate runs by design.
+#
 # The absolute numbers and the parallel speedup depend on the host's core
-# count; run `nproc` alongside and record it (EXPERIMENTS.md does).
+# count; run `nproc` alongside and record it (EXPERIMENTS.md does). On a
+# single-core host the worker and collector sweeps measure overhead, not
+# speedup — see the PR7 section of EXPERIMENTS.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT=3
 BENCHTIME=1x
+PROFILE=0
 while [ $# -gt 0 ]; do
   case "$1" in
     -count) COUNT="$2"; shift 2 ;;
     -benchtime) BENCHTIME="$2"; shift 2 ;;
+    -cpuprofile) PROFILE=1; shift ;;
     *) echo "unknown flag $1" >&2; exit 2 ;;
   esac
 done
+
+KERNEL_BENCH='BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/'
+INGEST_BENCH='BenchmarkIngestDecode$|BenchmarkIngestPipeline/|BenchmarkIngestCollectors/'
+
+if [ "$PROFILE" = "1" ]; then
+  PROFDIR=ci-artifacts/bench-profiles
+  mkdir -p "$PROFDIR"
+  echo "capturing CPU profiles into $PROFDIR (benchtime=$BENCHTIME)..." >&2
+  go test . -run 'XXX' -bench "$KERNEL_BENCH" -benchtime "$BENCHTIME" \
+    -cpuprofile "$PROFDIR/kernel.pprof" -o "$PROFDIR/kernel.test" >&2
+  go test ./internal/ingest -run 'XXX' -bench "$INGEST_BENCH" -benchtime 20000x \
+    -cpuprofile "$PROFDIR/ingest.pprof" -o "$PROFDIR/ingest.test" >&2
+  go test . -run 'XXX' -bench 'BenchmarkTracedSketchUpdate/' -benchtime 5000x \
+    -cpuprofile "$PROFDIR/traced.pprof" -o "$PROFDIR/traced.test" >&2
+  echo "wrote $(ls "$PROFDIR"/*.pprof | wc -l) profiles to $PROFDIR" >&2
+  exit 0
+fi
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 echo "running kernel benchmarks (count=$COUNT benchtime=$BENCHTIME, GOMAXPROCS=$(nproc))..." >&2
 go test . -run 'XXX' \
-  -bench 'BenchmarkGram/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/' \
+  -bench "$KERNEL_BENCH" \
   -benchtime "$BENCHTIME" -count "$COUNT" | tee "$RAW" >&2
 
 echo "running ingest benchmarks (count=$COUNT benchtime=20000x)..." >&2
 go test ./internal/ingest -run 'XXX' \
-  -bench 'BenchmarkIngestDecode$|BenchmarkIngestPipeline/' \
+  -bench "$INGEST_BENCH" \
   -benchtime 20000x -count "$COUNT" | tee -a "$RAW" >&2
 
 # One traced iteration is a single ~130µs sketch update; 5000 iterations per
@@ -55,21 +83,25 @@ for _ in $(seq "$COUNT"); do
     -benchtime 5000x | tee -a "$RAW" >&2
 done
 
-python3 - "$RAW" <<'EOF' > BENCH_PR6.json
+python3 - "$RAW" <<'EOF' > BENCH_PR7.json
 import json, re, statistics, sys
 
 # Benchmark lines look like (the -N GOMAXPROCS suffix is absent when
 # GOMAXPROCS is 1):
 #   BenchmarkGram/m=256/workers=4-8            100   1234567 ns/op
-#   BenchmarkIngestPipeline/shards=4-8        1000      9107 ns/op ...
+#   BenchmarkMul/shape=200x1024x256/workers=4   50   2345678 ns/op
+#   BenchmarkIngestCollectors/collectors=8-8  1000      9107 ns/op ...
 kernel = re.compile(
     r'^Benchmark(Gram|SymEigen|MonitorUpdate)/'
     r'(?:m|flows)=(\d+)/workers=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+# Mul carries its shape in the op name; m records the inner dimension.
+mul = re.compile(
+    r'^BenchmarkMul/shape=\d+x(\d+)x\d+/workers=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 # Ingest cells reuse the same record shape: m=0 (no size sweep), workers =
-# shard count (1 for the decode microbenchmark).
+# shard/collector count (1 for the decode microbenchmark).
 ingest = re.compile(
-    r'^Benchmark(IngestDecode|IngestPipeline)'
-    r'(?:/shards=(\d+))?(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+    r'^Benchmark(IngestDecode|IngestPipeline|IngestCollectors)'
+    r'(?:/(?:shards|collectors)=(\d+))?(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 # Tracing cells: the op carries the mode (base = raw update, off = nil
 # tracer through the call site, on = recording); m=0, workers=1.
 traced = re.compile(
@@ -80,6 +112,11 @@ for line in open(sys.argv[1]):
     if m:
         key = (m.group(1), int(m.group(2)), int(m.group(3)))
         cells.setdefault(key, []).append(float(m.group(4)))
+        continue
+    m = mul.match(line)
+    if m:
+        key = ("Mul", int(m.group(1)), int(m.group(2)))
+        cells.setdefault(key, []).append(float(m.group(3)))
         continue
     m = ingest.match(line)
     if m:
@@ -100,4 +137,4 @@ json.dump(records, sys.stdout, indent=2)
 print()
 EOF
 
-echo "wrote BENCH_PR6.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR6.json"))))') cells)" >&2
+echo "wrote BENCH_PR7.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR7.json"))))') cells)" >&2

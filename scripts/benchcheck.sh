@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
-# Guards the tracked benchmarks — the PR2 kernels (Gram, SymEigen,
-# MonitorUpdate), the PR5 ingest cells (IngestDecode, IngestPipeline) and
-# the PR6 tracing cells (TracedSketchUpdate at mode=base/off/on) — against
-# performance regressions: re-runs each cell BENCHCHECK_COUNT times, takes
-# the per-cell minimum (least-noise estimate), and fails when any cell is
-# more than BENCHCHECK_TOLERANCE percent slower than the recorded median in
-# BENCH_PR6.json (written by scripts/bench.sh on the reference host).
+# Guards the tracked benchmarks — the kernel worker sweeps (Gram, Mul,
+# SymEigen, MonitorUpdate), the ingest cells (IngestDecode, IngestPipeline,
+# IngestCollectors) and the PR6 tracing cells (TracedSketchUpdate at
+# mode=base/off/on) — against performance regressions: re-runs each cell
+# BENCHCHECK_COUNT times, takes the per-cell minimum (least-noise estimate),
+# and fails when any cell is more than BENCHCHECK_TOLERANCE percent slower
+# than the recorded median in BENCH_PR7.json (written by scripts/bench.sh on
+# the reference host).
 #
 # The tracing cells additionally gate the disabled-tracing overhead: the
 # mode=off cell (nil tracer threaded through the instrumented call site)
@@ -13,11 +14,24 @@
 # trace calls at all), compared min-to-min within the same run so host
 # speed cancels out.
 #
+# The scaling gates (PR7) compare cells within the same run, so they are
+# host-speed independent but do need cores: the 4-worker Gram at m=256 must
+# be >= BENCHCHECK_GRAM_SPEEDUP x its 1-worker cell (only when the host has
+# >= 4 CPUs), and 8-collector ingest must be >= BENCHCHECK_INGEST_SPEEDUP x
+# single-collector throughput (only with >= 8 CPUs). Hosts with fewer cores
+# print a skip line — the sweep still runs, guarding against overhead
+# regressions via the plain tolerance gate above.
+#
 # Environment:
 #   BENCHCHECK_COUNT            runs per cell (default 3)
 #   BENCHCHECK_TOLERANCE        allowed slowdown in percent (default 20)
 #   BENCHCHECK_TRACE_TOLERANCE  allowed disabled-tracing overhead in percent
 #                               (default 5, the PR6 acceptance bound)
+#   BENCHCHECK_GRAM_SPEEDUP     required 4-vs-1-worker Gram speedup at m=256
+#                               (default 2.0; needs >= 4 CPUs)
+#   BENCHCHECK_INGEST_SPEEDUP   required 8-vs-1-collector ingest speedup
+#                               (default 4.0; needs >= 8 CPUs)
+#   BENCHCHECK_SCALING=0        disable the scaling gates regardless of cores
 #   SKIP_BENCHCHECK=1           skip entirely (e.g. on known-noisy hosts)
 #
 # Cells present in only one of {baseline, current run} are reported but do
@@ -30,27 +44,31 @@ if [ "${SKIP_BENCHCHECK:-0}" = "1" ]; then
     echo "benchcheck: skipped (SKIP_BENCHCHECK=1)"
     exit 0
 fi
-if [ ! -f BENCH_PR6.json ]; then
-    echo "benchcheck: no BENCH_PR6.json baseline; run scripts/bench.sh first" >&2
+if [ ! -f BENCH_PR7.json ]; then
+    echo "benchcheck: no BENCH_PR7.json baseline; run scripts/bench.sh first" >&2
     exit 1
 fi
 
 COUNT="${BENCHCHECK_COUNT:-3}"
 TOLERANCE="${BENCHCHECK_TOLERANCE:-20}"
 TRACE_TOLERANCE="${BENCHCHECK_TRACE_TOLERANCE:-5}"
+GRAM_SPEEDUP="${BENCHCHECK_GRAM_SPEEDUP:-2.0}"
+INGEST_SPEEDUP="${BENCHCHECK_INGEST_SPEEDUP:-4.0}"
+SCALING="${BENCHCHECK_SCALING:-1}"
+NPROC="$(nproc 2>/dev/null || echo 1)"
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR6.json, trace overhead <= ${TRACE_TOLERANCE}%"
+echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR7.json, trace overhead <= ${TRACE_TOLERANCE}%"
 go test . -run 'XXXnone' \
-    -bench 'BenchmarkGram/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/' \
+    -bench 'BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/' \
     -benchtime 1x -count "$COUNT" > "$RAW"
 # One ingest iteration is a single ~µs datagram and the shard queues
 # buffer up to 1024 of them, so these cells measure 20000 iterations per
 # run (matching scripts/bench.sh) to capture steady state.
 go test ./internal/ingest -run 'XXXnone' \
-    -bench 'BenchmarkIngestDecode$|BenchmarkIngestPipeline/' \
+    -bench 'BenchmarkIngestDecode$|BenchmarkIngestPipeline/|BenchmarkIngestCollectors/' \
     -benchtime 20000x -count "$COUNT" >> "$RAW"
 # Tracing cells at 5000 iterations (one iteration is a ~130µs sketch
 # update), matching scripts/bench.sh. These run as COUNT separate
@@ -67,15 +85,18 @@ while [ "$i" -lt "$COUNT" ]; do
     i=$((i + 1))
 done
 
-python3 - "$RAW" "$TOLERANCE" "$TRACE_TOLERANCE" <<'EOF'
+python3 - "$RAW" "$TOLERANCE" "$TRACE_TOLERANCE" \
+    "$GRAM_SPEEDUP" "$INGEST_SPEEDUP" "$SCALING" "$NPROC" <<'EOF'
 import json, re, sys
 
 kernel = re.compile(
     r'^Benchmark(Gram|SymEigen|MonitorUpdate)/'
     r'(?:m|flows)=(\d+)/workers=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+mul = re.compile(
+    r'^BenchmarkMul/shape=\d+x(\d+)x\d+/workers=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 ingest = re.compile(
-    r'^Benchmark(IngestDecode|IngestPipeline)'
-    r'(?:/shards=(\d+))?(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+    r'^Benchmark(IngestDecode|IngestPipeline|IngestCollectors)'
+    r'(?:/(?:shards|collectors)=(\d+))?(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 traced = re.compile(
     r'^BenchmarkTracedSketchUpdate/(mode=\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 cells = {}
@@ -84,6 +105,11 @@ for line in open(sys.argv[1]):
     if m:
         key = (m.group(1), int(m.group(2)), int(m.group(3)))
         cells.setdefault(key, []).append(float(m.group(4)))
+        continue
+    m = mul.match(line)
+    if m:
+        key = ("Mul", int(m.group(1)), int(m.group(2)))
+        cells.setdefault(key, []).append(float(m.group(3)))
         continue
     m = ingest.match(line)
     if m:
@@ -97,10 +123,14 @@ for line in open(sys.argv[1]):
 
 baseline = {
     (r["op"], r["m"], r["workers"]): r["ns_op"]
-    for r in json.load(open("BENCH_PR6.json"))
+    for r in json.load(open("BENCH_PR7.json"))
 }
 tolerance = float(sys.argv[2])
 trace_tolerance = float(sys.argv[3])
+gram_speedup = float(sys.argv[4])
+ingest_speedup = float(sys.argv[5])
+scaling = sys.argv[6] == "1"
+nproc = int(sys.argv[7])
 
 failed = False
 for key in sorted(set(cells) | set(baseline)):
@@ -136,9 +166,39 @@ else:
     print("benchcheck: disabled-tracing overhead not measured "
           "(traced cells missing)")
 
+# Scaling gates: within-run ratios, so host speed cancels; core count does
+# not, hence the nproc conditions. ns/op is inversely proportional to
+# throughput in both sweeps (fixed work per op), so speedup = ns1 / nsN.
+def gate(label, slow_key, fast_key, need_cores, required):
+    global failed
+    if not scaling:
+        print("benchcheck: %s skipped (BENCHCHECK_SCALING=0)" % label)
+        return
+    if nproc < need_cores:
+        print("benchcheck: %s skipped (host has %d cores, need >= %d)"
+              % (label, nproc, need_cores))
+        return
+    slow, fast = cells.get(slow_key), cells.get(fast_key)
+    if not slow or not fast:
+        print("benchcheck: %s not measured (cells missing)" % label)
+        return
+    speedup = min(slow) / min(fast)
+    verdict = "ok"
+    if speedup < required:
+        verdict = "FAILED"
+        failed = True
+    print("benchcheck: %s %.2fx (required %.2fx) %s"
+          % (label, speedup, required, verdict))
+
+gate("Gram scaling 4w vs 1w at m=256",
+     ("Gram", 256, 1), ("Gram", 256, 4), 4, gram_speedup)
+gate("ingest scaling 8 vs 1 collectors",
+     ("IngestCollectors", 0, 1), ("IngestCollectors", 0, 8), 8, ingest_speedup)
+
 if failed:
-    print("benchcheck: FAILED (>%g%% regression; rerun scripts/bench.sh to "
-          "refresh the baseline if the slowdown is intentional)" % tolerance)
+    print("benchcheck: FAILED (>%g%% regression or scaling gate miss; rerun "
+          "scripts/bench.sh to refresh the baseline if the change is "
+          "intentional)" % tolerance)
     sys.exit(1)
 print("benchcheck: all cells within %g%% of baseline" % tolerance)
 EOF
