@@ -21,6 +21,7 @@ import (
 	"streampca/internal/obs"
 	"streampca/internal/pca"
 	"streampca/internal/randproj"
+	"streampca/internal/sketch"
 	"streampca/internal/stats"
 	"streampca/internal/trace"
 	"streampca/internal/traffic"
@@ -595,6 +596,130 @@ func BenchmarkMonitorUpdate(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFDUpdate measures the Frequent Directions sketcher's per-interval
+// cost at fat-monitor flow counts. Each iteration appends one centered row;
+// the ℓ-amortized shrink (a 2ℓ×2ℓ eigensolve plus the buffer rescale through
+// the blocked-tile kernels) is folded into the average, so the cell reports
+// the steady-state per-interval cost, not the append-only fast path.
+// scripts/bench.sh tracks these cells in the BENCH_PR8.json baseline.
+func BenchmarkFDUpdate(b *testing.B) {
+	for _, m := range []int{64, 256} {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("m=%d/workers=%d", m, w), func(b *testing.B) {
+				flowIDs := make([]int, m)
+				for j := range flowIDs {
+					flowIDs[j] = j
+				}
+				fd, err := sketch.NewFD(sketch.Config{FlowIDs: flowIDs, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(16))
+				volumes := make([]float64, m)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := range volumes {
+						volumes[j] = 1000 + 50*rng.NormFloat64()
+					}
+					if err := fd.Update(int64(i+1), volumes); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRSVDBuild measures the NOC model rebuild through the randomized
+// range-finder SVD on the l×m sketch matrix (never forming the m×m Gram),
+// for contrast with the Jacobi cells (BenchmarkGram + BenchmarkSymEigen at
+// the same m cover the full-rebuild path benchcheck.sh gates against).
+func BenchmarkRSVDBuild(b *testing.B) {
+	const l = 200
+	for _, m := range []int{64, 256} {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("m=%d/workers=%d", m, w), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(17))
+				sketches := make([][]float64, m)
+				means := make([]float64, m)
+				for j := range sketches {
+					s := make([]float64, l)
+					for k := range s {
+						s[k] = rng.NormFloat64()
+					}
+					sketches[j] = s
+				}
+				det, err := core.NewDetector(core.DetectorConfig{
+					NumFlows: m, WindowLen: 4032, SketchLen: l, Alpha: 0.01,
+					FixedRank: 6, Builder: core.BuildRSVD, Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := det.RebuildModel(sketches, means, int64(i+1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFDModelBuild measures the FD-family NOC retrain: per-block
+// small-side eigensolves (≤ 2ℓ×2ℓ each) over the monitors' basis blocks plus
+// the global spectrum merge. benchcheck.sh's FD-retrain gate requires the
+// m=256 single-worker cell to beat the Jacobi full rebuild at the same m
+// (BenchmarkGram + BenchmarkSymEigen, both at m=256/workers=1) by
+// BENCHCHECK_FD_SPEEDUP — the headline retrain-cost advantage of the family.
+func BenchmarkFDModelBuild(b *testing.B) {
+	const flowsPerBlock = 32 // ℓ = DefaultEll(32) = 12, so 2ℓ < w: real truncation
+	for _, m := range []int{64, 256} {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("m=%d/workers=%d", m, w), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(18))
+				numBlocks := m / flowsPerBlock
+				blocks := make([]sketch.Snapshot, numBlocks)
+				for bi := 0; bi < numBlocks; bi++ {
+					flowIDs := make([]int, flowsPerBlock)
+					for j := range flowIDs {
+						flowIDs[j] = bi*flowsPerBlock + j
+					}
+					fd, err := sketch.NewFD(sketch.Config{FlowIDs: flowIDs})
+					if err != nil {
+						b.Fatal(err)
+					}
+					volumes := make([]float64, flowsPerBlock)
+					for t := 1; t <= 96; t++ { // several shrink cycles deep
+						for j := range volumes {
+							volumes[j] = 1000 + 50*rng.NormFloat64()
+						}
+						if err := fd.Update(int64(t), volumes); err != nil {
+							b.Fatal(err)
+						}
+					}
+					blocks[bi] = fd.Snapshot()
+				}
+				det, err := core.NewDetector(core.DetectorConfig{
+					NumFlows: m, WindowLen: 4032,
+					SketchLen: sketch.DefaultEll(flowsPerBlock), Alpha: 0.01,
+					FixedRank: 6, Family: sketch.FamilyFD, Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := det.RebuildFD(blocks, int64(i+1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -47,25 +47,16 @@ step "go test"
 go test ./...
 step_done
 
-step "go test -race (par, transport, monitor, noc, obs, faults, ingest, trace)"
-go test -race ./internal/par/... ./internal/transport/... \
-    ./internal/monitor/... ./internal/noc/... ./internal/obs/... \
-    ./internal/faults/... ./internal/ingest/... ./internal/trace/...
-step_done
-
-# The live-ingestion end-to-end suites (NetFlow replay through the monitor
-# daemon, trafficgen UDP replay) run collector, shard, merger and NOC
-# goroutines against each other; keep them race-clean explicitly.
-step "go test -race ingest e2e (cmd/sketchpca-monitor, cmd/trafficgen)"
-go test -race ./cmd/sketchpca-monitor/ ./cmd/trafficgen/
-step_done
-
-# The differential-validation suite compares the streaming pipeline against
-# exact references (sliding-window statistics, batch PCA) across all four
-# random-variable families; its scenarios are seeded, so a failure here is a
-# reproducible numerical-correctness bug, not flake.
-step "go test -race oracle differential validation"
-go test -race ./internal/oracle/...
+# Whole-tree race pass. This replaces the hand-maintained package lists that
+# accumulated over PRs 2-7 (par/transport/monitor/noc/obs/faults/ingest/trace,
+# then the ingest e2e cmds, then oracle): every new concurrent package — the
+# PR8 sketcher families included — is covered the day it lands instead of
+# waiting for someone to remember the list. The differential-validation
+# (oracle) and live-ingestion e2e suites ride along; their scenarios are
+# seeded, so a failure here is a reproducible bug, not flake. EXPERIMENTS.md
+# records the timing delta vs the old three-step split.
+step "go test -race ./..."
+go test -race ./...
 step_done
 
 # The chaos e2e suite (fault-injected NOC/monitor deployments, including the
@@ -91,9 +82,9 @@ fi
 unset CHAOS_FLIGHT_DIR
 step_done
 
-# Fuzz smokes: ten seconds of coverage-guided input on the two hostile
-# parsers (NetFlow v5 datagrams off the wire, trace CSVs off disk). Go
-# allows one -fuzz target per invocation.
+# Fuzz smokes: ten seconds of coverage-guided input on each hostile decoder
+# (NetFlow v5 datagrams off the wire, trace CSVs off disk, FD snapshots from
+# peer monitors). Go allows one -fuzz target per invocation.
 step "fuzz smoke (NetFlow decoder, 10s)"
 go test -run 'XXXnone' -fuzz '^FuzzDecodeDatagram$' -fuzztime 10s ./internal/ingest/ > /dev/null
 step_done
@@ -102,19 +93,23 @@ step "fuzz smoke (trace CSV reader, 10s)"
 go test -run 'XXXnone' -fuzz '^FuzzReadCSV$' -fuzztime 10s ./internal/traffic/ > /dev/null
 step_done
 
+step "fuzz smoke (FD snapshot absorb, 10s)"
+go test -run 'XXXnone' -fuzz '^FuzzFDAbsorbSnapshot$' -fuzztime 10s ./internal/sketch/ > /dev/null
+step_done
+
 # The parallel kernels promise identical results for any worker count and any
 # scheduling; re-run their determinism property tests under the race detector
 # at two GOMAXPROCS settings so shard handoffs actually interleave.
-step "go test -race, GOMAXPROCS=2 and 4 (par, mat, core, randproj)"
-GOMAXPROCS=2 go test -race ./internal/par/... ./internal/mat/... ./internal/core/... ./internal/randproj/...
-GOMAXPROCS=4 go test -race ./internal/par/... ./internal/mat/... ./internal/core/... ./internal/randproj/...
+step "go test -race, GOMAXPROCS=2 and 4 (par, mat, core, randproj, sketch)"
+GOMAXPROCS=2 go test -race ./internal/par/... ./internal/mat/... ./internal/core/... ./internal/randproj/... ./internal/sketch/...
+GOMAXPROCS=4 go test -race ./internal/par/... ./internal/mat/... ./internal/core/... ./internal/randproj/... ./internal/sketch/...
 step_done
 
 step "bench smoke (1 iteration per benchmark)"
 go test . ./internal/... -run 'XXXnone' -bench . -benchtime 1x > /dev/null
 step_done
 
-step "benchcheck (vs BENCH_PR7.json)"
+step "benchcheck (vs BENCH_PR8.json)"
 sh scripts/benchcheck.sh
 step_done
 

@@ -10,6 +10,7 @@
 //	abilene-eval -figure 9          # errors vs sketch length at r = 6
 //	abilene-eval -figure 10         # NOC computation overhead
 //	abilene-eval -bounds            # empirical Lemma 5/6, Theorem 2 checks
+//	abilene-eval -shootout          # three-way sketcher family comparison
 //	abilene-eval -figure 7 -full    # paper-scale run (hours)
 //
 // The default runs use a documented scaled-down grid so the whole suite
@@ -42,11 +43,15 @@ type params struct {
 	bounds      bool
 	oracle      bool
 	comm        bool
+	shootout    bool
 	full        bool
 	seed        int64
 	refitEvery  int
 	epsilon     float64
 	alpha       float64
+	shootSketch int
+	fdEll       int
+	monitors    int
 	trace       string
 	traceWindow int
 	dist        randproj.Distribution
@@ -80,6 +85,10 @@ func run(args []string, out io.Writer) error {
 	fs.Float64Var(&p.epsilon, "epsilon", 0.01, "variance-histogram ε (paper: 0.01)")
 	fs.Float64Var(&p.alpha, "alpha", 0.01, "Q-statistic false-alarm rate (paper: 0.01)")
 	fs.BoolVar(&p.comm, "comm", false, "report the lazy protocol's communication cost")
+	fs.BoolVar(&p.shootout, "shootout", false, "run the three-way sketcher shoot-out (randproj+jacobi, randproj+rsvd, fd) with per-family oracle checks")
+	fs.IntVar(&p.shootSketch, "shootout-sketch", 100, "random-projection l for the shoot-out's randproj variants")
+	fs.IntVar(&p.fdEll, "fd-ell", 0, "per-monitor Frequent Directions basis budget ℓ for the shoot-out (0 = 2·⌈√w⌉ per monitor)")
+	fs.IntVar(&p.monitors, "monitors", 9, "monitors partitioning the flows in the shoot-out")
 	fs.StringVar(&p.trace, "trace", "", "replay a trafficgen-format CSV instead of the synthetic workload (figures 7–9)")
 	fs.IntVar(&p.traceWindow, "trace-window", 0, "sliding-window length when -trace is set")
 	distName := fs.String("dist", "gaussian", "projection family: gaussian, tugofwar, sparse or verysparse")
@@ -91,8 +100,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	p.dist = dist
-	if p.figure == "" && !p.bounds && !p.oracle && !p.comm {
-		return fmt.Errorf("nothing to do: pass -figure N, -bounds, -oracle and/or -comm")
+	if p.figure == "" && !p.bounds && !p.oracle && !p.comm && !p.shootout {
+		return fmt.Errorf("nothing to do: pass -figure N, -bounds, -oracle, -comm and/or -shootout")
 	}
 	if p.trace != "" && p.traceWindow < 2 {
 		return fmt.Errorf("-trace requires -trace-window >= 2")
@@ -142,6 +151,11 @@ func run(args []string, out io.Writer) error {
 	if p.comm {
 		if err := commReport(p, out); err != nil {
 			return fmt.Errorf("comm: %w", err)
+		}
+	}
+	if p.shootout {
+		if err := shootoutReport(p, out); err != nil {
+			return fmt.Errorf("shootout: %w", err)
 		}
 	}
 	return nil
@@ -405,6 +419,47 @@ func oracleReport(p params, out io.Writer) error {
 		for _, r := range rows {
 			fmt.Fprintf(out, "%v,%d,%d,%d,%.3e,%s\n",
 				r.Dist, r.SketchLen, r.Checks, r.Violations, r.MaxRelErr, r.Worst)
+		}
+	}
+	return nil
+}
+
+// shootoutReport runs the three sketcher/builder families over the same
+// trace and ground truth and prints one scorecard row each: detection
+// accuracy, the size of one sketch pull, the measured retrain bill, and the
+// per-family oracle outcome (exact-batch model checks for randproj, the
+// deterministic ‖AᵀA−BᵀB‖₂ ≤ Δ ≤ ‖A‖²_F/ℓ replay for fd).
+func shootoutReport(p params, out io.Writer) error {
+	perDay, window, total, _ := surfaceDims(p, false)
+	tr, window, err := loadWorkload(p, perDay, window, total)
+	if err != nil {
+		return err
+	}
+	truth, err := eval.GroundTruth(tr.Volumes, eval.TruthConfig{
+		WindowLen: window, Rank: 6, Alpha: p.alpha, RefitEvery: p.refitEvery,
+	})
+	if err != nil {
+		return err
+	}
+	rows, err := eval.Shootout(tr.Volumes, truth, eval.ShootoutConfig{
+		WindowLen: window, Epsilon: p.epsilon, Alpha: p.alpha, Seed: uint64(p.seed),
+		SketchLen: p.shootSketch, FDEll: p.fdEll, Rank: 6,
+		NumMonitors: p.monitors, Oracle: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "# Shoot-out — sketcher families on one trace, same ground truth")
+	fmt.Fprintf(out, "# window n=%d, trace %d intervals, m=%d flows, %d monitors, %d true anomalies, %d true normals\n",
+		window, tr.NumIntervals(), tr.NumFlows(), p.monitors, truth.NumAnomalous, truth.NumNormal)
+	fmt.Fprintln(out, "variant,sketch_param,typeI,typeII,false_alarms,misses,threshold_unavail,retrains,retrain_ms,pull_bytes,oracle_checks,oracle_violations,oracle_max_rel_err")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%s,%d,%.4f,%.4f,%d,%d,%d,%d,%.1f,%d,%d,%d,%.3e\n",
+			r.Variant, r.SketchParam, r.TypeI, r.TypeII, r.FalseAlarms, r.Misses,
+			r.ThresholdUnavail, r.Retrains, float64(r.RetrainNanos)/1e6,
+			r.SketchBytes, r.OracleChecks, r.OracleViolations, r.OracleMaxRelErr)
+		if r.OracleViolations > 0 {
+			fmt.Fprintf(out, "# %s worst violation: %s\n", r.Variant, r.OracleWorst)
 		}
 	}
 	return nil

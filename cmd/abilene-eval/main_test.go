@@ -66,16 +66,10 @@ func TestFigure10Output(t *testing.T) {
 	}
 }
 
-func TestTraceReplay(t *testing.T) {
-	// Generate a small CSV with the traffic substrate and replay it
-	// through the figure-9 pipeline.
-	tr, err := traffic.Generate(traffic.GeneratorConfig{NumIntervals: 60, Seed: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := tr.InjectCoordinated([]int{1, 5, 9}, 40, 44, 1.5); err != nil {
-		t.Fatal(err)
-	}
+// writeTraceCSV renders tr in the trafficgen CSV format and returns the
+// file's path.
+func writeTraceCSV(t *testing.T, tr *traffic.Trace) string {
+	t.Helper()
 	var sb strings.Builder
 	sb.WriteString("interval")
 	for _, n := range tr.FlowNames {
@@ -93,6 +87,20 @@ func TestTraceReplay(t *testing.T) {
 	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	return path
+}
+
+func TestTraceReplay(t *testing.T) {
+	// Generate a small CSV with the traffic substrate and replay it
+	// through the figure-9 pipeline.
+	tr, err := traffic.Generate(traffic.GeneratorConfig{NumIntervals: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.InjectCoordinated([]int{1, 5, 9}, 40, 44, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTraceCSV(t, tr)
 
 	var buf bytes.Buffer
 	if err := run([]string{"-figure", "9", "-trace", path, "-trace-window", "20"}, &buf); err != nil {
@@ -109,6 +117,43 @@ func TestTraceReplay(t *testing.T) {
 	// Unreadable trace path.
 	if err := run([]string{"-figure", "9", "-trace", "/nonexistent", "-trace-window", "20"}, &buf); err == nil {
 		t.Fatal("missing file must fail")
+	}
+}
+
+func TestShootoutReport(t *testing.T) {
+	// Replay a small trace so the three-way shoot-out completes quickly; 3
+	// monitors split the 81 flows evenly, which lets the FD variant default
+	// its basis budget ℓ.
+	tr, err := traffic.Generate(traffic.GeneratorConfig{NumIntervals: 120, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.InjectCoordinated([]int{1, 5, 9}, 90, 94, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTraceCSV(t, tr)
+
+	var buf bytes.Buffer
+	args := []string{"-shootout", "-trace", path, "-trace-window", "40",
+		"-monitors", "3", "-shootout-sketch", "16"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# Shoot-out") || !strings.Contains(out, "variant,sketch_param,") {
+		t.Fatalf("missing headers in:\n%s", out)
+	}
+	for _, variant := range []string{"randproj+jacobi,16,", "randproj+rsvd,16,", "fd,"} {
+		if !strings.Contains(out, "\n"+variant) {
+			t.Fatalf("missing %q row in:\n%s", variant, out)
+		}
+	}
+
+	// 4 monitors cannot split 81 flows evenly: the FD variant must refuse
+	// to guess a shared ℓ.
+	if err := run([]string{"-shootout", "-trace", path, "-trace-window", "40",
+		"-monitors", "4"}, &buf); err == nil {
+		t.Fatal("uneven FD split must fail")
 	}
 }
 

@@ -1,6 +1,7 @@
 // Command sketchpca-monitor runs a local-monitor daemon: it maintains the
-// per-flow variance-histogram sketches, streams per-interval volume reports
-// to the NOC and answers its sketch pulls.
+// local sketch state (-sketcher randproj: per-flow variance histograms;
+// -sketcher fd: a Frequent Directions buffer), streams per-interval volume
+// reports to the NOC and answers its sketch pulls.
 //
 // Volumes arrive on stdin as CSV rows "interval,v0,v1,..." (for example a
 // column slice of trafficgen output); -columns selects which CSV columns
@@ -41,6 +42,7 @@ import (
 	"streampca/internal/monitor"
 	"streampca/internal/obs"
 	"streampca/internal/randproj"
+	sketchpkg "streampca/internal/sketch"
 	"streampca/internal/trace"
 	"streampca/internal/traffic"
 	"streampca/internal/transport"
@@ -63,9 +65,10 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 		flowStr = fs.String("flows", "", "comma-separated global flow ids owned by this monitor")
 		colStr  = fs.String("columns", "", "comma-separated stdin CSV columns feeding those flows (defaults to -flows)")
 		window  = fs.Int("window", 4032, "sliding-window length (n)")
-		sketch  = fs.Int("sketch", 200, "sketch length (l)")
-		epsilon = fs.Float64("epsilon", 0.01, "variance-histogram ε")
-		seed    = fs.Uint64("seed", 42, "shared randomness seed")
+		sketch  = fs.Int("sketch", 200, "sketch length (l for -sketcher randproj, basis budget ℓ for fd)")
+		family  = fs.String("sketcher", "randproj", "sketcher family: randproj or fd (must match the NOC)")
+		epsilon = fs.Float64("epsilon", 0.01, "variance-histogram ε (randproj only)")
+		seed    = fs.Uint64("seed", 42, "shared randomness seed (randproj only)")
 		dialTO  = fs.Duration("dial-timeout", 5*time.Second, "NOC dial timeout")
 		reconn  = fs.Bool("reconnect", true, "redial the NOC automatically when the link drops")
 		reconnB = fs.Duration("reconnect-backoff", 200*time.Millisecond, "initial redial backoff (doubles per attempt)")
@@ -129,12 +132,18 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 		defer func() { _ = recorder.Close() }()
 	}
 
+	fam, err := sketchpkg.ParseFamily(*family)
+	if err != nil {
+		return fmt.Errorf("-sketcher: %w", err)
+	}
 	svc, err := monitor.New(monitor.Config{
 		ID:                  *id,
+		Family:              fam,
 		FlowIDs:             flows,
 		WindowLen:           *window,
 		Epsilon:             *epsilon,
 		Sketch:              randproj.Config{Seed: *seed, SketchLen: *sketch, WindowLen: *window},
+		FDEll:               *sketch,
 		Workers:             *workers,
 		SelfCheckEvery:      *selfchk,
 		Reconnect:           *reconn,

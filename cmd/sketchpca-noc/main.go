@@ -8,7 +8,9 @@
 //	sketchpca-noc -listen 127.0.0.1:7100 -flows 81 -window 4032 \
 //	    -sketch 200 -alpha 0.01 -rank 6 -seed 42
 //
-// Monitors must be started with the same -window, -sketch and -seed.
+// Monitors must be started with the same -window, -sketch, -sketcher and
+// (randproj only) -seed. With -sketcher fd, -sketch carries the Frequent
+// Directions basis budget ℓ instead of the projection length l.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"streampca/internal/core"
 	"streampca/internal/noc"
 	"streampca/internal/obs"
+	sketchpkg "streampca/internal/sketch"
 	"streampca/internal/trace"
 )
 
@@ -54,7 +57,12 @@ func run(args []string) error {
 		listen   = fs.String("listen", "127.0.0.1:7100", "listen address")
 		flows    = fs.Int("flows", 81, "network-wide number of aggregated flows (m)")
 		window   = fs.Int("window", 4032, "sliding-window length in intervals (n)")
-		sketch   = fs.Int("sketch", 200, "sketch length (l)")
+		sketch   = fs.Int("sketch", 200, "sketch length (l for -sketcher randproj, basis budget ℓ for fd)")
+		family   = fs.String("sketcher", "randproj", "sketcher family: randproj or fd")
+		builder  = fs.String("modelbuilder", "jacobi", "model eigensolver: jacobi or rsvd (randproj only)")
+		rsvdOver = fs.Int("rsvd-oversample", 10, "randomized SVD oversampling columns (with -modelbuilder rsvd)")
+		rsvdPow  = fs.Int("rsvd-power", 1, "randomized SVD power iterations (with -modelbuilder rsvd)")
+		rsvdSeed = fs.Uint64("rsvd-seed", 1, "randomized SVD test-matrix seed (with -modelbuilder rsvd)")
 		alpha    = fs.Float64("alpha", 0.01, "Q-statistic false-alarm rate")
 		rankMode = fs.String("rank-mode", "fixed", "rank selection: fixed, 3sigma or energy")
 		rank     = fs.Int("rank", 6, "normal-subspace size for -rank-mode fixed")
@@ -85,6 +93,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	fam, err := sketchpkg.ParseFamily(*family)
+	if err != nil {
+		return fmt.Errorf("-sketcher: %w", err)
+	}
+	bld, err := core.ParseModelBuilder(*builder)
+	if err != nil {
+		return fmt.Errorf("-modelbuilder: %w", err)
+	}
 
 	var tracer *trace.Tracer
 	if *traceOn {
@@ -106,13 +122,18 @@ func run(args []string) error {
 		Trace:          tracer,
 		FlightRecorder: recorder,
 		Detector: core.DetectorConfig{
-			NumFlows:   *flows,
-			WindowLen:  *window,
-			SketchLen:  *sketch,
-			Alpha:      *alpha,
-			Mode:       mode,
-			FixedRank:  *rank,
-			EnergyFrac: *energy,
+			Family:         fam,
+			Builder:        bld,
+			NumFlows:       *flows,
+			WindowLen:      *window,
+			SketchLen:      *sketch,
+			Alpha:          *alpha,
+			Mode:           mode,
+			FixedRank:      *rank,
+			EnergyFrac:     *energy,
+			RSVDOversample: *rsvdOver,
+			RSVDPowerIters: *rsvdPow,
+			RSVDSeed:       *rsvdSeed,
 		},
 		Seed:             *seed,
 		Workers:          *workers,
@@ -149,8 +170,8 @@ func run(args []string) error {
 	if err := svc.Serve(*listen); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sketchpca-noc: listening on %s (m=%d n=%d l=%d)\n",
-		svc.Addr(), *flows, *window, *sketch)
+	fmt.Fprintf(os.Stderr, "sketchpca-noc: listening on %s (m=%d n=%d sketch=%d family=%s builder=%s)\n",
+		svc.Addr(), *flows, *window, *sketch, fam, bld)
 	if addr := svc.DiagAddr(); addr != "" {
 		fmt.Fprintf(os.Stderr, "sketchpca-noc: diagnostics on http://%s/metrics\n", addr)
 	}

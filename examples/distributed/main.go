@@ -12,6 +12,13 @@
 // datagrams (each monitor sees only its own flows) and re-aggregated into
 // interval rows by the sharded ingestion path before reporting.
 //
+// Pass -sketcher fd for the Frequent Directions family. Expect it to miss
+// this scenario's low-profile coordinated anomaly: FD models the full stream
+// prefix per monitor block with no cross-monitor covariance, so a subtle
+// shift spread across all three monitors stays inside each block's residual
+// budget (the trade-off DESIGN.md §15 documents; compare the families
+// head-to-head with abilene-eval -shootout).
+//
 //	go run ./examples/distributed
 package main
 
@@ -27,6 +34,7 @@ import (
 	"streampca/internal/monitor"
 	"streampca/internal/noc"
 	"streampca/internal/randproj"
+	sketchpkg "streampca/internal/sketch"
 	"streampca/internal/trace"
 	"streampca/internal/traffic"
 	"streampca/internal/transport"
@@ -36,16 +44,18 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve NOC diagnostics (/metrics, /healthz, /debug/pprof, /debug/trace) on this address")
 	workers := flag.Int("workers", 0, "worker goroutines for sketch updates and retrains (0 = all CPUs)")
 	ingestMode := flag.Bool("ingest", false, "feed monitors through NetFlow v5 ingest pipelines instead of direct volume rows")
+	sketcher := flag.String("sketcher", "randproj", "sketcher family: randproj or fd")
+	builder := flag.String("modelbuilder", "jacobi", "model eigensolver: jacobi or rsvd (randproj only)")
 	traceOn := flag.Bool("trace", false, "record interval-lineage spans on the NOC (served on /debug/trace with -metrics-addr)")
 	traceSm := flag.Int("trace-sample", 1, "with -trace, keep every trace whose id % N == 0 (1 = all)")
 	flight := flag.String("flight-recorder", "", "append one JSONL audit record per alarm/degraded decision to this file")
 	flag.Parse()
-	if err := run(*metricsAddr, *workers, *ingestMode, *traceOn, *traceSm, *flight); err != nil {
+	if err := run(*metricsAddr, *workers, *ingestMode, *sketcher, *builder, *traceOn, *traceSm, *flight); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(metricsAddr string, workers int, ingestMode, traceOn bool, traceSample int, flightPath string) error {
+func run(metricsAddr string, workers int, ingestMode bool, sketcher, builder string, traceOn bool, traceSample int, flightPath string) error {
 	const (
 		perDay    = traffic.IntervalsPerDay5Min
 		windowLen = perDay / 2
@@ -54,6 +64,14 @@ func run(metricsAddr string, workers int, ingestMode, traceOn bool, traceSample 
 		seed      = 777
 		numMons   = 3
 	)
+	fam, err := sketchpkg.ParseFamily(sketcher)
+	if err != nil {
+		return fmt.Errorf("-sketcher: %w", err)
+	}
+	bld, err := core.ParseModelBuilder(builder)
+	if err != nil {
+		return fmt.Errorf("-modelbuilder: %w", err)
+	}
 
 	tr, err := traffic.Generate(traffic.GeneratorConfig{NumIntervals: total, Seed: 60})
 	if err != nil {
@@ -64,6 +82,17 @@ func run(metricsAddr string, workers int, ingestMode, traceOn bool, traceSample 
 		return err
 	}
 	m := tr.NumFlows()
+
+	// The sketch parameter is the projection length l for randproj and the
+	// per-monitor basis budget ℓ for Frequent Directions (all monitors must
+	// announce the same value, which the NOC's detector also carries). Keep
+	// 2ℓ below the per-monitor flow count: a buffer that can hold the whole
+	// local column space makes every block full-rank and the full-spectrum
+	// Q-statistic degenerate (see the abilene-eval -shootout harness).
+	sketchParam := sketchLen
+	if fam == sketchpkg.FamilyFD {
+		sketchParam = sketchpkg.DefaultEll(m / numMons)
+	}
 
 	var tracer *trace.Tracer
 	if traceOn {
@@ -83,9 +112,11 @@ func run(metricsAddr string, workers int, ingestMode, traceOn bool, traceSample 
 	decisions := make(chan noc.Decision, total)
 	nocSvc, err := noc.New(noc.Config{
 		Detector: core.DetectorConfig{
+			Family:    fam,
+			Builder:   bld,
 			NumFlows:  m,
 			WindowLen: windowLen,
-			SketchLen: sketchLen,
+			SketchLen: sketchParam,
 			Alpha:     0.01,
 			Mode:      core.RankFixed,
 			FixedRank: 6,
@@ -108,7 +139,8 @@ func run(metricsAddr string, workers int, ingestMode, traceOn bool, traceSample 
 		return err
 	}
 	defer nocSvc.Shutdown()
-	fmt.Printf("NOC listening on %s\n", nocSvc.Addr())
+	fmt.Printf("NOC listening on %s (sketcher=%s builder=%s sketch=%d)\n",
+		nocSvc.Addr(), fam, bld, sketchParam)
 	if addr := nocSvc.DiagAddr(); addr != "" {
 		fmt.Printf("NOC diagnostics on http://%s/metrics\n", addr)
 	}
@@ -123,10 +155,12 @@ func run(metricsAddr string, workers int, ingestMode, traceOn bool, traceSample 
 	for i := range mons {
 		svc, err := monitor.New(monitor.Config{
 			ID:        fmt.Sprintf("monitor-%d", i+1),
+			Family:    fam,
 			FlowIDs:   assign[i],
 			WindowLen: windowLen,
 			Epsilon:   0.02,
-			Sketch:    randproj.Config{Seed: seed, SketchLen: sketchLen, WindowLen: windowLen},
+			Sketch:    randproj.Config{Seed: seed, SketchLen: sketchParam, WindowLen: windowLen},
+			FDEll:     sketchParam,
 			Workers:   workers,
 			Reconnect: true,
 			OnAlarm: func(a transport.Alarm) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"streampca/internal/randproj"
+	"streampca/internal/sketch"
 )
 
 // ClusterConfig parameterizes an in-process cluster: several monitors
@@ -21,13 +22,29 @@ type ClusterConfig struct {
 	Epsilon float64
 	// Alpha is the detector's false-alarm rate.
 	Alpha float64
+	// Family selects the sketcher implementation on every monitor; the zero
+	// value is the paper's random projection.
+	Family sketch.Family
 	// Sketch configures the shared random projection (Seed, SketchLen,
-	// Dist, …). WindowLen is filled from the cluster's if unset.
+	// Dist, …). WindowLen is filled from the cluster's if unset. Ignored for
+	// the FD family.
 	Sketch randproj.Config
+	// FDEll is the per-monitor Frequent Directions basis budget ℓ (FD family
+	// only); 0 selects sketch.DefaultEll of each monitor's flow count. When 0,
+	// every monitor must get the same flow count (round-robin guarantees it
+	// only when NumMonitors divides NumFlows) or construction fails, since the
+	// detector needs one shared ℓ.
+	FDEll int
 	// Rank configures rank selection (see DetectorConfig).
 	Mode       RankMode
 	FixedRank  int
 	EnergyFrac float64
+	// Builder selects the randproj model build (see DetectorConfig); ignored
+	// for the FD family.
+	Builder        ModelBuilder
+	RSVDOversample int
+	RSVDPowerIters int
+	RSVDSeed       uint64
 	// Workers bounds the goroutines each monitor and the detector use for
 	// their sharded hot paths; 0 (or negative) selects
 	// runtime.GOMAXPROCS(0). Results are identical for any value.
@@ -43,6 +60,8 @@ type Cluster struct {
 	flowOwner []int
 	flowSlot  []int
 	gen       *randproj.Generator
+	family    sketch.Family
+	sketchLen int
 	windowLen int
 	updates   int
 }
@@ -55,15 +74,6 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.NumMonitors < 1 || cfg.NumMonitors > cfg.NumFlows {
 		return nil, fmt.Errorf("%w: %d monitors for %d flows", ErrConfig, cfg.NumMonitors, cfg.NumFlows)
 	}
-	sketchCfg := cfg.Sketch
-	if sketchCfg.WindowLen == 0 {
-		sketchCfg.WindowLen = cfg.WindowLen
-	}
-	gen, err := randproj.NewGenerator(sketchCfg)
-	if err != nil {
-		return nil, fmt.Errorf("generator: %w", err)
-	}
-
 	// Round-robin flow assignment.
 	assign := make([][]int, cfg.NumMonitors)
 	flowOwner := make([]int, cfg.NumFlows)
@@ -75,13 +85,45 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		assign[mIdx] = append(assign[mIdx], j)
 	}
 
+	// The detector needs the shared sketch parameter: l from the generator
+	// for randproj, ℓ for FD.
+	var gen *randproj.Generator
+	var sketchLen int
+	switch cfg.Family {
+	case sketch.FamilyRandProj:
+		sketchCfg := cfg.Sketch
+		if sketchCfg.WindowLen == 0 {
+			sketchCfg.WindowLen = cfg.WindowLen
+		}
+		var err error
+		if gen, err = randproj.NewGenerator(sketchCfg); err != nil {
+			return nil, fmt.Errorf("generator: %w", err)
+		}
+		sketchLen = gen.SketchLen()
+	case sketch.FamilyFD:
+		sketchLen = cfg.FDEll
+		if sketchLen == 0 {
+			// Defaulting ℓ from the flow count only works when every monitor
+			// gets the same count; otherwise monitors would disagree on ℓ.
+			if cfg.NumFlows%cfg.NumMonitors != 0 {
+				return nil, fmt.Errorf("%w: fd ell must be set explicitly when %d monitors split %d flows unevenly",
+					ErrConfig, cfg.NumMonitors, cfg.NumFlows)
+			}
+			sketchLen = sketch.DefaultEll(len(assign[0]))
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown sketch family %d", ErrConfig, int(cfg.Family))
+	}
+
 	monitors := make([]*Monitor, cfg.NumMonitors)
 	for i := range monitors {
 		mon, err := NewMonitor(MonitorConfig{
+			Family:    cfg.Family,
 			FlowIDs:   assign[i],
 			WindowLen: cfg.WindowLen,
 			Epsilon:   cfg.Epsilon,
 			Gen:       gen,
+			FDEll:     sketchLen,
 			Workers:   cfg.Workers,
 		})
 		if err != nil {
@@ -91,14 +133,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	det, err := NewDetector(DetectorConfig{
-		NumFlows:   cfg.NumFlows,
-		WindowLen:  cfg.WindowLen,
-		SketchLen:  gen.SketchLen(),
-		Alpha:      cfg.Alpha,
-		Mode:       cfg.Mode,
-		FixedRank:  cfg.FixedRank,
-		EnergyFrac: cfg.EnergyFrac,
-		Workers:    cfg.Workers,
+		NumFlows:       cfg.NumFlows,
+		WindowLen:      cfg.WindowLen,
+		SketchLen:      sketchLen,
+		Alpha:          cfg.Alpha,
+		Mode:           cfg.Mode,
+		FixedRank:      cfg.FixedRank,
+		EnergyFrac:     cfg.EnergyFrac,
+		Workers:        cfg.Workers,
+		Family:         cfg.Family,
+		Builder:        cfg.Builder,
+		RSVDOversample: cfg.RSVDOversample,
+		RSVDPowerIters: cfg.RSVDPowerIters,
+		RSVDSeed:       cfg.RSVDSeed,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("detector: %w", err)
@@ -109,6 +156,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		flowOwner: flowOwner,
 		flowSlot:  flowSlot,
 		gen:       gen,
+		family:    cfg.Family,
+		sketchLen: sketchLen,
 		windowLen: cfg.WindowLen,
 	}, nil
 }
@@ -119,7 +168,8 @@ func (c *Cluster) Monitors() []*Monitor { return c.monitors }
 // Detector returns the NOC detector.
 func (c *Cluster) Detector() *Detector { return c.detector }
 
-// Generator returns the shared random-projection generator.
+// Generator returns the shared random-projection generator, nil when the
+// cluster runs the FD family (which has no projection).
 func (c *Cluster) Generator() *randproj.Generator { return c.gen }
 
 // Update feeds interval t's full volume vector to the owning monitors.
@@ -149,14 +199,29 @@ func (c *Cluster) Update(t int64, volumes []float64) error {
 // skips detection.
 func (c *Cluster) Warm() bool { return c.updates >= c.windowLen }
 
-// Fetch gathers every monitor's report into flow-indexed sketch and mean
-// arrays — the in-process FetchFunc.
+// Fetch gathers every monitor's report — flow-indexed sketch and mean arrays
+// for the randproj family, per-monitor Blocks for FD — the in-process
+// FetchFunc.
 func (c *Cluster) Fetch() (Fetch, error) {
 	m := len(c.flowOwner)
+	if c.family == sketch.FamilyFD {
+		f := Fetch{Blocks: make([]sketch.Snapshot, 0, len(c.monitors))}
+		for _, mon := range c.monitors {
+			rep := mon.Report()
+			if err := rep.Validate(c.sketchLen); err != nil {
+				return Fetch{}, err
+			}
+			f.Blocks = append(f.Blocks, rep)
+			if rep.Interval > f.Interval {
+				f.Interval = rep.Interval
+			}
+		}
+		return f, nil
+	}
 	f := Fetch{Sketches: make([][]float64, m), Means: make([]float64, m)}
 	for _, mon := range c.monitors {
 		rep := mon.Report()
-		if err := rep.Validate(c.gen.SketchLen()); err != nil {
+		if err := rep.Validate(c.sketchLen); err != nil {
 			return Fetch{}, err
 		}
 		for i, id := range rep.FlowIDs {

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"streampca/internal/mat"
 	"streampca/internal/par"
+	"streampca/internal/sketch"
 	"streampca/internal/stats"
 )
 
@@ -43,13 +45,57 @@ func (m RankMode) String() string {
 	}
 }
 
+// ModelBuilder selects how the NOC turns the assembled sketch matrix into a
+// PCA model (randproj family only; the FD family always builds per block on
+// the small side).
+type ModelBuilder int
+
+const (
+	// BuildJacobi eigendecomposes the m×m Gram matrix ẐᵀẐ — the exact
+	// O(m²·l + m³)-per-rebuild path the paper costs out. The zero value, so
+	// configurations written before the field existed keep their meaning.
+	BuildJacobi ModelBuilder = iota
+	// BuildRSVD runs the randomized range-finder SVD on Ẑ directly:
+	// O(l·m·p) for p = rank+oversample sampled directions, never forming
+	// the Gram matrix. The spectrum is truncated to p values; see
+	// Model.ThresholdUnavailable for the rank ≥ p degenerate case.
+	BuildRSVD
+)
+
+// String implements fmt.Stringer.
+func (b ModelBuilder) String() string {
+	switch b {
+	case BuildJacobi:
+		return "jacobi"
+	case BuildRSVD:
+		return "rsvd"
+	default:
+		return fmt.Sprintf("builder(%d)", int(b))
+	}
+}
+
+// ParseModelBuilder maps the -modelbuilder flag spelling to a ModelBuilder.
+func ParseModelBuilder(s string) (ModelBuilder, error) {
+	switch s {
+	case "", "jacobi":
+		return BuildJacobi, nil
+	case "rsvd":
+		return BuildRSVD, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown model builder %q (want jacobi or rsvd)", ErrConfig, s)
+	}
+}
+
 // DetectorConfig parameterizes the NOC-side detector.
 type DetectorConfig struct {
 	// NumFlows is m, the network-wide number of aggregated flows.
 	NumFlows int
 	// WindowLen is n, used in the threshold's variance normalization.
 	WindowLen int
-	// SketchLen is l; every monitor must use the same value.
+	// SketchLen is the family's sketch parameter; every monitor must use
+	// the same value. For the randproj family it is l, the sketch length;
+	// for the FD family it is ℓ, the basis budget (the same single value
+	// transport.Hello carries).
 	SketchLen int
 	// Alpha is the false-alarm rate for the δ threshold.
 	Alpha float64
@@ -64,6 +110,23 @@ type DetectorConfig struct {
 	// kernels (Gram product and eigendecomposition); 0 (or negative)
 	// selects runtime.GOMAXPROCS(0). Results are identical for any value.
 	Workers int
+	// Family is the sketcher family the monitors run; the zero value is
+	// the paper's random projection. For sketch.FamilyFD, Rebuild consumes
+	// Fetch.Blocks and builds the model per monitor block on the small
+	// side; RankThreeSigma is unsupported (it needs the global sketch
+	// matrix, which FD never materializes).
+	Family sketch.Family
+	// Builder selects the randproj model build (Jacobi Gram eigensolve, the
+	// default, or the randomized range-finder SVD). Ignored for FD.
+	Builder ModelBuilder
+	// RSVDOversample pads the sampled subspace beyond the target rank
+	// (default 10, the standard recommendation).
+	RSVDOversample int
+	// RSVDPowerIters is the number of power passes sharpening the sampled
+	// range (default 1; each costs one extra sweep over Ẑ).
+	RSVDPowerIters int
+	// RSVDSeed seeds the deterministic gaussian test matrix.
+	RSVDSeed uint64
 }
 
 // Model is a fitted sketch-PCA model at the NOC.
@@ -140,6 +203,37 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown rank mode %d", ErrConfig, int(cfg.Mode))
 	}
+	switch cfg.Family {
+	case sketch.FamilyRandProj:
+	case sketch.FamilyFD:
+		if cfg.Mode == RankThreeSigma {
+			return nil, fmt.Errorf("%w: rank mode 3sigma needs the global sketch matrix, which the fd family never materializes", ErrConfig)
+		}
+		if cfg.Builder != BuildJacobi {
+			return nil, fmt.Errorf("%w: the fd family has its own per-block eigensolve; a model builder only applies to randproj", ErrConfig)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown sketch family %d", ErrConfig, int(cfg.Family))
+	}
+	switch cfg.Builder {
+	case BuildJacobi:
+	case BuildRSVD:
+		if cfg.RSVDOversample == 0 {
+			cfg.RSVDOversample = 10
+		}
+		if cfg.RSVDOversample < 0 {
+			return nil, fmt.Errorf("%w: rsvd oversample %d", ErrConfig, cfg.RSVDOversample)
+		}
+		switch {
+		case cfg.RSVDPowerIters == 0:
+			cfg.RSVDPowerIters = 1
+		case cfg.RSVDPowerIters < 0:
+			// Explicit "no power passes".
+			cfg.RSVDPowerIters = 0
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown model builder %d", ErrConfig, int(cfg.Builder))
+	}
 	cfg.Workers = par.Workers(cfg.Workers)
 	return &Detector{cfg: cfg}, nil
 }
@@ -195,40 +289,98 @@ func (d *Detector) RebuildModel(sketches [][]float64, means []float64, builtAt i
 	if err != nil {
 		return err
 	}
-	// PCA on Ẑ via the m×m Gram matrix: eigenvalues are λ̂², eigenvectors
-	// are the right singular vectors â — the only pieces the detector needs.
-	// Both kernels shard across the configured workers with bit-identical
-	// results for any worker count.
-	eig, err := mat.SymEigenWorkers(z.GramWorkers(d.cfg.Workers), d.cfg.Workers)
-	if err != nil {
-		return fmt.Errorf("sketch eigendecomposition: %w", err)
-	}
-	sv := make([]float64, d.cfg.NumFlows)
-	for j, lam := range eig.Values {
-		if lam < 0 {
-			lam = 0
+	var (
+		components *mat.Matrix
+		sv         []float64
+		realLen    int
+	)
+	switch d.cfg.Builder {
+	case BuildJacobi:
+		// PCA on Ẑ via the m×m Gram matrix: eigenvalues are λ̂²,
+		// eigenvectors are the right singular vectors â — the only pieces
+		// the detector needs. Both kernels shard across the configured
+		// workers with bit-identical results for any worker count.
+		eig, err := mat.SymEigenWorkers(z.GramWorkers(d.cfg.Workers), d.cfg.Workers)
+		if err != nil {
+			return fmt.Errorf("sketch eigendecomposition: %w", err)
 		}
-		sv[j] = math.Sqrt(lam)
+		components = eig.Vectors
+		sv = make([]float64, d.cfg.NumFlows)
+		for j, lam := range eig.Values {
+			if lam < 0 {
+				lam = 0
+			}
+			sv[j] = math.Sqrt(lam)
+		}
+		realLen = len(sv)
+	case BuildRSVD:
+		// Randomized range finder on Ẑ itself: never forms the m×m Gram.
+		// The sampled subspace targets FixedRank directions (the only mode
+		// with a rank known before the decomposition); other modes fall
+		// back to sampling the full min(l, m) spectrum.
+		target := minInt(d.cfg.SketchLen, d.cfg.NumFlows)
+		if d.cfg.Mode == RankFixed {
+			target = d.cfg.FixedRank
+			if target < 1 {
+				target = 1
+			}
+		}
+		svd, err := mat.RandomizedSVD(z, target, d.cfg.RSVDOversample,
+			d.cfg.RSVDPowerIters, d.cfg.RSVDSeed, d.cfg.Workers)
+		if err != nil {
+			return fmt.Errorf("sketch randomized svd: %w", err)
+		}
+		realLen = len(svd.Values)
+		components = mat.NewMatrix(d.cfg.NumFlows, d.cfg.NumFlows)
+		for j := 0; j < realLen; j++ {
+			for i := 0; i < d.cfg.NumFlows; i++ {
+				components.Set(i, j, svd.V.At(i, j))
+			}
+		}
+		sv = make([]float64, d.cfg.NumFlows)
+		copy(sv, svd.Values)
+	default:
+		return fmt.Errorf("%w: unknown model builder %d", ErrConfig, int(d.cfg.Builder))
 	}
+	return d.finishModel(z, components, sv, realLen, means, builtAt)
+}
 
-	rank, err := d.chooseRank(z, eig.Vectors, sv)
+// finishModel runs the family-independent tail of every rebuild: rank
+// selection, the Q-statistic threshold over the real (non-padded) part of
+// the spectrum, and model installation. z is the sketch matrix when one
+// exists (nil for FD; only RankThreeSigma reads it, and NewDetector rejects
+// that combination).
+func (d *Detector) finishModel(z *mat.Matrix, components *mat.Matrix, sv []float64, realLen int, means []float64, builtAt int64) error {
+	rank, err := d.chooseRank(z, components, sv[:realLen])
 	if err != nil {
 		return fmt.Errorf("rank selection: %w", err)
 	}
-	threshold, err := stats.QStatistic(sv, d.cfg.WindowLen, rank, d.cfg.Alpha)
-	unavailable := false
-	if err != nil {
-		if !errors.Is(err, stats.ErrDegenerate) {
-			return fmt.Errorf("threshold: %w", err)
+	threshold, unavailable := 0.0, false
+	if rank >= realLen && realLen < d.cfg.NumFlows {
+		// Truncated spectrum (rSVD sampling or FD's ≤ Σ2ℓ bases) with the
+		// whole of it assigned to the normal subspace: the residual energy
+		// lives entirely beyond what the decomposition kept, so no control
+		// limit can be formed. QStatistic would report an empty residual
+		// (threshold 0) — correct for a genuinely full-rank model, an
+		// alarm-on-everything trap here. Same typed degradation as the
+		// PR-4 Jacobi fix: keep the subspace, flag the threshold.
+		unavailable = true
+	} else {
+		threshold, err = stats.QStatistic(sv[:realLen], d.cfg.WindowLen, rank, d.cfg.Alpha)
+		if err != nil {
+			if !errors.Is(err, stats.ErrDegenerate) {
+				return fmt.Errorf("threshold: %w", err)
+			}
+			// A degenerate residual spectrum has no trustworthy control
+			// limit. Keep the freshly fitted subspace (distances are still
+			// meaningful diagnostics) but mark the threshold unusable rather
+			// than storing a NaN/garbage value that comparisons would
+			// silently never exceed.
+			threshold, unavailable = 0, true
 		}
-		// A degenerate residual spectrum has no trustworthy control limit.
-		// Keep the freshly fitted subspace (distances are still meaningful
-		// diagnostics) but mark the threshold unusable rather than storing a
-		// NaN/garbage value that comparisons would silently never exceed.
-		threshold, unavailable = 0, true
 	}
 	d.model = &Model{
-		Components:           eig.Vectors,
+		Components:           components,
 		Singular:             sv,
 		Means:                append([]float64(nil), means...),
 		Rank:                 rank,
@@ -237,6 +389,113 @@ func (d *Detector) RebuildModel(sketches [][]float64, means []float64, builtAt i
 		ThresholdUnavailable: unavailable,
 	}
 	return nil
+}
+
+// RebuildFD builds the model from per-monitor Frequent Directions blocks.
+// Each block carries ≤ 2ℓ basis rows over its own flow columns, so the
+// per-block decomposition runs on the small side: B·Bᵀ is at most 2ℓ×2ℓ and
+// the right singular vectors are recovered as Bᵀu/σ — O(w·ℓ²) per block and
+// never an m×m eigensolve. The union of all blocks' singular pairs, sorted
+// descending, is the model spectrum: cross-monitor covariance is not
+// represented (the FD trade-off DESIGN.md §15 documents), so each component
+// is supported on a single monitor's flow columns.
+func (d *Detector) RebuildFD(blocks []sketch.Snapshot, builtAt int64) error {
+	m := d.cfg.NumFlows
+	if len(blocks) == 0 {
+		return fmt.Errorf("%w: no fd blocks", ErrInput)
+	}
+	type pair struct {
+		s   float64
+		vec []float64
+	}
+	var pairs []pair
+	means := make([]float64, m)
+	covered := make([]bool, m)
+	for bi := range blocks {
+		b := &blocks[bi]
+		if b.Family != sketch.FamilyFD {
+			return fmt.Errorf("%w: block %d is %v, want fd", ErrInput, bi, b.Family)
+		}
+		if err := b.Validate(d.cfg.SketchLen); err != nil {
+			return fmt.Errorf("fd block %d: %w", bi, err)
+		}
+		w := len(b.FlowIDs)
+		for i, id := range b.FlowIDs {
+			if id < 0 || id >= m {
+				return fmt.Errorf("%w: fd block %d reports flow %d of %d", ErrInput, bi, id, m)
+			}
+			if covered[id] {
+				return fmt.Errorf("%w: flow %d reported by two fd blocks", ErrInput, id)
+			}
+			covered[id] = true
+			means[id] = b.Means[i]
+		}
+		if len(b.FDRows) == 0 {
+			continue
+		}
+		rows := mat.NewMatrix(len(b.FDRows), w)
+		for i, r := range b.FDRows {
+			copy(rows.RowView(i), r)
+		}
+		// B·Bᵀ = (Bᵀ)ᵀ(Bᵀ): small-side Gram through the blocked-tile kernel.
+		eig, err := mat.SymEigenWorkers(rows.T().GramWorkers(d.cfg.Workers), d.cfg.Workers)
+		if err != nil {
+			return fmt.Errorf("fd block %d eigendecomposition: %w", bi, err)
+		}
+		for k, lam := range eig.Values {
+			if lam <= 0 {
+				break // descending: the rest are zero/noise directions
+			}
+			s := math.Sqrt(lam)
+			u := make([]float64, len(b.FDRows))
+			for i := range u {
+				u[i] = eig.Vectors.At(i, k)
+			}
+			local, err := rows.TMulVec(u) // Bᵀu = σ·v
+			if err != nil {
+				return fmt.Errorf("fd block %d component %d: %w", bi, k, err)
+			}
+			vec := make([]float64, m)
+			for i, id := range b.FlowIDs {
+				vec[id] = local[i] / s
+			}
+			pairs = append(pairs, pair{s: s, vec: vec})
+		}
+	}
+	for id, ok := range covered {
+		if !ok {
+			return fmt.Errorf("%w: no fd block reported flow %d", ErrInput, id)
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].s > pairs[j].s })
+	realLen := len(pairs)
+	if realLen > m {
+		realLen = m
+	}
+	components := mat.NewMatrix(m, m)
+	sv := make([]float64, m)
+	for j := 0; j < realLen; j++ {
+		sv[j] = pairs[j].s
+		for i := 0; i < m; i++ {
+			components.Set(i, j, pairs[j].vec[i])
+		}
+	}
+	return d.finishModel(nil, components, sv, realLen, means, builtAt)
+}
+
+// Rebuild dispatches a fetched sketch pull to the family's model build.
+func (d *Detector) Rebuild(f Fetch) error {
+	if d.cfg.Family == sketch.FamilyFD {
+		return d.RebuildFD(f.Blocks, f.Interval)
+	}
+	return d.RebuildModel(f.Sketches, f.Means, f.Interval)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // chooseRank applies the configured rank policy to a freshly decomposed
@@ -347,6 +606,10 @@ type Fetch struct {
 	Sketches [][]float64
 	Means    []float64
 	Interval int64
+	// Blocks carries the per-monitor snapshots for the FD family, which has
+	// no per-flow sketch vectors to fold into Sketches; RebuildFD consumes
+	// them directly. Empty for the randproj family.
+	Blocks []sketch.Snapshot
 	// Degraded marks a fetch completed from partially stale inputs.
 	Degraded bool
 	// StaleFlows counts the flows served from cache rather than a live
@@ -404,7 +667,7 @@ func (d *Detector) Observe(x []float64, fetch FetchFunc) (Decision, error) {
 			return fmt.Errorf("fetch sketches: %w", err)
 		}
 		d.fetches++
-		if err := d.RebuildModel(f.Sketches, f.Means, f.Interval); err != nil {
+		if err := d.Rebuild(f); err != nil {
 			return fmt.Errorf("rebuild: %w", err)
 		}
 		d.model.Degraded = f.Degraded

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"streampca/internal/sketch"
+)
+
+// plantedSketches builds per-flow sketch columns of an l×m matrix with the
+// given planted singular spectrum plus tiny noise, so the residual spectrum
+// past any fixed rank has real structure both builders must agree on.
+func plantedSketches(rng *rand.Rand, l, m int, spectrum []float64, noise float64) [][]float64 {
+	z := make([][]float64, l)
+	for k := range z {
+		z[k] = make([]float64, m)
+	}
+	for _, s := range spectrum {
+		u := make([]float64, l)
+		v := make([]float64, m)
+		var un, vn float64
+		for i := range u {
+			u[i] = rng.NormFloat64()
+			un += u[i] * u[i]
+		}
+		for j := range v {
+			v[j] = rng.NormFloat64()
+			vn += v[j] * v[j]
+		}
+		un, vn = math.Sqrt(un), math.Sqrt(vn)
+		for i := range u {
+			for j := range v {
+				z[i][j] += s * (u[i] / un) * (v[j] / vn)
+			}
+		}
+	}
+	for i := range z {
+		for j := range z[i] {
+			z[i][j] += noise * rng.NormFloat64()
+		}
+	}
+	sketches := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		col := make([]float64, l)
+		for k := 0; k < l; k++ {
+			col[k] = z[k][j]
+		}
+		sketches[j] = col
+	}
+	return sketches
+}
+
+// TestRSVDBuilderMatchesJacobi: on a spectrum whose residual mass sits well
+// inside the sampled subspace, the randomized builder must reproduce the
+// Jacobi model — same rank, matching leading singular values and threshold.
+func TestRSVDBuilderMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	const l, m, r = 16, 24, 3
+	spectrum := make([]float64, 8)
+	for j := range spectrum {
+		spectrum[j] = 100 / float64(j+1)
+	}
+	sketches := plantedSketches(rng, l, m, spectrum, 1e-8)
+	means := make([]float64, m)
+
+	build := func(b ModelBuilder) *Model {
+		det, err := NewDetector(DetectorConfig{
+			NumFlows: m, WindowLen: 512, SketchLen: l,
+			Alpha: 0.01, Mode: RankFixed, FixedRank: r,
+			Builder: b, RSVDSeed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.RebuildModel(sketches, means, 1); err != nil {
+			t.Fatalf("builder %v: %v", b, err)
+		}
+		return det.Model()
+	}
+	exact := build(BuildJacobi)
+	approx := build(BuildRSVD)
+	if exact.Rank != approx.Rank {
+		t.Fatalf("ranks differ: %d vs %d", exact.Rank, approx.Rank)
+	}
+	if len(approx.Singular) != m {
+		t.Fatalf("rsvd spectrum zero-padded to %d, want %d", len(approx.Singular), m)
+	}
+	for j := 0; j < len(spectrum); j++ {
+		rel := math.Abs(approx.Singular[j]-exact.Singular[j]) / exact.Singular[j]
+		if rel > 1e-6 {
+			t.Fatalf("singular value %d: %v vs %v (rel %v)", j, approx.Singular[j], exact.Singular[j], rel)
+		}
+	}
+	if exact.ThresholdUnavailable || approx.ThresholdUnavailable {
+		t.Fatal("threshold unavailable on a well-conditioned spectrum")
+	}
+	if rel := math.Abs(approx.Threshold-exact.Threshold) / exact.Threshold; rel > 1e-3 {
+		t.Fatalf("thresholds diverge: %v vs %v (rel %v)", approx.Threshold, exact.Threshold, rel)
+	}
+	// The subspaces agree: each leading rsvd component is ±the Jacobi one.
+	for j := 0; j < r; j++ {
+		var dot float64
+		for i := 0; i < m; i++ {
+			dot += approx.Components.At(i, j) * exact.Components.At(i, j)
+		}
+		if math.Abs(math.Abs(dot)-1) > 1e-6 {
+			t.Fatalf("component %d: |<v,v*>| = %v", j, math.Abs(dot))
+		}
+	}
+}
+
+// TestRSVDTruncatedSpectrumThresholdUnavailable: when the whole sampled
+// spectrum lands in the normal subspace (rank ≥ p < m) there is no residual
+// to form a control limit from, and the model must be flagged — the rsvd
+// analogue of the PR-4 degenerate-spectrum fix, not a silent 0 threshold.
+func TestRSVDTruncatedSpectrumThresholdUnavailable(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const l, m = 8, 20
+	sketches := plantedSketches(rng, l, m, []float64{50, 20, 10, 5}, 1e-6)
+	means := make([]float64, m)
+	det, err := NewDetector(DetectorConfig{
+		NumFlows: m, WindowLen: 256, SketchLen: l,
+		Alpha: 0.01, Mode: RankFixed, FixedRank: 8, // ≥ p = min(8+10, l=8, m)
+		Builder: BuildRSVD, RSVDSeed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.RebuildModel(sketches, means, 1); err != nil {
+		t.Fatal(err)
+	}
+	model := det.Model()
+	if !model.ThresholdUnavailable {
+		t.Fatal("rank ≥ sampled spectrum must flag ThresholdUnavailable")
+	}
+	if model.Threshold != 0 {
+		t.Fatalf("placeholder threshold = %v, want 0", model.Threshold)
+	}
+	if _, err := det.Threshold(); !errors.Is(err, ErrThresholdUnavailable) {
+		t.Fatalf("Threshold() error = %v, want ErrThresholdUnavailable", err)
+	}
+
+	// The same rank under Jacobi sees the full m-length spectrum: 8 < m
+	// leaves a genuine residual and the threshold stays available.
+	det2, err := NewDetector(DetectorConfig{
+		NumFlows: m, WindowLen: 256, SketchLen: l,
+		Alpha: 0.01, Mode: RankFixed, FixedRank: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det2.RebuildModel(sketches, means, 1); err != nil {
+		t.Fatal(err)
+	}
+	if det2.Model().ThresholdUnavailable {
+		t.Fatal("jacobi with rank < m must keep its threshold")
+	}
+}
+
+// fdBlocks feeds a stream through one FD sketcher per monitor block and
+// returns the per-block snapshots.
+func fdBlocks(t *testing.T, assign [][]int, ell int, x [][]float64) []sketch.Snapshot {
+	t.Helper()
+	blocks := make([]sketch.Snapshot, len(assign))
+	for bi, ids := range assign {
+		fd, err := sketch.NewFD(sketch.Config{Family: sketch.FamilyFD, FlowIDs: ids, Ell: ell})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol := make([]float64, len(ids))
+		for ti, row := range x {
+			for i, id := range ids {
+				vol[i] = row[id]
+			}
+			if err := fd.Update(int64(ti+1), vol); err != nil {
+				t.Fatal(err)
+			}
+		}
+		blocks[bi] = fd.Snapshot()
+	}
+	return blocks
+}
+
+// TestRebuildFDTruncatedSpectrumThresholdUnavailable: FD keeps at most Σ2ℓ
+// basis directions; asking for a normal subspace at least that large leaves
+// no residual spectrum and must flag the threshold, exactly like the rsvd
+// truncation and the PR-4 degenerate case.
+func TestRebuildFDTruncatedSpectrumThresholdUnavailable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const m, ell = 6, 2
+	x := make([][]float64, 32)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = 100 + 10*rng.NormFloat64()
+		}
+		x[i] = row
+	}
+	blocks := fdBlocks(t, [][]int{{0, 1, 2, 3, 4, 5}}, ell, x)
+	det, err := NewDetector(DetectorConfig{
+		NumFlows: m, WindowLen: 32, SketchLen: ell,
+		Alpha: 0.01, Mode: RankFixed, FixedRank: m,
+		Family: sketch.FamilyFD,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Rebuild(Fetch{Blocks: blocks, Interval: 32}); err != nil {
+		t.Fatal(err)
+	}
+	model := det.Model()
+	if !model.ThresholdUnavailable {
+		t.Fatal("rank ≥ FD basis count must flag ThresholdUnavailable")
+	}
+	if model.Threshold != 0 {
+		t.Fatalf("placeholder threshold = %v, want 0", model.Threshold)
+	}
+	if _, err := det.Threshold(); !errors.Is(err, ErrThresholdUnavailable) {
+		t.Fatalf("Threshold() error = %v, want ErrThresholdUnavailable", err)
+	}
+
+	// Observe must surface the condition on its Decision, not alarm.
+	fetch := func() (Fetch, error) { return Fetch{Blocks: blocks, Interval: 32}, nil }
+	y := make([]float64, m)
+	y[0] = 1e6
+	dec, err := det.Observe(y, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.ThresholdUnavailable || dec.Anomalous {
+		t.Fatalf("decision: ThresholdUnavailable=%v Anomalous=%v", dec.ThresholdUnavailable, dec.Anomalous)
+	}
+}
+
+// TestRebuildFDValidation covers the typed-error surface of the FD model
+// build: empty pulls, foreign families, flow overlap and coverage gaps.
+func TestRebuildFDValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const m, ell = 4, 2
+	x := make([][]float64, 16)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = 50 + rng.NormFloat64()
+		}
+		x[i] = row
+	}
+	det, err := NewDetector(DetectorConfig{
+		NumFlows: m, WindowLen: 16, SketchLen: ell,
+		Alpha: 0.01, Mode: RankFixed, FixedRank: 1,
+		Family: sketch.FamilyFD,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := fdBlocks(t, [][]int{{0, 1}, {2, 3}}, ell, x)
+	if err := det.RebuildFD(good, 16); err != nil {
+		t.Fatalf("good blocks: %v", err)
+	}
+	if err := det.RebuildFD(nil, 16); !errors.Is(err, ErrInput) {
+		t.Fatalf("no blocks: %v", err)
+	}
+	overlap := fdBlocks(t, [][]int{{0, 1}, {1, 3}}, ell, x)
+	if err := det.RebuildFD(overlap, 16); !errors.Is(err, ErrInput) {
+		t.Fatalf("overlapping flows: %v", err)
+	}
+	gap := fdBlocks(t, [][]int{{0, 1}}, ell, x)
+	if err := det.RebuildFD(gap, 16); !errors.Is(err, ErrInput) {
+		t.Fatalf("coverage gap: %v", err)
+	}
+	foreign := append([]sketch.Snapshot(nil), good...)
+	foreign[0].Family = sketch.FamilyRandProj
+	if err := det.RebuildFD(foreign, 16); !errors.Is(err, ErrInput) {
+		t.Fatalf("foreign family: %v", err)
+	}
+}
+
+// TestFDClusterEndToEnd runs the full lazy protocol on the FD family: an
+// in-process cluster of FD monitors, per-block model builds at the NOC, and
+// an injected structured anomaly that must still raise an alarm.
+func TestFDClusterEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n, m, k := 200, 9, 2
+	x := lowRankStream(rng, 3*n, m, k, 1)
+	cl, err := NewCluster(ClusterConfig{
+		NumFlows: m, NumMonitors: 3, WindowLen: n, Alpha: 0.002,
+		Family: sketch.FamilyFD, FDEll: 6, FixedRank: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Generator() != nil {
+		t.Fatal("FD cluster must not build a projection generator")
+	}
+	var alarms, steps int
+	spikeAt := 2*n + 50
+	var spikeDec Decision
+	for i := 0; i < x.Rows(); i++ {
+		row := x.Row(i)
+		observed := row
+		if i == spikeAt {
+			observed = append([]float64(nil), row...)
+			observed[0] += 8000
+			observed[4] += 6000
+		}
+		if err := cl.Update(int64(i+1), row); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := cl.Detector().Observe(observed, cl.Fetch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= n {
+			steps++
+			if dec.Anomalous {
+				alarms++
+			}
+		}
+		if i == spikeAt {
+			spikeDec = dec
+		}
+	}
+	if !spikeDec.Anomalous {
+		t.Fatalf("injected anomaly missed: %+v", spikeDec)
+	}
+	if rate := float64(alarms) / float64(steps); rate > 0.25 {
+		t.Fatalf("alarm rate %v too high", rate)
+	}
+	model := cl.Detector().Model()
+	if model == nil || model.ThresholdUnavailable {
+		t.Fatalf("model = %+v", model)
+	}
+}
+
+// TestClusterFDEllDefaulting: an even split defaults ℓ per monitor; an uneven
+// one must demand an explicit ℓ (monitors would otherwise disagree).
+func TestClusterFDEllDefaulting(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{
+		NumFlows: 9, NumMonitors: 3, WindowLen: 16, Alpha: 0.01,
+		Family: sketch.FamilyFD, FixedRank: 1,
+	}); err != nil {
+		t.Fatalf("even split: %v", err)
+	}
+	if _, err := NewCluster(ClusterConfig{
+		NumFlows: 10, NumMonitors: 3, WindowLen: 16, Alpha: 0.01,
+		Family: sketch.FamilyFD, FixedRank: 1,
+	}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("uneven split without explicit ell: %v", err)
+	}
+	if _, err := NewCluster(ClusterConfig{
+		NumFlows: 10, NumMonitors: 3, WindowLen: 16, Alpha: 0.01,
+		Family: sketch.FamilyFD, FDEll: 4, FixedRank: 1,
+	}); err != nil {
+		t.Fatalf("uneven split with explicit ell: %v", err)
+	}
+}
+
+// TestDetectorRejectsFDThreeSigma: the 3σ rank heuristic needs the global
+// sketch matrix, which FD never materializes.
+func TestDetectorRejectsFDThreeSigma(t *testing.T) {
+	_, err := NewDetector(DetectorConfig{
+		NumFlows: 4, WindowLen: 16, SketchLen: 2, Alpha: 0.01,
+		Mode: RankThreeSigma, Family: sketch.FamilyFD,
+	})
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("fd + 3sigma: %v", err)
+	}
+}

@@ -1,233 +1,143 @@
 // Package core implements the paper's primary contribution: the sketch-based
 // streaming PCA algorithm for network-wide traffic anomaly detection.
 //
-// A Monitor is the local-monitor half (Fig. 2 left; §IV-A/B): per assigned
-// flow it feeds interval volumes into a variance histogram carrying
-// random-projection partial sums, achieving O(w·log n) update time and
-// O(w·log² n) space for w flows.
+// A Monitor is the local-monitor half (Fig. 2 left; §IV-A/B): it maintains a
+// streaming summary — a sketch.Sketcher — over its assigned flows. The
+// default family is the paper's random projection carried by per-flow
+// variance histograms (O(w·log n) update time, O(w·log² n) space for w
+// flows); the Frequent Directions family trades the sliding window for a
+// deterministic error bound in O(ℓ·w) space.
 //
 // A Detector is the NOC half (Fig. 2 right; §IV-C/D/E): it assembles the
 // per-flow sketches into the l×m matrix Ẑ, runs PCA on Ẑ (O(m²·l) =
-// O(m²·log n) per rebuild instead of O(m²·n)), thresholds the anomaly
-// distance with the Q-statistic, and drives the lazy model-refresh protocol:
-// sketches are pulled from monitors only when the current measurement
-// exceeds the (possibly stale) threshold.
+// O(m²·log n) per rebuild instead of O(m²·n) — or O(m·ℓ²) per FD block with
+// no m×m eigensolve at all), thresholds the anomaly distance with the
+// Q-statistic, and drives the lazy model-refresh protocol: sketches are
+// pulled from monitors only when the current measurement exceeds the
+// (possibly stale) threshold.
 package core
 
 import (
 	"errors"
-	"fmt"
-	"math"
 
-	"streampca/internal/par"
 	"streampca/internal/randproj"
+	"streampca/internal/sketch"
 	"streampca/internal/vh"
 )
 
-// Errors returned by the package.
+// Errors returned by the package. ErrConfig and ErrInput are the
+// internal/sketch sentinels re-exported, so errors.Is checks hold across the
+// core/sketch boundary (SketchReport is an alias of sketch.Snapshot and its
+// Validate wraps the sketch-side sentinel).
 var (
 	// ErrConfig indicates an invalid configuration.
-	ErrConfig = errors.New("core: invalid configuration")
+	ErrConfig = sketch.ErrConfig
 	// ErrInput indicates structurally invalid runtime input.
-	ErrInput = errors.New("core: invalid input")
+	ErrInput = sketch.ErrInput
 	// ErrNoModel indicates a detector query before any model was built.
 	ErrNoModel = errors.New("core: no model built yet")
 )
 
 // MonitorConfig parameterizes a local monitor.
 type MonitorConfig struct {
+	// Family selects the sketcher implementation; the zero value is the
+	// paper's random projection.
+	Family sketch.Family
 	// FlowIDs lists the global flow indices this monitor is responsible
 	// for. Required, non-empty, unique.
 	FlowIDs []int
-	// WindowLen is n, the sliding-window length in intervals.
+	// WindowLen is n, the sliding-window length in intervals (randproj; the
+	// FD family summarizes the full stream prefix).
 	WindowLen int
-	// Epsilon is the VH approximation parameter ε ∈ (0, 1).
+	// Epsilon is the VH approximation parameter ε ∈ (0, 1) (randproj only).
 	Epsilon float64
-	// Gen is the shared random-number generator; required so sketches from
-	// different monitors combine at the NOC.
+	// Gen is the shared random-number generator; required for the randproj
+	// family so sketches from different monitors combine at the NOC.
 	Gen *randproj.Generator
-	// Workers bounds the goroutines used to shard per-flow histogram
-	// updates across the assigned flows; 0 (or negative) selects
-	// runtime.GOMAXPROCS(0). Results are identical for any value.
+	// FDEll is the Frequent Directions basis budget ℓ (FD only); 0 selects
+	// sketch.DefaultEll of the assigned flow count.
+	FDEll int
+	// Workers bounds the goroutines used to shard the sketcher's hot paths;
+	// 0 (or negative) selects runtime.GOMAXPROCS(0). Results are identical
+	// for any value.
 	Workers int
 }
 
-// Monitor maintains one variance histogram per assigned flow.
-// It is not safe for concurrent use; callers (internal/monitor) serialize.
-// Internally Update shards the per-flow histogram work across Workers
-// goroutines — each flow's histogram is touched by exactly one shard, so the
-// resulting state is identical for any worker count.
+// Monitor wraps the configured sketch.Sketcher behind the stable local-
+// monitor surface. It is not safe for concurrent use; callers
+// (internal/monitor) serialize.
 type Monitor struct {
-	flowIDs []int
-	hists   []*vh.Histogram
-	gen     *randproj.Generator
-	workers int
-	// rowScratch holds the interval's shared projection row r_{t,·}; reused
-	// across updates to keep the per-interval path allocation-free.
-	rowScratch []float64
-	now        int64
+	sk sketch.Sketcher
 }
 
-// NewMonitor validates cfg and builds the per-flow histograms.
+// NewMonitor validates cfg and builds the configured sketcher.
 func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
-	if len(cfg.FlowIDs) == 0 {
-		return nil, fmt.Errorf("%w: no flows assigned", ErrConfig)
+	sk, err := sketch.New(sketch.Config{
+		Family:    cfg.Family,
+		FlowIDs:   cfg.FlowIDs,
+		WindowLen: cfg.WindowLen,
+		Epsilon:   cfg.Epsilon,
+		Gen:       cfg.Gen,
+		Ell:       cfg.FDEll,
+		Workers:   cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Gen == nil {
-		return nil, fmt.Errorf("%w: nil random generator", ErrConfig)
-	}
-	seen := make(map[int]struct{}, len(cfg.FlowIDs))
-	for _, id := range cfg.FlowIDs {
-		if id < 0 {
-			return nil, fmt.Errorf("%w: negative flow id %d", ErrConfig, id)
-		}
-		if _, dup := seen[id]; dup {
-			return nil, fmt.Errorf("%w: duplicate flow id %d", ErrConfig, id)
-		}
-		seen[id] = struct{}{}
-	}
-	hists := make([]*vh.Histogram, len(cfg.FlowIDs))
-	for i := range cfg.FlowIDs {
-		h, err := vh.New(vh.Config{WindowLen: cfg.WindowLen, Epsilon: cfg.Epsilon, Gen: cfg.Gen})
-		if err != nil {
-			return nil, fmt.Errorf("histogram for flow %d: %w", cfg.FlowIDs[i], err)
-		}
-		hists[i] = h
-	}
-	return &Monitor{
-		flowIDs:    append([]int(nil), cfg.FlowIDs...),
-		hists:      hists,
-		gen:        cfg.Gen,
-		workers:    par.Workers(cfg.Workers),
-		rowScratch: make([]float64, cfg.Gen.SketchLen()),
-	}, nil
+	return &Monitor{sk: sk}, nil
 }
+
+// Family returns the sketcher family this monitor runs.
+func (m *Monitor) Family() sketch.Family { return m.sk.Family() }
+
+// Sketcher exposes the underlying sketcher (internal/noc's warmup shadow
+// path and the FD absorb-based aggregation use this).
+func (m *Monitor) Sketcher() sketch.Sketcher { return m.sk }
 
 // FlowIDs returns a copy of the assigned global flow indices.
-func (m *Monitor) FlowIDs() []int {
-	return append([]int(nil), m.flowIDs...)
-}
+func (m *Monitor) FlowIDs() []int { return m.sk.FlowIDs() }
 
 // NumFlows returns w, the number of flows this monitor handles.
-func (m *Monitor) NumFlows() int { return len(m.flowIDs) }
+func (m *Monitor) NumFlows() int { return m.sk.NumFlows() }
 
 // Now returns the interval of the most recent update.
-func (m *Monitor) Now() int64 { return m.now }
+func (m *Monitor) Now() int64 { return m.sk.Now() }
 
 // Histogram returns the variance histogram of the i-th assigned flow
-// (FlowIDs()[i]). The histogram is live state owned by the monitor; callers
-// must only read it (Aggregate, Sketch, …) between updates — internal/oracle
-// uses this for differential self-checks.
+// (FlowIDs()[i]) when the monitor runs the randproj family, nil otherwise
+// (the FD family has no per-flow histograms). The histogram is live state
+// owned by the monitor; callers must only read it (Aggregate, Sketch, …)
+// between updates — internal/oracle uses this for differential self-checks.
 func (m *Monitor) Histogram(i int) *vh.Histogram {
-	if i < 0 || i >= len(m.hists) {
+	rp, ok := m.sk.(*sketch.RandProj)
+	if !ok {
 		return nil
 	}
-	return m.hists[i]
+	return rp.Histogram(i)
 }
 
-// NumBucketsTotal sums the variance-histogram bucket counts across all
-// assigned flows — the O(w·log² n) sketch-state size the paper bounds,
-// cheap enough to poll every interval for a state-size gauge.
-func (m *Monitor) NumBucketsTotal() int {
-	total := 0
-	for _, h := range m.hists {
-		total += h.NumBuckets()
-	}
-	return total
-}
-
-// updateGrain is the minimum flows per shard in Update; below it the
-// per-flow histogram work cannot amortize fork/join.
-const updateGrain = 32
+// NumBucketsTotal returns the sketcher's retained-state cell count: total
+// variance-histogram buckets (randproj, the O(w·log² n) bound the paper
+// gives) or live buffer rows (FD). Cheap enough to poll every interval for
+// a state-size gauge.
+func (m *Monitor) NumBucketsTotal() int { return m.sk.StateSize() }
 
 // Update ingests the volumes of interval t; volumes[i] belongs to
 // FlowIDs()[i]. Intervals must be strictly increasing.
 //
-// The per-flow histogram updates are sharded across the monitor's workers.
-// Each histogram belongs to exactly one shard and the shared row is
-// read-only, so the resulting state is identical for any worker count. On
-// error the lowest-indexed failing flow is reported and flows in other
-// shards may already have absorbed the interval; callers treat an Update
-// error as fatal for the monitor (all current ones do).
+// The per-flow work is sharded across the monitor's workers with state
+// identical for any worker count. On error the lowest-indexed failing flow
+// is reported and flows in other shards may already have absorbed the
+// interval; callers treat an Update error as fatal for the monitor (all
+// current ones do).
 func (m *Monitor) Update(t int64, volumes []float64) error {
-	if len(volumes) != len(m.flowIDs) {
-		return fmt.Errorf("%w: %d volumes for %d flows", ErrInput, len(volumes), len(m.flowIDs))
-	}
-	// The random row r_{t,·} is shared by every flow at interval t; compute
-	// it once into the reusable scratch buffer.
-	m.gen.RowInto(t, m.rowScratch)
-	row := m.rowScratch
-	err := par.ForErr(m.workers, len(volumes), updateGrain, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			if err := m.hists[i].UpdateWithRow(t, volumes[i], row); err != nil {
-				return fmt.Errorf("flow %d: %w", m.flowIDs[i], err)
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	m.now = t
-	return nil
+	return m.sk.Update(t, volumes)
 }
 
-// SketchReport carries a monitor's current sketch state to the NOC.
-type SketchReport struct {
-	// Interval is the time of the most recent update covered.
-	Interval int64
-	// FlowIDs[i] is the global flow index of column i.
-	FlowIDs []int
-	// Sketches[i] is the l-vector ẑ for flow FlowIDs[i].
-	Sketches [][]float64
-	// Means[i] is μ_all for flow FlowIDs[i].
-	Means []float64
-	// Counts[i] is the number of summarized intervals for the flow.
-	Counts []int64
-	// Buckets[i] is the current bucket count (space diagnostics).
-	Buckets []int
-}
+// SketchReport carries a monitor's current sketch state to the NOC. It is
+// the wire-form sketch.Snapshot: the alias keeps transport payloads and gob
+// streams identical across the refactor (gob matches fields by name).
+type SketchReport = sketch.Snapshot
 
-// Report extracts the current sketches for all assigned flows.
-func (m *Monitor) Report() SketchReport {
-	rep := SketchReport{
-		Interval: m.now,
-		FlowIDs:  append([]int(nil), m.flowIDs...),
-		Sketches: make([][]float64, len(m.flowIDs)),
-		Means:    make([]float64, len(m.flowIDs)),
-		Counts:   make([]int64, len(m.flowIDs)),
-		Buckets:  make([]int, len(m.flowIDs)),
-	}
-	for i, h := range m.hists {
-		rep.Sketches[i] = h.Sketch()
-		rep.Means[i] = h.EstimateMean()
-		rep.Counts[i] = h.Count()
-		rep.Buckets[i] = h.NumBuckets()
-	}
-	return rep
-}
-
-// Validate checks a report for structural consistency.
-func (r *SketchReport) Validate(sketchLen int) error {
-	n := len(r.FlowIDs)
-	if len(r.Sketches) != n || len(r.Means) != n {
-		return fmt.Errorf("%w: report arrays disagree (%d flows, %d sketches, %d means)",
-			ErrInput, n, len(r.Sketches), len(r.Means))
-	}
-	for i, s := range r.Sketches {
-		if len(s) != sketchLen {
-			return fmt.Errorf("%w: sketch %d has length %d, want %d", ErrInput, i, len(s), sketchLen)
-		}
-		for _, v := range s {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("%w: non-finite sketch value for flow %d", ErrInput, r.FlowIDs[i])
-			}
-		}
-	}
-	for i, v := range r.Means {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("%w: non-finite mean for flow %d", ErrInput, r.FlowIDs[i])
-		}
-	}
-	return nil
-}
+// Report extracts the current sketch state for all assigned flows.
+func (m *Monitor) Report() SketchReport { return m.sk.Snapshot() }

@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"streampca/internal/core"
+	"streampca/internal/sketch"
+)
+
+func TestShootoutThreeWay(t *testing.T) {
+	tr := testTrace(t)
+	truth, err := GroundTruth(tr.Volumes, TruthConfig{
+		WindowLen: 128, Rank: 4, Alpha: 0.01, RefitEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Shootout(tr.Volumes, truth, ShootoutConfig{
+		WindowLen: 128, Epsilon: 0.01, Alpha: 0.01, Seed: 9,
+		SketchLen: 64, Rank: 4, NumMonitors: 4, Oracle: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	wantVariants := []string{"randproj+jacobi", "randproj+rsvd", "fd"}
+	for i, row := range rows {
+		t.Logf("%s: typeI=%.3f typeII=%.3f retrains=%d retrain_ns=%d bytes=%d unavail=%d oracle=%d/%d maxrel=%.3g %s",
+			row.Variant, row.TypeI, row.TypeII, row.Retrains, row.RetrainNanos,
+			row.SketchBytes, row.ThresholdUnavail, row.OracleViolations, row.OracleChecks,
+			row.OracleMaxRelErr, row.OracleWorst)
+		if row.Variant != wantVariants[i] {
+			t.Fatalf("row %d variant %q, want %q", i, row.Variant, wantVariants[i])
+		}
+		// Every variant scores the same truth-ready intervals.
+		if row.TrueAnomalies != truth.NumAnomalous || row.TrueNormals != truth.NumNormal {
+			t.Fatalf("%s scored %d/%d intervals, truth has %d/%d",
+				row.Variant, row.TrueAnomalies, row.TrueNormals, truth.NumAnomalous, truth.NumNormal)
+		}
+		if row.TypeI < 0 || row.TypeI > 1 || row.TypeII < 0 || row.TypeII > 1 {
+			t.Fatalf("%s error rates out of range: %+v", row.Variant, row)
+		}
+		if row.Retrains < 1 {
+			t.Fatalf("%s never pulled sketches", row.Variant)
+		}
+		if row.RetrainNanos <= 0 {
+			t.Fatalf("%s retrain cost not measured", row.Variant)
+		}
+		if row.SketchBytes <= 0 {
+			t.Fatalf("%s sketch pull has no size", row.Variant)
+		}
+		if row.OracleChecks < 1 {
+			t.Fatalf("%s ran no oracle checks", row.Variant)
+		}
+	}
+	rj, rs, fd := rows[0], rows[1], rows[2]
+	if rj.SketchParam != 64 || rs.SketchParam != 64 {
+		t.Fatalf("randproj sketch param %d/%d, want 64", rj.SketchParam, rs.SketchParam)
+	}
+	if fd.SketchParam != sketch.DefaultEll(tr.NumFlows()/4) {
+		t.Fatalf("fd defaulted ℓ to %d", fd.SketchParam)
+	}
+	if fd.Family != sketch.FamilyFD || rs.Builder != core.BuildRSVD {
+		t.Fatalf("family/builder labels wrong: %+v %+v", fd, rs)
+	}
+	// The paper's pipeline and the deterministic FD guarantee must both come
+	// through the oracle clean; rSVD shares the randproj model oracle.
+	if rj.OracleViolations != 0 {
+		t.Fatalf("randproj+jacobi oracle violations: %s", rj.OracleWorst)
+	}
+	if fd.OracleViolations != 0 {
+		t.Fatalf("fd oracle violations: %s", fd.OracleWorst)
+	}
+	// Space: FD blocks (≤ 2ℓ rows of w floats per monitor) must undercut the
+	// randproj pull (l floats per flow) at these dimensions.
+	if fd.SketchBytes >= rj.SketchBytes {
+		t.Fatalf("fd pull (%d B) not smaller than randproj (%d B)", fd.SketchBytes, rj.SketchBytes)
+	}
+	if rs.OracleViolations != 0 {
+		t.Fatalf("randproj+rsvd oracle violations: %s", rs.OracleWorst)
+	}
+	// Accuracy: the randproj variants run the lazy retrain-on-alarm protocol
+	// (staler models than the sweep's fixed cadence), so the bounds are
+	// looser than the sweep test's; a broken pipeline still lands well
+	// outside them.
+	for _, row := range []ShootoutRow{rj, rs} {
+		if row.TypeI > 0.2 || row.TypeII > 0.8 {
+			t.Fatalf("%s errors too high: TypeI=%v TypeII=%v", row.Variant, row.TypeI, row.TypeII)
+		}
+	}
+}
+
+func TestShootoutValidation(t *testing.T) {
+	tr := testTrace(t)
+	truth, err := GroundTruth(tr.Volumes, TruthConfig{
+		WindowLen: 128, Rank: 4, Alpha: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Shootout(tr.Volumes, nil, ShootoutConfig{
+		WindowLen: 128, Alpha: 0.01, SketchLen: 16, Rank: 4, NumMonitors: 4,
+	}); !errors.Is(err, ErrInput) {
+		t.Fatalf("nil truth: %v", err)
+	}
+	if _, err := Shootout(tr.Volumes, truth, ShootoutConfig{
+		WindowLen: 128, Alpha: 0.01, SketchLen: 16, Rank: 4,
+	}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("zero monitors: %v", err)
+	}
+	// 16 flows across 5 monitors split unevenly: the FD variant cannot
+	// default a shared ℓ and must fail loudly, not silently diverge.
+	if _, err := Shootout(tr.Volumes, truth, ShootoutConfig{
+		WindowLen: 128, Epsilon: 0.01, Alpha: 0.01, SketchLen: 16, Rank: 4,
+		NumMonitors: 5,
+	}); err == nil {
+		t.Fatal("uneven FD split must fail")
+	}
+}

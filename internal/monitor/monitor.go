@@ -19,6 +19,7 @@ import (
 	"streampca/internal/oracle"
 	"streampca/internal/par"
 	"streampca/internal/randproj"
+	"streampca/internal/sketch"
 	"streampca/internal/trace"
 	"streampca/internal/transport"
 )
@@ -37,14 +38,20 @@ var (
 type Config struct {
 	// ID names the monitor (unique per deployment).
 	ID string
+	// Family selects the sketcher implementation; the zero value is the
+	// paper's random projection.
+	Family sketch.Family
 	// FlowIDs lists the global flows this monitor measures.
 	FlowIDs []int
 	// WindowLen is n and Epsilon the VH parameter ε.
 	WindowLen int
 	Epsilon   float64
 	// Sketch configures the shared random projection. WindowLen is filled
-	// from the service's when unset.
+	// from the service's when unset. Ignored for the FD family.
 	Sketch randproj.Config
+	// FDEll is the Frequent Directions basis budget ℓ (FD family only); 0
+	// selects sketch.DefaultEll of the assigned flow count.
+	FDEll int
 	// Workers bounds the goroutines the sketch update shards per-flow work
 	// across; 0 selects runtime.GOMAXPROCS(0). Sketch state is identical
 	// for any value (see internal/par).
@@ -67,7 +74,9 @@ type Config struct {
 	// histograms' stats, sketches and Lemma 1 bound against it, recording
 	// streampca_monitor_oracle_* metrics and logging violations. Costs one
 	// exact window of memory per flow plus an O(w·n·l) pass per sampled
-	// interval; 0 (the default) disables.
+	// interval; 0 (the default) disables. The checker reads per-flow
+	// variance histograms, so it is randproj-only: setting it with the FD
+	// family is a configuration error.
 	SelfCheckEvery int
 	// Obs is the metrics registry the service instruments into; nil creates
 	// a private registry (instrumentation is always on — it is a handful of
@@ -123,7 +132,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		alarmsRecv: reg.Counter("streampca_monitor_alarms_received_total",
 			"Alarm broadcasts received from the NOC."),
 		vhBuckets: reg.Gauge("streampca_monitor_vh_buckets",
-			"Variance-histogram buckets summed over assigned flows (O(w log^2 n) space)."),
+			"Sketch state cells: variance-histogram buckets summed over assigned flows (randproj, O(w log^2 n) space) or live FD buffer rows (≤ 2ℓ)."),
 		lastInterval: reg.Gauge("streampca_monitor_last_interval",
 			"Most recent interval folded into the sketch state."),
 		workers: reg.Gauge("streampca_monitor_workers",
@@ -168,19 +177,26 @@ func New(cfg Config) (*Service, error) {
 	if cfg.ID == "" {
 		return nil, fmt.Errorf("%w: empty monitor id", ErrConfig)
 	}
-	sketchCfg := cfg.Sketch
-	if sketchCfg.WindowLen == 0 {
-		sketchCfg.WindowLen = cfg.WindowLen
-	}
-	gen, err := randproj.NewGenerator(sketchCfg)
-	if err != nil {
-		return nil, fmt.Errorf("generator: %w", err)
+	var gen *randproj.Generator
+	if cfg.Family == sketch.FamilyRandProj {
+		sketchCfg := cfg.Sketch
+		if sketchCfg.WindowLen == 0 {
+			sketchCfg.WindowLen = cfg.WindowLen
+		}
+		var err error
+		if gen, err = randproj.NewGenerator(sketchCfg); err != nil {
+			return nil, fmt.Errorf("generator: %w", err)
+		}
+	} else if cfg.SelfCheckEvery > 0 {
+		return nil, fmt.Errorf("%w: the oracle self-check shadows variance histograms and only supports the randproj family", ErrConfig)
 	}
 	cm, err := core.NewMonitor(core.MonitorConfig{
+		Family:    cfg.Family,
 		FlowIDs:   cfg.FlowIDs,
 		WindowLen: cfg.WindowLen,
 		Epsilon:   cfg.Epsilon,
 		Gen:       gen,
+		FDEll:     cfg.FDEll,
 		Workers:   cfg.Workers,
 	})
 	if err != nil {
@@ -231,6 +247,18 @@ func New(cfg Config) (*Service, error) {
 		s.diag = diag
 	}
 	return s, nil
+}
+
+// sketchParam returns the family's shared sketch parameter announced in the
+// Hello: l from the generator for randproj, the resolved ℓ for FD.
+func (s *Service) sketchParam() int {
+	if s.gen != nil {
+		return s.gen.SketchLen()
+	}
+	if fd, ok := s.core.Sketcher().(*sketch.FD); ok {
+		return fd.Ell()
+	}
+	return 0
 }
 
 // Registry exposes the metrics registry (shared when Config.Obs was set).
@@ -289,9 +317,12 @@ func (s *Service) Attach(conn *transport.Conn) error {
 	hello := transport.Hello{
 		MonitorID: s.cfg.ID,
 		FlowIDs:   s.core.FlowIDs(),
-		SketchLen: s.gen.SketchLen(),
+		SketchLen: s.sketchParam(),
 		WindowLen: s.cfg.WindowLen,
-		Seed:      s.gen.Seed(),
+		Family:    s.cfg.Family,
+	}
+	if s.gen != nil {
+		hello.Seed = s.gen.Seed()
 	}
 	if err := conn.Send(transport.Envelope{Hello: &hello}); err != nil {
 		s.health.Set("noc-link", obs.StatusDown, err.Error())

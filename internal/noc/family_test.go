@@ -1,0 +1,241 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"streampca/internal/core"
+	"streampca/internal/monitor"
+	"streampca/internal/randproj"
+	"streampca/internal/sketch"
+)
+
+const testFDEll = 6
+
+// fdNocConfig mirrors nocConfig for the Frequent Directions family: the
+// detector's SketchLen carries the basis budget ℓ monitors must announce.
+func fdNocConfig() Config {
+	return Config{
+		Detector: core.DetectorConfig{
+			Family:    sketch.FamilyFD,
+			NumFlows:  testFlows,
+			WindowLen: testWindow,
+			SketchLen: testFDEll,
+			Alpha:     0.002,
+			Mode:      core.RankFixed,
+			FixedRank: 2,
+		},
+		FetchTimeout: 2 * time.Second,
+	}
+}
+
+// startFDMonitors spins nMon FD monitor services partitioning testFlows
+// flows (same striped assignment as startMonitors) and connects them.
+func startFDMonitors(t *testing.T, addr string, nMon int) []*monitor.Service {
+	t.Helper()
+	assign := make([][]int, nMon)
+	for f := 0; f < testFlows; f++ {
+		assign[f%nMon] = append(assign[f%nMon], f)
+	}
+	mons := make([]*monitor.Service, nMon)
+	for i := range mons {
+		svc, err := monitor.New(monitor.Config{
+			ID:        "fd-" + string(rune('a'+i)),
+			Family:    sketch.FamilyFD,
+			FlowIDs:   assign[i],
+			WindowLen: testWindow,
+			FDEll:     testFDEll,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Connect(addr, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = svc.Close() })
+		mons[i] = svc
+	}
+	return mons
+}
+
+func TestFDEndToEndDetection(t *testing.T) {
+	// The full distributed loop on the FD family: per-monitor block
+	// snapshots are pulled over the wire, merged at the NOC by RebuildFD,
+	// and the lazy protocol raises an alarm on a structured spike.
+	svc, decisions := startNOC(t, fdNocConfig())
+	mons := startFDMonitors(t, svc.Addr(), 3)
+	waitMonitors(t, svc, 3)
+
+	rng := rand.New(rand.NewSource(54))
+	var interval int64
+	for i := 0; i < testWindow+10; i++ {
+		interval++
+		feedInterval(t, mons, interval, trafficRow(rng, interval))
+		nextDecision(t, decisions, interval)
+	}
+	if !svc.HasModel() {
+		t.Fatal("NOC must have built a model from FD blocks")
+	}
+
+	var alarms int
+	for i := 0; i < 20; i++ {
+		interval++
+		feedInterval(t, mons, interval, trafficRow(rng, interval))
+		if d := nextDecision(t, decisions, interval); d.Result.Anomalous {
+			alarms++
+		}
+	}
+	if alarms > 5 {
+		t.Fatalf("%d/20 alarms on normal traffic", alarms)
+	}
+
+	// Moderate, structure-breaking shift: the monitors fold the interval
+	// into their FD buffers before serving the pull, so an overwhelming
+	// spike would hijack a top principal component of the refreshed model;
+	// this one clears the threshold without capturing the subspace.
+	interval++
+	bad := trafficRow(rng, interval)
+	bad[0] += 8000
+	bad[5] += 6000
+	feedInterval(t, mons, interval, bad)
+	if d := nextDecision(t, decisions, interval); !d.Result.Anomalous {
+		t.Fatalf("injected anomaly missed: %+v", d.Result)
+	}
+}
+
+func TestFDLocalSketchesMode(t *testing.T) {
+	// §V-A variant on the FD family: the NOC folds volume reports into one
+	// FD buffer over all flows and never pulls sketches.
+	cfg := fdNocConfig()
+	cfg.LocalSketches = true
+	svc, decisions := startNOC(t, cfg)
+	mons := startFDMonitors(t, svc.Addr(), 3)
+	waitMonitors(t, svc, 3)
+
+	rng := rand.New(rand.NewSource(55))
+	var interval int64
+	for i := 0; i < testWindow+10; i++ {
+		interval++
+		feedInterval(t, mons, interval, trafficRow(rng, interval))
+		nextDecision(t, decisions, interval)
+	}
+	if !svc.HasModel() {
+		t.Fatal("NOC must build a model from its own FD buffer")
+	}
+	interval++
+	bad := trafficRow(rng, interval)
+	bad[1] += 5e5
+	bad[6] += 3e5
+	feedInterval(t, mons, interval, bad)
+	if d := nextDecision(t, decisions, interval); !d.Result.Anomalous {
+		t.Fatalf("anomaly missed in FD local-sketch mode: %+v", d.Result)
+	}
+}
+
+func TestFDDegradedBlockFallback(t *testing.T) {
+	// When an FD monitor vanishes, the degraded fetch path substitutes its
+	// whole cached block (FD state only merges at block granularity) and the
+	// rebuilt model is flagged degraded with that monitor's flows stale.
+	cfg := fdNocConfig()
+	cfg.FetchTimeout = 500 * time.Millisecond
+	cfg.Degraded = DegradedPolicy{Enabled: true, MaxStaleness: 1 << 40}
+	svc, decisions := startNOC(t, cfg)
+	mons := startFDMonitors(t, svc.Addr(), 3)
+	waitMonitors(t, svc, 3)
+
+	rng := rand.New(rand.NewSource(56))
+	var interval int64
+	for i := 0; i < testWindow+5; i++ {
+		interval++
+		feedInterval(t, mons, interval, trafficRow(rng, interval))
+		nextDecision(t, decisions, interval)
+	}
+	if !svc.HasModel() {
+		t.Fatal("warmup must have built a model (populating the block cache)")
+	}
+
+	_ = mons[2].Close()
+	waitMonitors(t, svc, 2)
+
+	// A spike forces a sketch pull; the dead monitor's flows (2, 5, 8) come
+	// from its cached block, and its volumes from the last-volume cache.
+	interval++
+	bad := trafficRow(rng, interval)
+	bad[0] += 5e5
+	bad[4] += 3e5
+	for i := 0; i < 2; i++ {
+		var local []float64
+		for f := i; f < testFlows; f += 3 {
+			local = append(local, bad[f])
+		}
+		if err := mons[i].ReportInterval(interval, local); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := nextDecision(t, decisions, interval)
+	if !d.Degraded {
+		t.Fatalf("decision not degraded: %+v", d)
+	}
+	if !d.Result.Refreshed || !d.Result.Degraded || d.Result.StaleFlows != 3 {
+		t.Fatalf("model not rebuilt from the cached block: %+v", d.Result)
+	}
+}
+
+func TestFamilyMismatchRejected(t *testing.T) {
+	// A randproj NOC refuses an FD monitor and vice versa; an FD monitor
+	// with the wrong basis budget ℓ is refused too.
+	rpSvc, _ := startNOC(t, nocConfig())
+	fdMon, err := monitor.New(monitor.Config{
+		ID: "fd", Family: sketch.FamilyFD, FlowIDs: []int{0, 1, 2},
+		WindowLen: testWindow, FDEll: testSketch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fdMon.Connect(rpSvc.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer fdMon.Close()
+
+	fdSvc, _ := startNOC(t, fdNocConfig())
+	rpMon, err := monitor.New(monitor.Config{
+		ID: "rp", FlowIDs: []int{0, 1, 2}, WindowLen: testWindow, Epsilon: 0.05,
+		Sketch: randproj.Config{Seed: testSeed, SketchLen: testFDEll},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rpMon.Connect(fdSvc.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer rpMon.Close()
+
+	badEll, err := monitor.New(monitor.Config{
+		ID: "bad-ell", Family: sketch.FamilyFD, FlowIDs: []int{3, 4, 5},
+		WindowLen: testWindow, FDEll: testFDEll + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := badEll.Connect(fdSvc.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer badEll.Close()
+
+	time.Sleep(200 * time.Millisecond)
+	if got := rpSvc.Monitors(); len(got) != 0 {
+		t.Fatalf("randproj NOC registered FD monitor: %v", got)
+	}
+	if got := fdSvc.Monitors(); len(got) != 0 {
+		t.Fatalf("FD NOC registered mismatched monitors: %v", got)
+	}
+}
+
+func TestFDSelfCheckRejected(t *testing.T) {
+	cfg := fdNocConfig()
+	cfg.SelfCheckEvery = 8
+	if _, err := New(cfg); err == nil {
+		t.Fatal("FD family with the randproj-only oracle self-check must fail")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"streampca/internal/obs"
 	"streampca/internal/oracle"
 	"streampca/internal/randproj"
+	"streampca/internal/sketch"
 	"streampca/internal/trace"
 	"streampca/internal/transport"
 )
@@ -70,9 +71,11 @@ type DegradedPolicy struct {
 // Config parameterizes the NOC service.
 type Config struct {
 	// Detector configures the sketch-PCA detector (flows, window, sketch
-	// length, alpha, rank policy).
+	// length, alpha, rank policy, sketcher family and model builder).
 	Detector core.DetectorConfig
-	// Seed is the shared randomness seed monitors must announce.
+	// Seed is the shared randomness seed monitors must announce (randproj
+	// family; FD monitors carry no shared randomness and announce 0). It
+	// also seeds the fetch-backoff jitter for reproducible chaos tests.
 	Seed uint64
 	// FetchTimeout bounds one sketch-pull round; defaults to 5s.
 	FetchTimeout time.Duration
@@ -109,10 +112,11 @@ type Config struct {
 	// waiting for stragglers; defaults to 64.
 	MaxPendingIntervals int
 	// LocalSketches enables the paper's §V-A variant for thin monitors:
-	// the NOC maintains the variance histograms itself from the volume
-	// reports, so monitors need only run volume counters and are never
-	// asked for sketches. Costs the NOC O(m·log n) extra time per interval
-	// and O(m·log²n) space.
+	// the NOC maintains the sketch state itself from the volume reports
+	// (variance histograms for randproj, one FD buffer for FD), so monitors
+	// need only run volume counters and are never asked for sketches. Costs
+	// the NOC O(m·log n) extra time per interval and O(m·log²n) space for
+	// randproj, O(ℓ·m) for FD.
 	LocalSketches bool
 	// Epsilon is the VH parameter when LocalSketches is set; defaults to
 	// 0.01 (the paper's setting).
@@ -312,7 +316,11 @@ type Service struct {
 	// fetch path): per-flow cached sketch reports and the backoff jitter
 	// source, seeded from Config.Seed for reproducible chaos tests.
 	sketchCache []sketchEntry
-	rng         *rand.Rand
+	// fdCache is the FD-family counterpart of sketchCache: each monitor's
+	// last validated block snapshot, kept whole because FD blocks only merge
+	// at block granularity. Processing-goroutine only.
+	fdCache map[string]core.SketchReport
+	rng     *rand.Rand
 	// lastSketch remembers each monitor's most recent validated sketch
 	// report interval, for flight-record sketch ages. Processing-goroutine
 	// only (fetchRound writes, flight records read).
@@ -382,30 +390,43 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxPendingIntervals <= 0 {
 		cfg.MaxPendingIntervals = 64
 	}
+	if cfg.SelfCheckEvery > 0 && cfg.Detector.Family == sketch.FamilyFD {
+		return nil, fmt.Errorf("%w: the oracle self-check shadows variance histograms and only supports the randproj family", ErrConfig)
+	}
 	var localMon *core.Monitor
 	if cfg.LocalSketches {
-		if cfg.Epsilon == 0 {
-			cfg.Epsilon = 0.01
-		}
-		gen, err := randproj.NewGenerator(randproj.Config{
-			Seed:      cfg.Seed,
-			SketchLen: cfg.Detector.SketchLen,
+		mcfg := core.MonitorConfig{
+			Family:    cfg.Detector.Family,
 			WindowLen: cfg.Detector.WindowLen,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("local sketch generator: %w", err)
+			Workers:   cfg.Workers,
+		}
+		switch cfg.Detector.Family {
+		case sketch.FamilyRandProj:
+			if cfg.Epsilon == 0 {
+				cfg.Epsilon = 0.01
+			}
+			gen, err := randproj.NewGenerator(randproj.Config{
+				Seed:      cfg.Seed,
+				SketchLen: cfg.Detector.SketchLen,
+				WindowLen: cfg.Detector.WindowLen,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("local sketch generator: %w", err)
+			}
+			mcfg.Epsilon = cfg.Epsilon
+			mcfg.Gen = gen
+		case sketch.FamilyFD:
+			// One NOC-side FD buffer over all flows; the detector's
+			// SketchLen carries the basis budget ℓ for this family.
+			mcfg.FDEll = cfg.Detector.SketchLen
 		}
 		flowIDs := make([]int, cfg.Detector.NumFlows)
 		for j := range flowIDs {
 			flowIDs[j] = j
 		}
-		localMon, err = core.NewMonitor(core.MonitorConfig{
-			FlowIDs:   flowIDs,
-			WindowLen: cfg.Detector.WindowLen,
-			Epsilon:   cfg.Epsilon,
-			Gen:       gen,
-			Workers:   cfg.Workers,
-		})
+		mcfg.FlowIDs = flowIDs
+		var err error
+		localMon, err = core.NewMonitor(mcfg)
 		if err != nil {
 			return nil, fmt.Errorf("local sketch state: %w", err)
 		}
@@ -438,6 +459,7 @@ func New(cfg Config) (*Service, error) {
 		lastVol:     make([]float64, m),
 		lastVolAt:   lastVolAt,
 		sketchCache: make([]sketchEntry, m),
+		fdCache:     make(map[string]core.SketchReport),
 		rng:         rand.New(rand.NewSource(int64(cfg.Seed) + 1)),
 		lastSketch:  make(map[string]int64),
 		det:         det,
@@ -624,13 +646,18 @@ func (s *Service) handleConn(conn *transport.Conn) {
 // register validates a monitor's announced configuration and claims its flows.
 func (s *Service) register(conn *transport.Conn, h *transport.Hello) error {
 	d := s.cfg.Detector
+	if h.Family != d.Family {
+		return fmt.Errorf("%w: monitor %q runs sketcher family %v, NOC %v", ErrConfig, h.MonitorID, h.Family, d.Family)
+	}
 	if h.SketchLen != d.SketchLen {
 		return fmt.Errorf("%w: monitor %q sketch length %d, NOC %d", ErrConfig, h.MonitorID, h.SketchLen, d.SketchLen)
 	}
 	if h.WindowLen != d.WindowLen {
 		return fmt.Errorf("%w: monitor %q window %d, NOC %d", ErrConfig, h.MonitorID, h.WindowLen, d.WindowLen)
 	}
-	if h.Seed != s.cfg.Seed {
+	// Only the randproj family carries shared randomness; FD monitors
+	// announce Seed 0 and there is nothing to agree on.
+	if d.Family == sketch.FamilyRandProj && h.Seed != s.cfg.Seed {
 		return fmt.Errorf("%w: monitor %q seed mismatch", ErrConfig, h.MonitorID)
 	}
 	s.mu.Lock()
@@ -980,13 +1007,16 @@ func (s *Service) processLoop() {
 	}
 }
 
-// fetchLocal implements core.FetchFunc from the NOC-side histograms
+// fetchLocal implements core.FetchFunc from the NOC-side sketch state
 // (§V-A variant). Called only from the processing goroutine.
 func (s *Service) fetchLocal(sp *trace.Span) (core.Fetch, error) {
 	sp.Event("local_sketches")
 	rep := s.localMon.Report()
 	if err := rep.Validate(s.cfg.Detector.SketchLen); err != nil {
 		return core.Fetch{}, err
+	}
+	if s.cfg.Detector.Family == sketch.FamilyFD {
+		return core.Fetch{Blocks: []core.SketchReport{rep}, Interval: rep.Interval}, nil
 	}
 	return core.Fetch{Sketches: rep.Sketches, Means: rep.Means, Interval: rep.Interval}, nil
 }
@@ -1002,21 +1032,48 @@ func missingFlows(sketches [][]float64) []int {
 	return miss
 }
 
+// fdCovered marks a flow as covered by an FD block in the per-flow coverage
+// bookkeeping (FD blocks are kept whole; there is no per-flow sketch vector
+// to store, only the fact that some validated block owns the flow).
+var fdCovered = []float64{}
+
+// sortedBlocks flattens the per-monitor FD block map into a monitor-ID-
+// ordered slice so core.Fetch.Blocks is deterministic across map iteration.
+func sortedBlocks(blocks map[string]core.SketchReport) []core.SketchReport {
+	ids := make([]string, 0, len(blocks))
+	for id := range blocks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]core.SketchReport, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, blocks[id])
+	}
+	return out
+}
+
 // fetchSketches implements core.FetchFunc over the registered monitors.
 // It runs up to 1+FetchRetries rounds with capped exponential backoff,
 // each round re-requesting only the monitors that still owe flows (partial
 // results are kept across rounds, and each round uses a fresh request ID so
 // a late response to an earlier round is dropped, never misattributed).
 // If flows remain uncovered afterwards and DegradedPolicy allows it, each
-// missing flow is served from its last validated sketch report.
+// missing flow is served from its last validated sketch report (randproj:
+// per-flow cache entries; FD: each absent monitor's whole cached block, since
+// FD state only merges at block granularity).
 //
 // sp is the enclosing "noc.fetch" span (nil when tracing is off); retry
 // rounds, per-monitor failures, breaker transitions and the degraded
 // fallback are recorded on it as events.
 func (s *Service) fetchSketches(sp *trace.Span) (core.Fetch, error) {
 	m := s.cfg.Detector.NumFlows
+	fd := s.cfg.Detector.Family == sketch.FamilyFD
 	sketches := make([][]float64, m)
 	means := make([]float64, m)
+	var blocks map[string]core.SketchReport
+	if fd {
+		blocks = make(map[string]core.SketchReport)
+	}
 	var newest int64
 
 	rounds := 1 + s.cfg.FetchRetries
@@ -1045,7 +1102,7 @@ func (s *Service) fetchSketches(sp *trace.Span) (core.Fetch, error) {
 			s.log.Info("sketch fetch retry", "round", round, "missing_flows", len(miss))
 		}
 		attempted = round + 1
-		if s.fetchRound(sp, miss, sketches, means, &newest) == 0 {
+		if s.fetchRound(sp, miss, sketches, means, blocks, &newest) == 0 {
 			// Nothing askable: the missing flows are unowned or their
 			// monitors are breaker-open / unreachable. More rounds cannot
 			// make progress within this fetch.
@@ -1056,6 +1113,9 @@ func (s *Service) fetchSketches(sp *trace.Span) (core.Fetch, error) {
 	miss := missingFlows(sketches)
 	if len(miss) == 0 {
 		s.met.staleFlows.Set(0)
+		if fd {
+			return core.Fetch{Blocks: sortedBlocks(blocks), Interval: newest}, nil
+		}
 		return core.Fetch{Sketches: sketches, Means: means, Interval: newest}, nil
 	}
 
@@ -1066,20 +1126,25 @@ func (s *Service) fetchSketches(sp *trace.Span) (core.Fetch, error) {
 		if newest > ref {
 			ref = newest
 		}
-		filled, cachedNewest := 0, int64(0)
-		for _, f := range miss {
-			e := &s.sketchCache[f]
-			if e.sketch == nil || ref-e.at > s.cfg.Degraded.MaxStaleness {
-				continue
+		var filled int
+		var cachedNewest int64
+		if fd {
+			filled, cachedNewest = s.fdDegradedFill(sketches, blocks, ref)
+		} else {
+			for _, f := range miss {
+				e := &s.sketchCache[f]
+				if e.sketch == nil || ref-e.at > s.cfg.Degraded.MaxStaleness {
+					continue
+				}
+				sketches[f] = e.sketch
+				means[f] = e.mean
+				if e.at > cachedNewest {
+					cachedNewest = e.at
+				}
+				filled++
 			}
-			sketches[f] = e.sketch
-			means[f] = e.mean
-			if e.at > cachedNewest {
-				cachedNewest = e.at
-			}
-			filled++
 		}
-		if filled == len(miss) {
+		if filled > 0 && len(missingFlows(sketches)) == 0 {
 			if cachedNewest > newest && newest == 0 {
 				newest = cachedNewest
 			}
@@ -1089,20 +1154,76 @@ func (s *Service) fetchSketches(sp *trace.Span) (core.Fetch, error) {
 				trace.I("rounds", int64(attempted)))
 			s.log.Warn("degraded sketch fetch", "stale_flows", filled,
 				"rounds", attempted, "interval", newest)
-			return core.Fetch{Sketches: sketches, Means: means, Interval: newest,
-				Degraded: true, StaleFlows: filled}, nil
+			f := core.Fetch{Interval: newest, Degraded: true, StaleFlows: filled}
+			if fd {
+				f.Blocks = sortedBlocks(blocks)
+			} else {
+				f.Sketches, f.Means = sketches, means
+			}
+			return f, nil
 		}
 	}
 	return core.Fetch{}, fmt.Errorf("%w: %d of %d flows missing after %d rounds",
 		ErrCoverage, len(miss), m, attempted)
 }
 
+// fdDegradedFill substitutes cached FD blocks for monitors that did not
+// answer this fetch. A cached block is usable only whole: every flow it
+// names must still be uncovered (a partially superseded block cannot merge
+// without double-counting) and it must be no staler than MaxStaleness
+// relative to ref. Blocks are considered in monitor-ID order for
+// determinism. Returns the number of flows filled and the newest cached
+// block interval used.
+func (s *Service) fdDegradedFill(sketches [][]float64, blocks map[string]core.SketchReport, ref int64) (filled int, cachedNewest int64) {
+	m := s.cfg.Detector.NumFlows
+	ids := make([]string, 0, len(s.fdCache))
+	for id := range s.fdCache {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, fresh := blocks[id]; fresh {
+			continue
+		}
+		snap := s.fdCache[id]
+		// Symmetric distance, matching tryCompleteLocked: a cached block from
+		// the far future is as wrong as one from the far past.
+		age := ref - snap.Interval
+		if age < 0 {
+			age = -age
+		}
+		if age > s.cfg.Degraded.MaxStaleness {
+			continue
+		}
+		usable := len(snap.FlowIDs) > 0
+		for _, f := range snap.FlowIDs {
+			if f < 0 || f >= m || sketches[f] != nil {
+				usable = false
+				break
+			}
+		}
+		if !usable {
+			continue
+		}
+		for _, f := range snap.FlowIDs {
+			sketches[f] = fdCovered
+		}
+		blocks[id] = snap
+		if snap.Interval > cachedNewest {
+			cachedNewest = snap.Interval
+		}
+		filled += len(snap.FlowIDs)
+	}
+	return filled, cachedNewest
+}
+
 // fetchRound issues one sketch pull for the given missing flows and folds
 // every validated response that arrives before FetchTimeout into
-// sketches/means. A failed send or bad report from one monitor never aborts
-// the round — it is charged to that monitor's breaker and the others
+// sketches/means (randproj) or blocks (FD, with sketches as per-flow
+// coverage bookkeeping). A failed send or bad report from one monitor never
+// aborts the round — it is charged to that monitor's breaker and the others
 // proceed. Returns the number of monitors successfully asked.
-func (s *Service) fetchRound(sp *trace.Span, missing []int, sketches [][]float64, means []float64, newest *int64) int {
+func (s *Service) fetchRound(sp *trace.Span, missing []int, sketches [][]float64, means []float64, blocks map[string]core.SketchReport, newest *int64) int {
 	m := s.cfg.Detector.NumFlows
 	now := time.Now()
 
@@ -1184,6 +1305,15 @@ func (s *Service) fetchRound(sp *trace.Span, missing []int, sketches [][]float64
 				}
 				continue
 			}
+			if r.Report.Family != s.cfg.Detector.Family {
+				s.log.Warn("sketch report from wrong family", "monitor", r.MonitorID,
+					"family", r.Report.Family)
+				sp.Event("invalid_report", trace.S("monitor", r.MonitorID))
+				if s.breakerFailure(r.MonitorID) {
+					sp.Event("breaker_open", trace.S("monitor", r.MonitorID))
+				}
+				continue
+			}
 			ok := true
 			for _, f := range r.Report.FlowIDs {
 				if f < 0 || f >= m {
@@ -1199,9 +1329,18 @@ func (s *Service) fetchRound(sp *trace.Span, missing []int, sketches [][]float64
 				}
 				continue
 			}
-			for i, f := range r.Report.FlowIDs {
-				sketches[f] = r.Report.Sketches[i]
-				means[f] = r.Report.Means[i]
+			if blocks != nil {
+				for _, f := range r.Report.FlowIDs {
+					sketches[f] = fdCovered
+				}
+				blocks[r.MonitorID] = r.Report
+				s.fdCache[r.MonitorID] = r.Report
+			} else {
+				for i, f := range r.Report.FlowIDs {
+					sketches[f] = r.Report.Sketches[i]
+					means[f] = r.Report.Means[i]
+				}
+				s.cacheReport(&r.Report)
 			}
 			if r.Report.Interval > *newest {
 				*newest = r.Report.Interval
@@ -1209,7 +1348,6 @@ func (s *Service) fetchRound(sp *trace.Span, missing []int, sketches [][]float64
 			s.lastSketch[r.MonitorID] = r.Report.Interval
 			sp.Event("report", trace.S("monitor", r.MonitorID),
 				trace.I("sketch_interval", r.Report.Interval))
-			s.cacheReport(&r.Report)
 			if s.breakerSuccess(r.MonitorID) {
 				sp.Event("breaker_close", trace.S("monitor", r.MonitorID))
 			}

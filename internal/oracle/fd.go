@@ -1,0 +1,128 @@
+package oracle
+
+import (
+	"math"
+
+	"streampca/internal/mat"
+	"streampca/internal/sketch"
+)
+
+// CheckFD differentially validates a Frequent Directions snapshot against an
+// exact replay of the centered row stream its sketcher consumed. volumes is
+// the full trace (one row per interval, in feed order, every interval the
+// sketcher saw); the sketcher's columns are selected by snap.FlowIDs.
+//
+// Unlike the randproj checks, nothing here is probabilistic: FD carries the
+// deterministic guarantee ‖AᵀA − BᵀB‖₂ ≤ Δ ≤ ‖A‖²_F/ℓ over the centered
+// stream A, and the running means replay bit-for-bit. The checks, in order:
+//
+//   - fd-count-exact / fd-mean-exact: the snapshot's row count and running
+//     means match the replay (the exactness tier — catches drift bugs).
+//   - fd-guarantee: the sketch covariance BᵀB is within the accumulated
+//     shrinkage Δ of the exact AᵀA in spectral norm.
+//   - fd-delta-bound: Δ itself respects the worst-case ‖A‖²_F/ℓ budget.
+//
+// Both spectral checks allow a rounding slack proportional to ‖A‖²_F, since
+// the replay accumulates AᵀA in a different order than the blocked Gram
+// kernel.
+func CheckFD(volumes *mat.Matrix, snap sketch.Snapshot) Result {
+	var res Result
+	w := len(snap.FlowIDs)
+	if snap.Family != sketch.FamilyFD || w == 0 || snap.FDEll < 1 {
+		res.check("fd-snapshot", 1, 0,
+			"not a checkable FD snapshot (family %v, %d flows, ell %d)",
+			snap.Family, w, snap.FDEll)
+		return res
+	}
+	for _, id := range snap.FlowIDs {
+		if id < 0 || id >= volumes.Cols() {
+			res.check("fd-snapshot", 1, 0,
+				"flow %d outside the %d-column trace", id, volumes.Cols())
+			return res
+		}
+	}
+	rows := volumes.Rows()
+	if rows < 1 {
+		res.check("fd-snapshot", 1, 0, "empty trace")
+		return res
+	}
+
+	// Replay FD.Update's centering exactly: each row is centered by the
+	// running mean over the rows before it, then the raw row joins the sums.
+	sums := make([]float64, w)
+	row := make([]float64, w)
+	ata := mat.NewMatrix(w, w)
+	frob := 0.0
+	for i := 0; i < rows; i++ {
+		full := volumes.RowView(i)
+		for j, id := range snap.FlowIDs {
+			mean := 0.0
+			if i > 0 {
+				mean = sums[j] / float64(i)
+			}
+			row[j] = full[id] - mean
+		}
+		for j := 0; j < w; j++ {
+			cj := row[j]
+			frob += cj * cj
+			if cj == 0 {
+				continue
+			}
+			dst := ata.RowView(j)
+			for k := 0; k < w; k++ {
+				dst[k] += cj * row[k]
+			}
+		}
+		for j, id := range snap.FlowIDs {
+			sums[j] += full[id]
+		}
+	}
+
+	var count int64
+	if len(snap.Counts) > 0 {
+		count = snap.Counts[0]
+	}
+	res.check("fd-count-exact", math.Abs(float64(count-int64(rows))), 0,
+		"snapshot covers %d rows, replay fed %d", count, rows)
+	worstMean := 0.0
+	for j := range sums {
+		if e := relTo(snap.Means[j], sums[j]/float64(rows), 1); e > worstMean {
+			worstMean = e
+		}
+	}
+	res.check("fd-mean-exact", worstMean, 1e-9,
+		"running means diverge from the exact replay over %d rows", rows)
+
+	// BᵀB from the snapshot's basis rows, AᵀA − BᵀB in spectral norm.
+	b := mat.NewMatrix(len(snap.FDRows), w)
+	for i, r := range snap.FDRows {
+		copy(b.RowView(i), r)
+	}
+	diff := ata
+	if len(snap.FDRows) > 0 {
+		btb := b.Gram()
+		for i := 0; i < w; i++ {
+			dr, br := diff.RowView(i), btb.RowView(i)
+			for k := 0; k < w; k++ {
+				dr[k] -= br[k]
+			}
+		}
+	}
+	eig, err := mat.SymEigen(diff)
+	if err != nil {
+		res.Checks++
+		res.Violations = append(res.Violations, Violation{
+			Check: "fd-guarantee", Err: math.Inf(1), Bound: 0,
+			Detail: "difference eigendecomposition failed: " + err.Error(),
+		})
+		return res
+	}
+	spec := math.Max(math.Abs(eig.Values[0]), math.Abs(eig.Values[w-1]))
+	slack := 1e-9 * math.Max(frob, 1)
+	res.check("fd-guarantee", spec, snap.FDDelta+slack,
+		"‖AᵀA−BᵀB‖₂ %.6g vs Δ %.6g (ℓ=%d, %d basis rows, %d intervals)",
+		spec, snap.FDDelta, snap.FDEll, len(snap.FDRows), rows)
+	res.check("fd-delta-bound", snap.FDDelta, frob/float64(snap.FDEll)+slack,
+		"Δ %.6g vs ‖A‖²_F/ℓ = %.6g/%d", snap.FDDelta, frob, snap.FDEll)
+	return res
+}

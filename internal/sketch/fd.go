@@ -1,0 +1,277 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"streampca/internal/mat"
+	"streampca/internal/par"
+)
+
+// FD is a Frequent Directions sketcher (Liberty's algorithm, analyzed for
+// anomaly detection by Sharan/Gopalan/Wieder — PAPERS.md): it maintains a
+// buffer B of at most 2ℓ rows over the w assigned flows. Each interval's
+// volume vector is centered by the running stream mean and appended; when
+// the buffer fills, it is shrunk back to ℓ rows by the smallest retained
+// squared singular value δ: B ← diag(√(λᵢ−δ)/√λᵢ)·UᵀB for the top-ℓ
+// eigenpairs of B·Bᵀ. The accumulated Δ = Σδ yields the deterministic
+// guarantee ‖AᵀA − BᵀB‖₂ ≤ Δ ≤ ‖A‖²_F/ℓ over the centered row stream A.
+//
+// Unlike the variance-histogram sketch, FD summarizes the full stream prefix
+// — rows never expire. The shrink runs on the small side: B·Bᵀ is 2ℓ×2ℓ, so
+// one shrink costs O(ℓ²·w + ℓ³) via the blocked-tile Gram/Mul kernels and
+// the parallel Jacobi eigensolver, amortized over ℓ appends.
+//
+// FD is not safe for concurrent use; callers serialize.
+type FD struct {
+	flowIDs []int
+	ell     int
+	workers int
+	// buf is the 2ℓ×w row buffer; rows [0, used) are live.
+	buf  *mat.Matrix
+	used int
+	// delta is the accumulated shrinkage Δ.
+	delta float64
+	// Running mean state: sums[i] = Σ volumes[i], count = rows seen.
+	sums  []float64
+	count int64
+	now   int64
+	// rowScratch holds the centered row during Update.
+	rowScratch []float64
+}
+
+// NewFD validates cfg and allocates the row buffer.
+func NewFD(cfg Config) (*FD, error) {
+	if err := validateFlowIDs(cfg.FlowIDs); err != nil {
+		return nil, err
+	}
+	ell := cfg.Ell
+	if ell == 0 {
+		ell = DefaultEll(len(cfg.FlowIDs))
+	}
+	if ell < 1 {
+		return nil, fmt.Errorf("%w: fd ell %d", ErrConfig, ell)
+	}
+	w := len(cfg.FlowIDs)
+	return &FD{
+		flowIDs:    append([]int(nil), cfg.FlowIDs...),
+		ell:        ell,
+		workers:    par.Workers(cfg.Workers),
+		buf:        mat.NewMatrix(2*ell, w),
+		sums:       make([]float64, w),
+		rowScratch: make([]float64, w),
+	}, nil
+}
+
+// Family implements Sketcher.
+func (m *FD) Family() Family { return FamilyFD }
+
+// FlowIDs returns a copy of the assigned global flow indices.
+func (m *FD) FlowIDs() []int { return append([]int(nil), m.flowIDs...) }
+
+// NumFlows returns w, the number of flows this sketcher handles.
+func (m *FD) NumFlows() int { return len(m.flowIDs) }
+
+// Now returns the interval of the most recent update.
+func (m *FD) Now() int64 { return m.now }
+
+// Ell returns the basis budget ℓ.
+func (m *FD) Ell() int { return m.ell }
+
+// Delta returns the accumulated shrinkage Δ bounding ‖AᵀA − BᵀB‖₂.
+func (m *FD) Delta() float64 { return m.delta }
+
+// StateSize returns the number of live buffer rows (≤ 2ℓ).
+func (m *FD) StateSize() int { return m.used }
+
+// Update ingests the volumes of interval t; volumes[i] belongs to
+// FlowIDs()[i]. Intervals must be strictly increasing. The row is centered
+// by the running mean over all previously ingested intervals (the stream
+// analogue of the batch model's column centering) before insertion.
+func (m *FD) Update(t int64, volumes []float64) error {
+	if len(volumes) != len(m.flowIDs) {
+		return fmt.Errorf("%w: %d volumes for %d flows", ErrInput, len(volumes), len(m.flowIDs))
+	}
+	if t <= m.now {
+		return fmt.Errorf("%w: interval %d not after %d", ErrInput, t, m.now)
+	}
+	for i, v := range volumes {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite volume for flow %d", ErrInput, m.flowIDs[i])
+		}
+	}
+	// Center by the pre-update running mean so the very first row (mean 0 of
+	// an empty stream) is kept verbatim; the oracle replays this exactly.
+	for i, v := range volumes {
+		mean := 0.0
+		if m.count > 0 {
+			mean = m.sums[i] / float64(m.count)
+		}
+		m.rowScratch[i] = v - mean
+	}
+	if err := m.insertRow(m.rowScratch); err != nil {
+		return err
+	}
+	for i, v := range volumes {
+		m.sums[i] += v
+	}
+	m.count++
+	m.now = t
+	return nil
+}
+
+// insertRow appends one (already centered) row, shrinking when the buffer
+// fills.
+func (m *FD) insertRow(row []float64) error {
+	copy(m.buf.RowView(m.used), row)
+	m.used++
+	if m.used == 2*m.ell {
+		return m.shrink()
+	}
+	return nil
+}
+
+// shrink halves the full buffer: eigendecompose the small side B·Bᵀ
+// (2ℓ×2ℓ), drop δ = λ_ℓ from every retained squared singular value, and
+// rebuild the top-ℓ rows as scaled left-projections of B.
+func (m *FD) shrink() error {
+	// B·Bᵀ = (Bᵀ)ᵀ·(Bᵀ): the transpose feeds the blocked-tile Gram kernel,
+	// which exploits symmetry and shards across workers deterministically.
+	g := m.buf.T().GramWorkers(m.workers)
+	if !g.IsFinite() {
+		// Finite rows whose squared sums overflow float64; hostile payloads
+		// can construct this, so fail typed instead of via the eigensolver.
+		return fmt.Errorf("%w: fd shrink overflow (non-finite Gram product)", ErrInput)
+	}
+	eig, err := mat.SymEigenWorkers(g, m.workers)
+	if err != nil {
+		return fmt.Errorf("fd shrink eigendecomposition: %w", err)
+	}
+	delta := eig.Values[m.ell]
+	if delta < 0 {
+		delta = 0
+	}
+	// P = U_ℓᵀ·B (ℓ×w): row i is uᵢᵀB = σᵢ·vᵢᵀ, rescaled below to the
+	// shrunk singular value √(λᵢ−δ).
+	ut := mat.NewMatrix(m.ell, 2*m.ell)
+	for i := 0; i < m.ell; i++ {
+		for j := 0; j < 2*m.ell; j++ {
+			ut.Set(i, j, eig.Vectors.At(j, i))
+		}
+	}
+	p, err := ut.MulWorkers(m.buf, m.workers)
+	if err != nil {
+		return fmt.Errorf("fd shrink projection: %w", err)
+	}
+	w := len(m.flowIDs)
+	for i := 0; i < m.ell; i++ {
+		dst := m.buf.RowView(i)
+		lam := eig.Values[i]
+		if lam <= delta || lam <= 0 {
+			for j := 0; j < w; j++ {
+				dst[j] = 0
+			}
+			continue
+		}
+		scale := math.Sqrt((lam - delta) / lam)
+		src := p.RowView(i)
+		for j := 0; j < w; j++ {
+			dst[j] = scale * src[j]
+		}
+	}
+	for i := m.ell; i < 2*m.ell; i++ {
+		dst := m.buf.RowView(i)
+		for j := 0; j < w; j++ {
+			dst[j] = 0
+		}
+	}
+	m.used = m.ell
+	m.delta += delta
+	return nil
+}
+
+// Snapshot extracts the current buffer rows and running means.
+func (m *FD) Snapshot() Snapshot {
+	w := len(m.flowIDs)
+	rep := Snapshot{
+		Interval: m.now,
+		FlowIDs:  append([]int(nil), m.flowIDs...),
+		Means:    make([]float64, w),
+		Counts:   make([]int64, w),
+		Family:   FamilyFD,
+		FDRows:   make([][]float64, m.used),
+		FDDelta:  m.delta,
+		FDEll:    m.ell,
+	}
+	for i := 0; i < m.used; i++ {
+		rep.FDRows[i] = append([]float64(nil), m.buf.RowView(i)...)
+	}
+	if m.count > 0 {
+		for i := range rep.Means {
+			rep.Means[i] = m.sums[i] / float64(m.count)
+			rep.Counts[i] = m.count
+		}
+	}
+	return rep
+}
+
+// Absorb merges another FD sketch over the same flow set into this one (the
+// row-shard merge: both summarize disjoint subsets of the same row stream).
+// The merged sketch carries the standard additive guarantee: its Δ is the
+// sum of both inputs' Δ plus any shrinkage the merge itself triggers.
+func (m *FD) Absorb(snap Snapshot) error {
+	if snap.Family != FamilyFD {
+		return fmt.Errorf("%w: absorb of %v snapshot into fd", ErrInput, snap.Family)
+	}
+	if err := snap.Validate(m.ell); err != nil {
+		return err
+	}
+	if len(snap.FlowIDs) != len(m.flowIDs) {
+		return fmt.Errorf("%w: absorb across flow sets (%d vs %d flows)",
+			ErrInput, len(snap.FlowIDs), len(m.flowIDs))
+	}
+	for i, id := range snap.FlowIDs {
+		if id != m.flowIDs[i] {
+			return fmt.Errorf("%w: absorb flow mismatch at column %d (%d vs %d)",
+				ErrInput, i, id, m.flowIDs[i])
+		}
+	}
+	// Stage the scalar merges before touching the buffer so the overflow
+	// checks run on hostile payloads without poisoning state.
+	if d := m.delta + snap.FDDelta; math.IsInf(d, 0) || math.IsNaN(d) {
+		return fmt.Errorf("%w: absorb overflows Δ", ErrInput)
+	}
+	var c int64
+	if len(snap.Counts) > 0 {
+		c = snap.Counts[0]
+	}
+	sums := m.sums
+	if c > 0 {
+		sums = make([]float64, len(m.sums))
+		for i := range sums {
+			sums[i] = m.sums[i] + snap.Means[i]*float64(c)
+			if math.IsInf(sums[i], 0) || math.IsNaN(sums[i]) {
+				return fmt.Errorf("%w: absorb overflows mean sums", ErrInput)
+			}
+		}
+	}
+	// insertRow may shrink, growing m.delta; the snapshot's own Δ is added
+	// on top (the merged guarantee sums both inputs' Δ plus merge shrinkage).
+	for _, row := range snap.FDRows {
+		if err := m.insertRow(row); err != nil {
+			return err
+		}
+	}
+	m.delta += snap.FDDelta
+	if math.IsInf(m.delta, 0) || math.IsNaN(m.delta) {
+		return fmt.Errorf("%w: absorb overflows Δ", ErrInput)
+	}
+	m.sums = sums
+	if c > 0 {
+		m.count += c
+	}
+	if snap.Interval > m.now {
+		m.now = snap.Interval
+	}
+	return nil
+}

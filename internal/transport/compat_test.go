@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/gob"
 	"testing"
+
+	"streampca/internal/core"
+	"streampca/internal/sketch"
 )
 
 // legacyEnvelope mirrors the pre-TraceContext wire frame: same payload
@@ -121,5 +124,122 @@ func TestTraceContextOverConn(t *testing.T) {
 	}
 	if env.Trace != nil {
 		t.Fatalf("untraced frame carries context: %+v", env.Trace)
+	}
+}
+
+// legacyHello and legacySketchReport mirror the pre-Family wire structs: a
+// Hello without the Family field and a sketch snapshot without the FD
+// payload. They stand in for a monitor built from an older checkout during a
+// family rollout.
+type legacyHello struct {
+	MonitorID string
+	FlowIDs   []int
+	SketchLen int
+	WindowLen int
+	Seed      uint64
+}
+
+type legacySketchReport struct {
+	Interval int64
+	FlowIDs  []int
+	Sketches [][]float64
+	Means    []float64
+	Counts   []int64
+	Buckets  []int
+}
+
+type legacySketchResponse struct {
+	RequestID uint64
+	MonitorID string
+	Report    legacySketchReport
+}
+
+// TestFamilyFieldOldToNewPeer: frames from a pre-Family monitor must decode
+// on the current NOC as the randproj family (the enum's zero value) with the
+// snapshot passing validation — the rollout invariant that lets families be
+// deployed one monitor at a time.
+func TestFamilyFieldOldToNewPeer(t *testing.T) {
+	old := struct {
+		Hello    *legacyHello
+		Response *legacySketchResponse
+	}{
+		Hello: &legacyHello{MonitorID: "m3", FlowIDs: []int{0, 1}, SketchLen: 2, WindowLen: 8, Seed: 7},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&old); err != nil {
+		t.Fatal(err)
+	}
+	var got Envelope
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode legacy hello: %v", err)
+	}
+	if got.Hello == nil || got.Hello.Family != sketch.FamilyRandProj {
+		t.Fatalf("legacy hello family = %+v, want randproj zero value", got.Hello)
+	}
+
+	buf.Reset()
+	resp := legacySketchResponse{RequestID: 1, MonitorID: "m3", Report: legacySketchReport{
+		Interval: 4, FlowIDs: []int{0, 1},
+		Sketches: [][]float64{{1, 2}, {3, 4}},
+		Means:    []float64{5, 6}, Counts: []int64{4, 4}, Buckets: []int{3, 3},
+	}}
+	if err := gob.NewEncoder(&buf).Encode(&struct{ Response *legacySketchResponse }{&resp}); err != nil {
+		t.Fatal(err)
+	}
+	got = Envelope{}
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode legacy response: %v", err)
+	}
+	if got.Response == nil || got.Response.Report.Family != sketch.FamilyRandProj {
+		t.Fatalf("legacy report family = %+v", got.Response)
+	}
+	if err := got.Response.Report.Validate(2); err != nil {
+		t.Fatalf("legacy report failed validation: %v", err)
+	}
+}
+
+// TestFDSnapshotOverConn: an FD snapshot (the new wire fields) survives the
+// live transport intact and an old peer decoding the same frame keeps the
+// fields it knows while dropping the FD payload cleanly.
+func TestFDSnapshotOverConn(t *testing.T) {
+	rep := core.SketchReport{
+		Interval: 9, FlowIDs: []int{2, 5},
+		Means: []float64{10, 20}, Counts: []int64{9, 9},
+		Family:  sketch.FamilyFD,
+		FDRows:  [][]float64{{1, -1}, {0.5, 0.25}},
+		FDDelta: 3.5, FDEll: 2,
+	}
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		_ = a.Send(Envelope{Response: &SketchResponse{RequestID: 8, MonitorID: "fd1", Report: rep}})
+	}()
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := env.Response.Report
+	if got.Family != sketch.FamilyFD || got.FDEll != 2 || got.FDDelta != 3.5 || len(got.FDRows) != 2 {
+		t.Fatalf("FD payload mangled in transit: %+v", got)
+	}
+	if err := got.Validate(2); err != nil {
+		t.Fatalf("validate after transit: %v", err)
+	}
+
+	// Old peer direction: the frame decodes into the legacy shape, keeping
+	// the shared fields.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&Envelope{
+		Response: &SketchResponse{RequestID: 8, MonitorID: "fd1", Report: rep},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var old struct{ Response *legacySketchResponse }
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("old peer failed to decode fd frame: %v", err)
+	}
+	if old.Response == nil || old.Response.Report.Interval != 9 || len(old.Response.Report.Means) != 2 {
+		t.Fatalf("shared fields mangled for old peer: %+v", old.Response)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"streampca/internal/core"
+	"streampca/internal/sketch"
 )
 
 // Errors returned by the package.
@@ -31,10 +32,18 @@ type Hello struct {
 	// FlowIDs lists the global flow indices the monitor owns.
 	FlowIDs []int
 	// SketchLen and WindowLen let the NOC verify configuration agreement.
+	// SketchLen carries the family's sketch parameter: l for randproj, the
+	// basis budget ℓ for FD.
 	SketchLen int
 	WindowLen int
-	// Seed lets the NOC verify the shared randomness agreement.
+	// Seed lets the NOC verify the shared randomness agreement (randproj
+	// only; FD monitors send 0).
 	Seed uint64
+	// Family is the sketcher family the monitor runs. Wire compatibility:
+	// the zero value is randproj, so a Hello from a monitor built before the
+	// field existed decodes as randproj (gob omits zero and unknown fields),
+	// and an old NOC decoding a new randproj Hello sees an identical message.
+	Family sketch.Family
 }
 
 // VolumeReport carries one interval's volumes for a monitor's flows

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Runs the tracked benchmark cells — the kernel worker sweeps (Gram, Mul,
-# SymEigen, MonitorUpdate at workers 1/2/4/8), the ingest benchmarks
-# (IngestDecode, IngestPipeline at 1/2/4 shards, IngestCollectors at 1/2/4/8
-# concurrent producers) and the PR6 tracing cells (TracedSketchUpdate at
-# mode=base/off/on) — and writes BENCH_PR7.json at the repo root: one record
-# per cell with the median ns/op over COUNT runs.
+# SymEigen, MonitorUpdate at workers 1/2/4/8), the PR8 sketcher-family cells
+# (FDUpdate, FDModelBuild, RSVDBuild at m=64/256, workers 1/4), the ingest
+# benchmarks (IngestDecode, IngestPipeline at 1/2/4 shards, IngestCollectors
+# at 1/2/4/8 concurrent producers) and the PR6 tracing cells
+# (TracedSketchUpdate at mode=base/off/on) — and writes BENCH_PR8.json at the
+# repo root: one record per cell with the median ns/op over COUNT runs.
 #
 # Usage: scripts/bench.sh [-count N] [-benchtime D] [-cpuprofile]
 #
@@ -40,7 +41,7 @@ while [ $# -gt 0 ]; do
   esac
 done
 
-KERNEL_BENCH='BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/'
+KERNEL_BENCH='BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/|BenchmarkFDUpdate/|BenchmarkFDModelBuild/|BenchmarkRSVDBuild/'
 INGEST_BENCH='BenchmarkIngestDecode$|BenchmarkIngestPipeline/|BenchmarkIngestCollectors/'
 
 if [ "$PROFILE" = "1" ]; then
@@ -83,7 +84,7 @@ for _ in $(seq "$COUNT"); do
     -benchtime 5000x | tee -a "$RAW" >&2
 done
 
-python3 - "$RAW" <<'EOF' > BENCH_PR7.json
+python3 - "$RAW" <<'EOF' > BENCH_PR8.json
 import json, re, statistics, sys
 
 # Benchmark lines look like (the -N GOMAXPROCS suffix is absent when
@@ -92,7 +93,7 @@ import json, re, statistics, sys
 #   BenchmarkMul/shape=200x1024x256/workers=4   50   2345678 ns/op
 #   BenchmarkIngestCollectors/collectors=8-8  1000      9107 ns/op ...
 kernel = re.compile(
-    r'^Benchmark(Gram|SymEigen|MonitorUpdate)/'
+    r'^Benchmark(Gram|SymEigen|MonitorUpdate|FDUpdate|FDModelBuild|RSVDBuild)/'
     r'(?:m|flows)=(\d+)/workers=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 # Mul carries its shape in the op name; m records the inner dimension.
 mul = re.compile(
@@ -137,4 +138,4 @@ json.dump(records, sys.stdout, indent=2)
 print()
 EOF
 
-echo "wrote BENCH_PR7.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR7.json"))))') cells)" >&2
+echo "wrote BENCH_PR8.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR8.json"))))') cells)" >&2

@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
 # Guards the tracked benchmarks — the kernel worker sweeps (Gram, Mul,
-# SymEigen, MonitorUpdate), the ingest cells (IngestDecode, IngestPipeline,
+# SymEigen, MonitorUpdate), the PR8 sketcher-family cells (FDUpdate,
+# FDModelBuild, RSVDBuild), the ingest cells (IngestDecode, IngestPipeline,
 # IngestCollectors) and the PR6 tracing cells (TracedSketchUpdate at
 # mode=base/off/on) — against performance regressions: re-runs each cell
 # BENCHCHECK_COUNT times, takes the per-cell minimum (least-noise estimate),
 # and fails when any cell is more than BENCHCHECK_TOLERANCE percent slower
-# than the recorded median in BENCH_PR7.json (written by scripts/bench.sh on
+# than the recorded median in BENCH_PR8.json (written by scripts/bench.sh on
 # the reference host).
 #
 # The tracing cells additionally gate the disabled-tracing overhead: the
@@ -22,6 +23,13 @@
 # print a skip line — the sweep still runs, guarding against overhead
 # regressions via the plain tolerance gate above.
 #
+# The FD-retrain gate (PR8) is also within-run: the single-worker FD model
+# build at m=256 (per-block 2l x 2l eigensolves) must beat the Jacobi full
+# rebuild at the same m — Gram + SymEigen, both at m=256/workers=1 — by
+# BENCHCHECK_FD_SPEEDUP x. This is the retrain-cost claim the FD family
+# rides on; tiny runners (< 2 CPUs), where single-iteration cells are too
+# noisy to trust a ratio, print a skip line instead.
+#
 # Environment:
 #   BENCHCHECK_COUNT            runs per cell (default 3)
 #   BENCHCHECK_TOLERANCE        allowed slowdown in percent (default 20)
@@ -31,6 +39,8 @@
 #                               (default 2.0; needs >= 4 CPUs)
 #   BENCHCHECK_INGEST_SPEEDUP   required 8-vs-1-collector ingest speedup
 #                               (default 4.0; needs >= 8 CPUs)
+#   BENCHCHECK_FD_SPEEDUP       required FD-retrain-vs-Jacobi-rebuild speedup
+#                               at m=256 (default 2.0; needs >= 2 CPUs)
 #   BENCHCHECK_SCALING=0        disable the scaling gates regardless of cores
 #   SKIP_BENCHCHECK=1           skip entirely (e.g. on known-noisy hosts)
 #
@@ -44,8 +54,8 @@ if [ "${SKIP_BENCHCHECK:-0}" = "1" ]; then
     echo "benchcheck: skipped (SKIP_BENCHCHECK=1)"
     exit 0
 fi
-if [ ! -f BENCH_PR7.json ]; then
-    echo "benchcheck: no BENCH_PR7.json baseline; run scripts/bench.sh first" >&2
+if [ ! -f BENCH_PR8.json ]; then
+    echo "benchcheck: no BENCH_PR8.json baseline; run scripts/bench.sh first" >&2
     exit 1
 fi
 
@@ -54,15 +64,16 @@ TOLERANCE="${BENCHCHECK_TOLERANCE:-20}"
 TRACE_TOLERANCE="${BENCHCHECK_TRACE_TOLERANCE:-5}"
 GRAM_SPEEDUP="${BENCHCHECK_GRAM_SPEEDUP:-2.0}"
 INGEST_SPEEDUP="${BENCHCHECK_INGEST_SPEEDUP:-4.0}"
+FD_SPEEDUP="${BENCHCHECK_FD_SPEEDUP:-2.0}"
 SCALING="${BENCHCHECK_SCALING:-1}"
 NPROC="$(nproc 2>/dev/null || echo 1)"
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR7.json, trace overhead <= ${TRACE_TOLERANCE}%"
+echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR8.json, trace overhead <= ${TRACE_TOLERANCE}%"
 go test . -run 'XXXnone' \
-    -bench 'BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/' \
+    -bench 'BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/|BenchmarkFDUpdate/|BenchmarkFDModelBuild/|BenchmarkRSVDBuild/' \
     -benchtime 1x -count "$COUNT" > "$RAW"
 # One ingest iteration is a single ~µs datagram and the shard queues
 # buffer up to 1024 of them, so these cells measure 20000 iterations per
@@ -86,11 +97,11 @@ while [ "$i" -lt "$COUNT" ]; do
 done
 
 python3 - "$RAW" "$TOLERANCE" "$TRACE_TOLERANCE" \
-    "$GRAM_SPEEDUP" "$INGEST_SPEEDUP" "$SCALING" "$NPROC" <<'EOF'
+    "$GRAM_SPEEDUP" "$INGEST_SPEEDUP" "$SCALING" "$NPROC" "$FD_SPEEDUP" <<'EOF'
 import json, re, sys
 
 kernel = re.compile(
-    r'^Benchmark(Gram|SymEigen|MonitorUpdate)/'
+    r'^Benchmark(Gram|SymEigen|MonitorUpdate|FDUpdate|FDModelBuild|RSVDBuild)/'
     r'(?:m|flows)=(\d+)/workers=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 mul = re.compile(
     r'^BenchmarkMul/shape=\d+x(\d+)x\d+/workers=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
@@ -123,7 +134,7 @@ for line in open(sys.argv[1]):
 
 baseline = {
     (r["op"], r["m"], r["workers"]): r["ns_op"]
-    for r in json.load(open("BENCH_PR7.json"))
+    for r in json.load(open("BENCH_PR8.json"))
 }
 tolerance = float(sys.argv[2])
 trace_tolerance = float(sys.argv[3])
@@ -131,6 +142,7 @@ gram_speedup = float(sys.argv[4])
 ingest_speedup = float(sys.argv[5])
 scaling = sys.argv[6] == "1"
 nproc = int(sys.argv[7])
+fd_speedup = float(sys.argv[8])
 
 failed = False
 for key in sorted(set(cells) | set(baseline)):
@@ -194,6 +206,33 @@ gate("Gram scaling 4w vs 1w at m=256",
      ("Gram", 256, 1), ("Gram", 256, 4), 4, gram_speedup)
 gate("ingest scaling 8 vs 1 collectors",
      ("IngestCollectors", 0, 1), ("IngestCollectors", 0, 8), 8, ingest_speedup)
+
+# FD-retrain gate (PR8): the single-worker FD model build at m=256 must beat
+# the Jacobi full rebuild at the same m, composed within this run from its
+# two tracked kernels (Gram over the 200x256 sketch matrix + the 256x256
+# eigensolve). Within-run and single-worker on both sides, so host speed and
+# core count cancel; tiny runners still skip — their 1x-benchtime cells are
+# too noisy for a trustworthy ratio.
+label = "FD retrain vs Jacobi rebuild at m=256"
+if not scaling:
+    print("benchcheck: %s skipped (BENCHCHECK_SCALING=0)" % label)
+elif nproc < 2:
+    print("benchcheck: %s skipped (host has %d cores, need >= 2)"
+          % (label, nproc))
+else:
+    gram = cells.get(("Gram", 256, 1))
+    eigen = cells.get(("SymEigen", 256, 1))
+    fd = cells.get(("FDModelBuild", 256, 1))
+    if not gram or not eigen or not fd:
+        print("benchcheck: %s not measured (cells missing)" % label)
+    else:
+        speedup = (min(gram) + min(eigen)) / min(fd)
+        verdict = "ok"
+        if speedup < fd_speedup:
+            verdict = "FAILED"
+            failed = True
+        print("benchcheck: %s %.2fx (required %.2fx) %s"
+              % (label, speedup, fd_speedup, verdict))
 
 if failed:
     print("benchcheck: FAILED (>%g%% regression or scaling gate miss; rerun "

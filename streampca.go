@@ -46,6 +46,7 @@ package streampca
 import (
 	"streampca/internal/core"
 	"streampca/internal/randproj"
+	"streampca/internal/sketch"
 )
 
 // Re-exported core types: these aliases are the library's public API; the
@@ -71,6 +72,12 @@ type (
 	FetchFunc = core.FetchFunc
 	// RankMode selects how the normal-subspace size is chosen.
 	RankMode = core.RankMode
+	// SketchFamily selects the streaming-summary implementation monitors
+	// run (random projection or Frequent Directions).
+	SketchFamily = sketch.Family
+	// ModelBuilder selects how the NOC decomposes the sketch matrix
+	// (Jacobi Gram eigensolve or randomized range-finder SVD).
+	ModelBuilder = core.ModelBuilder
 	// Cluster wires monitors and a detector in-process.
 	Cluster = core.Cluster
 	// ClusterConfig configures a Cluster.
@@ -94,6 +101,26 @@ const (
 	RankThreeSigma = core.RankThreeSigma
 	// RankEnergy retains a configured fraction of spectral energy.
 	RankEnergy = core.RankEnergy
+)
+
+// Sketcher families (-sketcher flag spellings via ParseSketchFamily).
+const (
+	// FamilyRandProj is the paper's random projection over per-flow
+	// variance histograms — sliding-window semantics, probabilistic
+	// (Theorem 2) error bound. The zero value.
+	FamilyRandProj = sketch.FamilyRandProj
+	// FamilyFD is Frequent Directions — full-prefix semantics,
+	// deterministic ‖AᵀA − BᵀB‖₂ ≤ Δ bound in O(ℓ·w) space.
+	FamilyFD = sketch.FamilyFD
+)
+
+// Model builders (-modelbuilder flag spellings via ParseModelBuilder).
+const (
+	// BuildJacobi eigendecomposes the m×m sketch Gram matrix (exact; the
+	// default).
+	BuildJacobi = core.BuildJacobi
+	// BuildRSVD runs the randomized range-finder SVD on the sketch matrix.
+	BuildRSVD = core.BuildRSVD
 )
 
 // Random-projection families (paper §V-B).
@@ -137,4 +164,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 // generator all monitors and the NOC must agree on.
 func NewSketchGenerator(cfg SketchConfig) (*SketchGenerator, error) {
 	return randproj.NewGenerator(cfg)
+}
+
+// ParseSketchFamily maps a -sketcher flag spelling ("randproj", "fd", or
+// empty for the default) to a SketchFamily.
+func ParseSketchFamily(s string) (SketchFamily, error) {
+	return sketch.ParseFamily(s)
+}
+
+// ParseModelBuilder maps a -modelbuilder flag spelling ("jacobi", "rsvd", or
+// empty for the default) to a ModelBuilder.
+func ParseModelBuilder(s string) (ModelBuilder, error) {
+	return core.ParseModelBuilder(s)
 }
