@@ -59,10 +59,10 @@ step "go test -race ./..."
 go test -race ./...
 step_done
 
-# The chaos e2e suite (fault-injected NOC/monitor deployments, including the
-# trace-lineage e2e) is where the retry, breaker and reconnect goroutines
-# actually contend; run it under the race detector explicitly so a -run
-# filter change elsewhere can't drop it. CHAOS_FLIGHT_DIR redirects the
+# The chaos e2e suite (fault-injected NOC/monitor deployments, the
+# trace-lineage e2e, and the PR9 aggregator-failover scenario) is where the
+# retry, breaker and reconnect goroutines actually contend; run it under the
+# race detector explicitly so a -run filter change elsewhere can't drop it. CHAOS_FLIGHT_DIR redirects the
 # suite's flight-recorder JSONL to a kept directory; on failure the audit
 # records are dumped so the workflow can collect them as artifacts.
 step "go test -race chaos e2e"
@@ -80,6 +80,16 @@ if ! go test -race -run 'TestChaos' ./internal/noc/ ./cmd/sketchpca-monitor/; th
     exit 1
 fi
 unset CHAOS_FLIGHT_DIR
+step_done
+
+# The federated differential e2e is the correctness bar of the PR9
+# aggregator tier: a 3-aggregator topology must produce byte-identical
+# alarm decisions to the flat NOC (randproj exactly; FD in the
+# one-monitor-per-aggregator pass-through configuration). Run it explicitly
+# so the merge path is gated even if someone narrows the package test
+# filters above.
+step "go test -race federated differential e2e"
+go test -race -run 'TestFederated' ./internal/noc/
 step_done
 
 # Fuzz smokes: ten seconds of coverage-guided input on each hostile decoder
@@ -109,7 +119,7 @@ step "bench smoke (1 iteration per benchmark)"
 go test . ./internal/... -run 'XXXnone' -bench . -benchtime 1x > /dev/null
 step_done
 
-step "benchcheck (vs BENCH_PR8.json)"
+step "benchcheck (vs BENCH_PR9.json)"
 sh scripts/benchcheck.sh
 step_done
 

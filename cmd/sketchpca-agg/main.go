@@ -1,0 +1,150 @@
+// Command sketchpca-agg runs a mid-tier aggregator daemon of the federated
+// topology: it fronts a shard of local monitors exactly like a NOC (Hello
+// registrations, per-interval volume reports, sketch pulls) and presents the
+// shard to the real NOC as one monitor whose flows are the union of its
+// monitors' and whose sketch responses are interval-aligned merges
+// (sketch.Merge — lossless column union for randproj, deterministic-bound
+// re-insertion for fd).
+//
+// Usage:
+//
+//	sketchpca-agg -listen 127.0.0.1:7201 -noc 127.0.0.1:7100 \
+//	    -id agg-east -flows 81 -window 4032 -sketch 200 -seed 42 \
+//	    -peers 127.0.0.1:7201,127.0.0.1:7202,127.0.0.1:7203
+//
+// -window, -sketch, -sketcher and (randproj only) -seed must match both the
+// NOC's and the monitors'. -peers lists every aggregator fronting the same
+// NOC (including this one); it is pushed to registering monitors so they can
+// re-place themselves by rendezvous hashing if this aggregator dies.
+// Monitors pick their aggregator with sketchpca-monitor -aggs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"streampca/internal/agg"
+	"streampca/internal/obs"
+	sketchpkg "streampca/internal/sketch"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sketchpca-agg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sketchpca-agg", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:7200", "listen address for downstream monitors")
+		nocAddr  = fs.String("noc", "127.0.0.1:7100", "upstream NOC address")
+		id       = fs.String("id", "agg-1", "aggregator identifier (the monitor id the NOC sees)")
+		flows    = fs.Int("flows", 81, "network-wide number of aggregated flows (m)")
+		window   = fs.Int("window", 4032, "sliding-window length in intervals (n)")
+		sketch   = fs.Int("sketch", 200, "sketch length (l for -sketcher randproj, basis budget ℓ for fd)")
+		family   = fs.String("sketcher", "randproj", "sketcher family: randproj or fd (must match NOC and monitors)")
+		seed     = fs.Uint64("seed", 42, "shared randomness seed (randproj only)")
+		peersStr = fs.String("peers", "", "comma-separated aggregator candidate addresses (incl. this one) pushed to monitors for failover")
+		epoch    = fs.Uint64("shard-epoch", 1, "version of the pushed candidate list (bump when -peers changes)")
+		workers  = fs.Int("workers", 0, "worker goroutines for the sketch-merge path (0 = all CPUs)")
+		dialTO   = fs.Duration("dial-timeout", 5*time.Second, "NOC dial timeout")
+		fetchTO  = fs.Duration("fetch-timeout", 2*time.Second, "timeout for one downstream sketch-pull round")
+		retries  = fs.Int("fetch-retries", 1, "extra downstream pull rounds re-requesting missing responses")
+		backoff  = fs.Duration("fetch-backoff", 50*time.Millisecond, "initial retry backoff (doubles per round, jittered)")
+		backoffM = fs.Duration("fetch-backoff-max", time.Second, "retry backoff cap")
+		degraded = fs.Bool("degraded", true, "serve unresponsive monitors' flows from cached snapshots (flagged upstream)")
+		maxStale = fs.Int64("max-staleness", 0, "degraded mode: max snapshot age in intervals (0 = window/4)")
+		pendIntv = fs.Int("pending-intervals", 8, "partially-reported intervals buffered for the merged volume forward")
+		reconn   = fs.Bool("reconnect", true, "redial the NOC automatically when the link drops")
+		reconnB  = fs.Duration("reconnect-backoff", 200*time.Millisecond, "initial redial backoff (doubles per attempt)")
+		reconnM  = fs.Duration("reconnect-backoff-max", 5*time.Second, "redial backoff cap")
+		metrics  = fs.String("metrics-addr", "", "serve /metrics and /healthz on this address (off when empty)")
+		statsEvr = fs.Duration("stats-every", 0, "log a one-line stats summary at this period (off when 0)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fam, err := sketchpkg.ParseFamily(*family)
+	if err != nil {
+		return fmt.Errorf("-sketcher: %w", err)
+	}
+	var peers []string
+	if strings.TrimSpace(*peersStr) != "" {
+		for _, p := range strings.Split(*peersStr, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+	}
+	staleness := *maxStale
+	if staleness == 0 {
+		staleness = int64(*window / 4)
+	}
+
+	svc, err := agg.New(agg.Config{
+		ID:                  *id,
+		Family:              fam,
+		NumFlows:            *flows,
+		WindowLen:           *window,
+		SketchLen:           *sketch,
+		Seed:                *seed,
+		Workers:             *workers,
+		Peers:               peers,
+		ShardEpoch:          *epoch,
+		FetchTimeout:        *fetchTO,
+		FetchRetries:        *retries,
+		FetchBackoff:        *backoff,
+		FetchBackoffMax:     *backoffM,
+		Degraded:            agg.DegradedPolicy{Enabled: *degraded, MaxStaleness: staleness},
+		MaxPendingIntervals: *pendIntv,
+		Reconnect:           *reconn,
+		ReconnectBackoff:    *reconnB,
+		ReconnectBackoffMax: *reconnM,
+		Log:                 obs.NewLogger(os.Stderr, slog.LevelInfo, "agg"),
+		MetricsAddr:         *metrics,
+	})
+	if err != nil {
+		return err
+	}
+	if err := svc.Serve(*listen); err != nil {
+		return err
+	}
+	if err := svc.ConnectNOC(*nocAddr, *dialTO); err != nil {
+		_ = svc.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sketchpca-agg: %s listening on %s, upstream %s (m=%d n=%d sketch=%d family=%s peers=%d)\n",
+		*id, svc.Addr(), *nocAddr, *flows, *window, *sketch, fam, len(peers))
+
+	stopStats := make(chan struct{})
+	if *statsEvr > 0 {
+		go func() {
+			ticker := time.NewTicker(*statsEvr)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					svc.LogSummary()
+				case <-stopStats:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "sketchpca-agg: shutting down")
+	close(stopStats)
+	svc.LogSummary()
+	return svc.Close()
+}

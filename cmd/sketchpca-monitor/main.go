@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"streampca/internal/agg"
 	"streampca/internal/flow"
 	"streampca/internal/ingest"
 	"streampca/internal/monitor"
@@ -61,6 +62,7 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 	fs := flag.NewFlagSet("sketchpca-monitor", flag.ContinueOnError)
 	var (
 		nocAddr = fs.String("noc", "127.0.0.1:7100", "NOC address")
+		aggsStr = fs.String("aggs", "", "comma-separated aggregator candidate addresses; when set the monitor registers with its rendezvous-preferred aggregator instead of -noc (federated topology)")
 		id      = fs.String("id", "monitor-1", "monitor identifier")
 		flowStr = fs.String("flows", "", "comma-separated global flow ids owned by this monitor")
 		colStr  = fs.String("columns", "", "comma-separated stdin CSV columns feeding those flows (defaults to -flows)")
@@ -136,6 +138,14 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 	if err != nil {
 		return fmt.Errorf("-sketcher: %w", err)
 	}
+	var aggs []string
+	if strings.TrimSpace(*aggsStr) != "" {
+		for _, a := range strings.Split(*aggsStr, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				aggs = append(aggs, a)
+			}
+		}
+	}
 	svc, err := monitor.New(monitor.Config{
 		ID:                  *id,
 		Family:              fam,
@@ -149,6 +159,7 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 		Reconnect:           *reconn,
 		ReconnectBackoff:    *reconnB,
 		ReconnectBackoffMax: *reconnM,
+		Candidates:          aggs,
 		Log:                 obs.NewLogger(os.Stderr, slog.LevelInfo, "monitor"),
 		MetricsAddr:         *metrics,
 		Trace:               tracer,
@@ -165,7 +176,25 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 	if err != nil {
 		return err
 	}
-	if err := svc.Connect(*nocAddr, *dialTO); err != nil {
+	// With -aggs, dial the rendezvous order for this monitor's ID so every
+	// monitor independently lands on its agreed aggregator; otherwise the
+	// classic flat topology dials the NOC directly.
+	upstream := *nocAddr
+	if len(aggs) > 0 {
+		var dialErr error
+		connected := false
+		for _, addr := range agg.Rendezvous(*id, aggs) {
+			if dialErr = svc.Connect(addr, *dialTO); dialErr == nil {
+				upstream = addr
+				connected = true
+				break
+			}
+			fmt.Fprintf(os.Stderr, "%s: aggregator %s unavailable: %v\n", *id, addr, dialErr)
+		}
+		if !connected {
+			return fmt.Errorf("no aggregator reachable: %w", dialErr)
+		}
+	} else if err := svc.Connect(upstream, *dialTO); err != nil {
 		return err
 	}
 	defer func() { _ = svc.Close() }()
@@ -173,7 +202,7 @@ func run(args []string, in io.Reader, shutdown <-chan os.Signal) error {
 	if *ingListen != "" {
 		feed = "live ingest"
 	}
-	fmt.Fprintf(os.Stderr, "%s: connected to %s, feeding %d flows from %s\n", *id, *nocAddr, len(flows), feed)
+	fmt.Fprintf(os.Stderr, "%s: connected to %s, feeding %d flows from %s\n", *id, upstream, len(flows), feed)
 	if addr := svc.DiagAddr(); addr != "" {
 		fmt.Fprintf(os.Stderr, "%s: diagnostics on http://%s/metrics\n", *id, addr)
 	}

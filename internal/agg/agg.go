@@ -1,0 +1,1060 @@
+// Package agg implements the mid-tier aggregator of the federated topology:
+// a daemon that owns one shard of the flow space, fronting a set of local
+// monitors exactly like a NOC (registrations, volume reports, sketch pulls)
+// while presenting itself to the real NOC exactly like one big monitor.
+//
+// The tier rests on sketch linearity (Theorem 1): Ẑ = (1/√l)·RᵀY is linear
+// in the data, so sketches over disjoint flow shards merge losslessly by
+// column union (randproj) or with a composed deterministic bound (FD, see
+// sketch.Merge). Per interval the aggregator forwards upward one merged
+// volume report and, on demand, one merged sketch — the root NOC's fetch
+// path, circuit breakers, degraded mode and tracing all work unchanged
+// because the aggregator speaks the existing monitor wire protocol, only
+// tagging its Hello with transport.RoleAggregator.
+//
+// Fault model: a dead downstream monitor is served from the aggregator's
+// snapshot cache (the response is tagged Degraded/StaleFlows, which the NOC
+// folds into core.Fetch); a dead aggregator's monitors re-place themselves
+// onto surviving candidates via the ShardMap it pushed (Rendezvous), and the
+// survivor re-announces its grown flow union with a repeat Hello on its live
+// NOC connection.
+package agg
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"streampca/internal/core"
+	"streampca/internal/obs"
+	"streampca/internal/sketch"
+	"streampca/internal/transport"
+)
+
+// Errors returned by the package.
+var (
+	// ErrConfig indicates an invalid service configuration.
+	ErrConfig = errors.New("agg: invalid configuration")
+	// ErrNotConnected indicates an operation requiring a live NOC link.
+	ErrNotConnected = errors.New("agg: not connected")
+	// ErrAlreadyConnected indicates a second ConnectNOC/AttachNOC.
+	ErrAlreadyConnected = errors.New("agg: already connected")
+)
+
+// DegradedPolicy mirrors the NOC's: substitute an unresponsive monitor's
+// cached snapshot into the merge when it is no staler than MaxStaleness
+// intervals (symmetric distance) from the fetch reference point.
+type DegradedPolicy struct {
+	Enabled      bool
+	MaxStaleness int64
+}
+
+// Config parameterizes an aggregator service.
+type Config struct {
+	// ID names the aggregator; it is the MonitorID the NOC sees.
+	ID string
+	// Family, NumFlows, WindowLen, SketchLen and Seed must agree with the
+	// NOC's detector configuration; monitors are validated against them on
+	// registration exactly as the NOC would. SketchLen carries the family's
+	// sketch parameter (l for randproj, the basis budget ℓ for FD).
+	Family    sketch.Family
+	NumFlows  int
+	WindowLen int
+	SketchLen int
+	Seed      uint64
+	// Workers bounds the goroutines sketch.Merge shards FD rebuild work
+	// across; 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Peers is the full list of aggregator candidate addresses fronting the
+	// same NOC (including this one's advertised address). It is pushed to
+	// every registering monitor as a transport.ShardMap so monitors can
+	// re-place themselves when this aggregator dies. Empty disables the
+	// push (single-aggregator or test topologies).
+	Peers []string
+	// ShardEpoch versions the pushed map; monitors keep the highest epoch
+	// seen. Defaults to 1 when Peers is set.
+	ShardEpoch uint64
+	// FetchTimeout bounds one downstream sketch-pull round (default 2s);
+	// FetchRetries extra rounds re-ask only the missing monitors, with
+	// capped exponential backoff between rounds (defaults 0, 50ms, 1s).
+	FetchTimeout    time.Duration
+	FetchRetries    int
+	FetchBackoff    time.Duration
+	FetchBackoffMax time.Duration
+	// Degraded controls cached-snapshot substitution for unresponsive
+	// monitors.
+	Degraded DegradedPolicy
+	// MaxPendingIntervals bounds partially-reported intervals held for the
+	// merged volume forward (default 8; oldest is dropped).
+	MaxPendingIntervals int
+	// Reconnect enables automatic redial of the NOC link with capped
+	// exponential backoff (defaults 200ms, 5s). Unlike a leaf monitor, an
+	// aggregator retries even after an explicit NOC rejection: a flow-claim
+	// conflict during a re-shard clears once the stale owner drops.
+	Reconnect           bool
+	ReconnectBackoff    time.Duration
+	ReconnectBackoffMax time.Duration
+	// Obs is the metrics registry the service instruments into; nil creates
+	// a private registry. Log receives structured logs; nil discards.
+	Obs *obs.Registry
+	Log *slog.Logger
+	// MetricsAddr, when non-empty, serves /metrics and /healthz for this
+	// aggregator's registry until Close.
+	MetricsAddr string
+}
+
+// metrics is the aggregator's instrumentation surface, under streampca_agg_.
+type metrics struct {
+	monitors       *obs.Gauge
+	rejects        *obs.Counter
+	volumeForwards *obs.Counter
+	intervalDrops  *obs.Counter
+	fetches        *obs.Counter
+	fetchRetries   *obs.Counter
+	mergeErrors    *obs.Counter
+	degradedMerges *obs.Counter
+	staleFlows     *obs.Gauge
+	alarmsRelayed  *obs.Counter
+	rehellos       *obs.Counter
+	reconnects     *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		monitors: reg.Gauge("streampca_agg_monitors_connected",
+			"Currently registered downstream monitors."),
+		rejects: reg.Counter("streampca_agg_registrations_rejected_total",
+			"Monitor registrations refused (config or flow-ownership conflicts)."),
+		volumeForwards: reg.Counter("streampca_agg_volume_forwards_total",
+			"Merged per-interval volume reports forwarded to the NOC."),
+		intervalDrops: reg.Counter("streampca_agg_interval_drops_total",
+			"Partially-reported intervals evicted by the pending bound."),
+		fetches: reg.Counter("streampca_agg_fetches_served_total",
+			"Upstream sketch pulls answered with a merged snapshot."),
+		fetchRetries: reg.Counter("streampca_agg_fetch_retries_total",
+			"Extra downstream pull rounds after an incomplete first round."),
+		mergeErrors: reg.Counter("streampca_agg_merge_errors_total",
+			"Sketch merges that failed validation (no response sent upstream)."),
+		degradedMerges: reg.Counter("streampca_agg_degraded_merges_total",
+			"Merged responses that substituted cached snapshots for unresponsive monitors."),
+		staleFlows: reg.Gauge("streampca_agg_stale_flows",
+			"Flows served from the snapshot cache in the most recent merge."),
+		alarmsRelayed: reg.Counter("streampca_agg_alarms_relayed_total",
+			"NOC alarm broadcasts re-broadcast to downstream monitors."),
+		rehellos: reg.Counter("streampca_agg_rehellos_total",
+			"Flow-union re-announcements sent on the live NOC connection."),
+		reconnects: reg.Counter("streampca_agg_reconnects_total",
+			"Successful automatic redials after the NOC link dropped."),
+	}
+}
+
+// monitorEntry tracks one registered downstream monitor.
+type monitorEntry struct {
+	id    string
+	flows []int
+	conn  *transport.Conn
+}
+
+// intervalAccum collects one interval's volumes across monitors.
+type intervalAccum struct {
+	vol map[int]float64
+}
+
+// pendingFetch routes downstream sketch responses to the waiting fan-out.
+type pendingFetch struct {
+	respCh chan *transport.SketchResponse
+}
+
+// Service is a mid-tier aggregator. Create with New, expose to monitors with
+// Serve, wire upstream with ConnectNOC, stop with Close.
+type Service struct {
+	cfg     Config
+	log     *slog.Logger
+	reg     *obs.Registry
+	health  *obs.Health
+	met     *metrics
+	wireMet *transport.Metrics
+	diag    *obs.Server
+	server  *transport.Server
+
+	// helloMu serializes upstream Hello (re-)announcements so a stale union
+	// can never overtake a fresher one on the wire. Lock order: helloMu
+	// before mu, never the reverse.
+	helloMu sync.Mutex
+
+	mu        sync.Mutex
+	monitors  map[*transport.Conn]*monitorEntry
+	flowOwner map[int]*transport.Conn
+	intervals map[int64]*intervalAccum
+	pending   map[uint64]*pendingFetch
+	nextReq   uint64
+	// snapCache holds each monitor's last validated snapshot for the
+	// degraded substitution path, keyed by monitor ID.
+	snapCache    map[string]core.SketchReport
+	lastInterval int64
+	rng          *rand.Rand
+
+	up          *transport.Conn
+	upAddr      string
+	dialTimeout time.Duration
+	closed      bool
+}
+
+// New validates cfg and builds the service.
+func New(cfg Config) (*Service, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("%w: empty aggregator id", ErrConfig)
+	}
+	if cfg.Family != sketch.FamilyRandProj && cfg.Family != sketch.FamilyFD {
+		return nil, fmt.Errorf("%w: unknown sketcher family %v", ErrConfig, cfg.Family)
+	}
+	if cfg.NumFlows < 1 {
+		return nil, fmt.Errorf("%w: %d flows", ErrConfig, cfg.NumFlows)
+	}
+	if cfg.WindowLen < 1 {
+		return nil, fmt.Errorf("%w: window length %d", ErrConfig, cfg.WindowLen)
+	}
+	if cfg.SketchLen < 1 {
+		return nil, fmt.Errorf("%w: sketch parameter %d", ErrConfig, cfg.SketchLen)
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 2 * time.Second
+	}
+	if cfg.FetchRetries < 0 {
+		return nil, fmt.Errorf("%w: %d fetch retries", ErrConfig, cfg.FetchRetries)
+	}
+	if cfg.FetchBackoff <= 0 {
+		cfg.FetchBackoff = 50 * time.Millisecond
+	}
+	if cfg.FetchBackoffMax <= 0 {
+		cfg.FetchBackoffMax = time.Second
+	}
+	if cfg.MaxPendingIntervals <= 0 {
+		cfg.MaxPendingIntervals = 8
+	}
+	if cfg.ShardEpoch == 0 {
+		cfg.ShardEpoch = 1
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.Nop()
+	}
+	s := &Service{
+		cfg:       cfg,
+		log:       log.With("agg", cfg.ID),
+		reg:       reg,
+		health:    obs.NewHealth(),
+		met:       newMetrics(reg),
+		wireMet:   transport.NewMetrics(reg),
+		monitors:  make(map[*transport.Conn]*monitorEntry),
+		flowOwner: make(map[int]*transport.Conn),
+		intervals: make(map[int64]*intervalAccum),
+		pending:   make(map[uint64]*pendingFetch),
+		snapCache: make(map[string]core.SketchReport),
+		rng:       rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5bd1e995)),
+	}
+	s.health.Set("agg", obs.StatusOK, "ready")
+	s.health.Set("noc-link", obs.StatusDegraded, "not connected")
+	if cfg.MetricsAddr != "" {
+		diag, err := obs.StartServer(cfg.MetricsAddr, reg, s.health, s.log)
+		if err != nil {
+			return nil, err
+		}
+		s.diag = diag
+	}
+	return s, nil
+}
+
+// Registry exposes the metrics registry.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Health exposes the component health tracker.
+func (s *Service) Health() *obs.Health { return s.health }
+
+// ID returns the aggregator's identifier.
+func (s *Service) ID() string { return s.cfg.ID }
+
+// Serve starts accepting downstream monitor connections on addr.
+func (s *Service) Serve(addr string) error {
+	srv, err := transport.ListenWithMetrics(addr, s.handleMonitor, s.wireMet)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.server = srv
+	s.mu.Unlock()
+	s.log.Info("aggregator listening", "addr", srv.Addr(), "peers", len(s.cfg.Peers))
+	return nil
+}
+
+// Addr returns the downstream listen address ("" before Serve).
+func (s *Service) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.server == nil {
+		return ""
+	}
+	return s.server.Addr()
+}
+
+// Monitors lists the registered downstream monitor IDs, sorted.
+func (s *Service) Monitors() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.monitors))
+	for _, e := range s.monitors {
+		out = append(out, e.id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FlowUnion returns the sorted union of registered monitors' flows — the
+// shard this aggregator currently announces upstream.
+func (s *Service) FlowUnion() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flowUnionLocked()
+}
+
+func (s *Service) flowUnionLocked() []int {
+	out := make([]int, 0, len(s.flowOwner))
+	for f := range s.flowOwner {
+		out = append(out, f)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ConnectNOC dials the NOC, announces the current flow union with a
+// Role-tagged Hello and starts serving its sketch pulls. With
+// Config.Reconnect, a later link loss redials automatically.
+func (s *Service) ConnectNOC(addr string, timeout time.Duration) error {
+	s.mu.Lock()
+	s.upAddr = addr
+	s.dialTimeout = timeout
+	s.mu.Unlock()
+	conn, err := transport.DialWithMetrics(addr, timeout, s.wireMet)
+	if err != nil {
+		s.health.Set("noc-link", obs.StatusDown, err.Error())
+		return fmt.Errorf("connect NOC: %w", err)
+	}
+	if err := s.AttachNOC(conn); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	return nil
+}
+
+// AttachNOC adopts an established upstream connection (tests, embedders).
+func (s *Service) AttachNOC(conn *transport.Conn) error {
+	s.helloMu.Lock()
+	defer s.helloMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: service closed", ErrNotConnected)
+	}
+	if s.up != nil {
+		s.mu.Unlock()
+		return ErrAlreadyConnected
+	}
+	s.up = conn
+	hello := s.helloLocked()
+	s.mu.Unlock()
+
+	if err := conn.Send(transport.Envelope{Hello: &hello}); err != nil {
+		s.mu.Lock()
+		if s.up == conn {
+			s.up = nil
+		}
+		s.mu.Unlock()
+		s.health.Set("noc-link", obs.StatusDown, err.Error())
+		return fmt.Errorf("hello: %w", err)
+	}
+	s.health.Set("noc-link", obs.StatusOK, "registered with NOC")
+	s.log.Info("attached to NOC", "flows", len(hello.FlowIDs))
+	go s.upReadLoop(conn)
+	return nil
+}
+
+// helloLocked builds the upstream announcement for the current flow union.
+// Caller holds s.mu.
+func (s *Service) helloLocked() transport.Hello {
+	h := transport.Hello{
+		MonitorID: s.cfg.ID,
+		FlowIDs:   s.flowUnionLocked(),
+		SketchLen: s.cfg.SketchLen,
+		WindowLen: s.cfg.WindowLen,
+		Family:    s.cfg.Family,
+		Role:      transport.RoleAggregator,
+	}
+	if s.cfg.Family == sketch.FamilyRandProj {
+		h.Seed = s.cfg.Seed
+	}
+	return h
+}
+
+// announce re-sends the Hello on the live upstream connection after the flow
+// union changed (the NOC treats a repeat Hello as re-registration). A send
+// failure is left to the read loop: it observes the dead link and redials.
+func (s *Service) announce() {
+	s.helloMu.Lock()
+	defer s.helloMu.Unlock()
+	s.mu.Lock()
+	conn := s.up
+	hello := s.helloLocked()
+	s.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	if err := conn.Send(transport.Envelope{Hello: &hello}); err != nil {
+		s.log.Warn("re-hello send failed", "err", err)
+		return
+	}
+	s.met.rehellos.Inc()
+	s.log.Info("re-announced flow union", "flows", len(hello.FlowIDs))
+}
+
+// upReadLoop serves the NOC until the link dies, then hands off to the
+// reconnect loop when enabled. A ProtocolError (e.g. a flow-claim conflict
+// while a dead peer's registration lingers) is retried like any link loss —
+// the conflict clears once the NOC drops the stale owner.
+func (s *Service) upReadLoop(conn *transport.Conn) {
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		switch {
+		case env.Request != nil:
+			req := *env.Request
+			tc := env.Trace
+			go s.serveFetch(conn, req.RequestID, tc)
+		case env.Alarm != nil:
+			s.broadcastAlarm(*env.Alarm, env.Trace)
+		case env.Error != nil:
+			s.log.Warn("NOC rejected registration; will retry", "err", env.Error.Msg)
+			s.health.Set("noc-link", obs.StatusDegraded, env.Error.Msg)
+		default:
+			// Tolerate well-formed but unexpected frames.
+		}
+	}
+
+	s.mu.Lock()
+	current := s.up == conn && !s.closed
+	if current {
+		s.up = nil
+	}
+	addr := s.upAddr
+	s.mu.Unlock()
+	if !current {
+		return
+	}
+	_ = conn.Close()
+	if s.cfg.Reconnect && addr != "" {
+		s.health.Set("noc-link", obs.StatusDegraded, "link lost; reconnecting")
+		s.log.Warn("NOC link lost, reconnecting", "addr", addr)
+		go s.reconnectLoop(addr)
+		return
+	}
+	s.health.Set("noc-link", obs.StatusDown, "link lost")
+	s.log.Warn("NOC link lost")
+}
+
+// reconnectLoop redials the NOC with capped exponential backoff until it
+// succeeds, the service closes, or another connection appears.
+func (s *Service) reconnectLoop(addr string) {
+	backoff := s.cfg.ReconnectBackoff
+	if backoff <= 0 {
+		backoff = 200 * time.Millisecond
+	}
+	max := s.cfg.ReconnectBackoffMax
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	for attempt := 1; ; attempt++ {
+		s.mu.Lock()
+		stop := s.closed || s.up != nil
+		timeout := s.dialTimeout
+		s.mu.Unlock()
+		if stop {
+			return
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > max {
+			backoff = max
+		}
+		err := s.ConnectNOC(addr, timeout)
+		if err == nil {
+			s.met.reconnects.Inc()
+			s.log.Info("reconnected to NOC", "addr", addr, "attempts", attempt)
+			return
+		}
+		if errors.Is(err, ErrAlreadyConnected) || errors.Is(err, ErrNotConnected) {
+			return
+		}
+		s.log.Warn("reconnect attempt failed", "attempt", attempt, "err", err)
+	}
+}
+
+// handleMonitor owns one downstream monitor connection: Hello handshake,
+// then volume reports and sketch responses until the link dies.
+func (s *Service) handleMonitor(conn *transport.Conn) {
+	env, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	if env.Hello == nil {
+		_ = conn.Send(transport.Envelope{Error: &transport.ProtocolError{Msg: "first frame must be hello"}})
+		return
+	}
+	if err := s.register(conn, env.Hello); err != nil {
+		s.met.rejects.Inc()
+		s.log.Warn("monitor rejected", "monitor", env.Hello.MonitorID, "err", err)
+		_ = conn.Send(transport.Envelope{Error: &transport.ProtocolError{Msg: err.Error()}})
+		return
+	}
+	defer s.unregister(conn)
+	s.pushShardMap(conn)
+	s.announce()
+
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch {
+		case env.Volume != nil:
+			s.addVolumes(env.Volume)
+		case env.Response != nil:
+			s.routeResponse(env.Response)
+		case env.Hello != nil:
+			if err := s.register(conn, env.Hello); err != nil {
+				s.met.rejects.Inc()
+				_ = conn.Send(transport.Envelope{Error: &transport.ProtocolError{Msg: err.Error()}})
+				return
+			}
+			s.announce()
+		default:
+			// Tolerate well-formed but unexpected frames.
+		}
+	}
+}
+
+// register validates a monitor's announced configuration against the shared
+// deployment parameters and claims its flows within this shard. A repeat
+// Hello on a live connection first releases the old claim (re-registration).
+func (s *Service) register(conn *transport.Conn, h *transport.Hello) error {
+	if h.Family != s.cfg.Family {
+		return fmt.Errorf("%w: monitor %q runs sketcher family %v, aggregator %v", ErrConfig, h.MonitorID, h.Family, s.cfg.Family)
+	}
+	if h.SketchLen != s.cfg.SketchLen {
+		return fmt.Errorf("%w: monitor %q sketch length %d, aggregator %d", ErrConfig, h.MonitorID, h.SketchLen, s.cfg.SketchLen)
+	}
+	if h.WindowLen != s.cfg.WindowLen {
+		return fmt.Errorf("%w: monitor %q window %d, aggregator %d", ErrConfig, h.MonitorID, h.WindowLen, s.cfg.WindowLen)
+	}
+	if s.cfg.Family == sketch.FamilyRandProj && h.Seed != s.cfg.Seed {
+		return fmt.Errorf("%w: monitor %q seed mismatch", ErrConfig, h.MonitorID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.monitors[conn]; ok {
+		delete(s.monitors, conn)
+		for _, f := range old.flows {
+			if s.flowOwner[f] == conn {
+				delete(s.flowOwner, f)
+			}
+		}
+	}
+	for _, f := range h.FlowIDs {
+		if f < 0 || f >= s.cfg.NumFlows {
+			return fmt.Errorf("%w: monitor %q flow %d of %d", ErrConfig, h.MonitorID, f, s.cfg.NumFlows)
+		}
+		if owner, taken := s.flowOwner[f]; taken && owner != conn {
+			return fmt.Errorf("%w: flow %d already owned", ErrConfig, f)
+		}
+	}
+	entry := &monitorEntry{id: h.MonitorID, flows: append([]int(nil), h.FlowIDs...), conn: conn}
+	s.monitors[conn] = entry
+	for _, f := range h.FlowIDs {
+		s.flowOwner[f] = conn
+	}
+	s.met.monitors.Set(float64(len(s.monitors)))
+	s.log.Info("monitor registered", "monitor", h.MonitorID, "flows", len(h.FlowIDs),
+		"union", len(s.flowOwner))
+	return nil
+}
+
+func (s *Service) unregister(conn *transport.Conn) {
+	s.mu.Lock()
+	entry, ok := s.monitors[conn]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.monitors, conn)
+	for _, f := range entry.flows {
+		if s.flowOwner[f] == conn {
+			delete(s.flowOwner, f)
+		}
+	}
+	s.met.monitors.Set(float64(len(s.monitors)))
+	// A shrunken union can complete pending intervals (the dead monitor's
+	// flows are no longer required); flush oldest-first.
+	ready := s.completePendingLocked()
+	up := s.up
+	s.mu.Unlock()
+	s.log.Info("monitor dropped", "monitor", entry.id, "flows", len(entry.flows))
+	for i := range ready {
+		s.forwardVolumes(up, &ready[i])
+	}
+	s.announce()
+}
+
+// SetPeers replaces the aggregator-candidate list pushed to monitors, for
+// embedders whose listen addresses are only known after Serve (dynamic
+// ports). Already-registered monitors receive the new map immediately.
+func (s *Service) SetPeers(peers []string, epoch uint64) {
+	s.mu.Lock()
+	s.cfg.Peers = append([]string(nil), peers...)
+	s.cfg.ShardEpoch = epoch
+	conns := make([]*transport.Conn, 0, len(s.monitors))
+	for c := range s.monitors {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		s.pushShardMap(c)
+	}
+}
+
+// pushShardMap sends the aggregator-candidate list so the monitor can
+// re-place itself if this aggregator dies.
+func (s *Service) pushShardMap(conn *transport.Conn) {
+	s.mu.Lock()
+	sm := transport.ShardMap{
+		Aggregators: append([]string(nil), s.cfg.Peers...),
+		Epoch:       s.cfg.ShardEpoch,
+	}
+	s.mu.Unlock()
+	if len(sm.Aggregators) == 0 {
+		return
+	}
+	if err := conn.Send(transport.Envelope{Shards: &sm}); err != nil {
+		s.log.Warn("shard map push failed", "err", err)
+	}
+}
+
+// addVolumes folds a monitor's report into its interval accumulator and
+// forwards one merged VolumeReport upstream once every currently-owned flow
+// has reported.
+func (s *Service) addVolumes(v *transport.VolumeReport) {
+	if len(v.FlowIDs) != len(v.Volumes) {
+		return // malformed; drop
+	}
+	s.mu.Lock()
+	if v.Interval > s.lastInterval {
+		s.lastInterval = v.Interval
+	}
+	acc, ok := s.intervals[v.Interval]
+	if !ok {
+		if len(s.intervals) >= s.cfg.MaxPendingIntervals {
+			var oldest int64 = 1<<63 - 1
+			for iv := range s.intervals {
+				if iv < oldest {
+					oldest = iv
+				}
+			}
+			delete(s.intervals, oldest)
+			s.met.intervalDrops.Inc()
+		}
+		acc = &intervalAccum{vol: make(map[int]float64)}
+		s.intervals[v.Interval] = acc
+	}
+	for i, f := range v.FlowIDs {
+		if f < 0 || f >= s.cfg.NumFlows {
+			continue
+		}
+		if _, dup := acc.vol[f]; !dup {
+			acc.vol[f] = v.Volumes[i]
+		}
+	}
+	report, complete := s.tryCompleteLocked(v.Interval, acc)
+	up := s.up
+	s.mu.Unlock()
+	if complete {
+		s.forwardVolumes(up, &report)
+	}
+}
+
+// tryCompleteLocked checks whether every currently-owned flow has reported
+// for interval iv; on success the accumulator is removed and the merged
+// report returned. Caller holds s.mu.
+func (s *Service) tryCompleteLocked(iv int64, acc *intervalAccum) (transport.VolumeReport, bool) {
+	if len(s.flowOwner) == 0 || len(acc.vol) == 0 {
+		return transport.VolumeReport{}, false
+	}
+	for f := range s.flowOwner {
+		if _, ok := acc.vol[f]; !ok {
+			return transport.VolumeReport{}, false
+		}
+	}
+	delete(s.intervals, iv)
+	flows := make([]int, 0, len(acc.vol))
+	for f := range acc.vol {
+		flows = append(flows, f)
+	}
+	sort.Ints(flows)
+	vols := make([]float64, len(flows))
+	for i, f := range flows {
+		vols[i] = acc.vol[f]
+	}
+	return transport.VolumeReport{
+		MonitorID: s.cfg.ID, Interval: iv, FlowIDs: flows, Volumes: vols,
+	}, true
+}
+
+// completePendingLocked re-examines pending intervals after an ownership
+// change, returning newly completable reports in interval order. Caller
+// holds s.mu.
+func (s *Service) completePendingLocked() []transport.VolumeReport {
+	var ready []transport.VolumeReport
+	for iv, acc := range s.intervals {
+		if rep, ok := s.tryCompleteLocked(iv, acc); ok {
+			ready = append(ready, rep)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].Interval < ready[j].Interval })
+	return ready
+}
+
+func (s *Service) forwardVolumes(up *transport.Conn, rep *transport.VolumeReport) {
+	if up == nil {
+		return
+	}
+	if err := up.Send(transport.Envelope{Volume: rep}); err != nil {
+		s.log.Warn("volume forward failed", "interval", rep.Interval, "err", err)
+		return
+	}
+	s.met.volumeForwards.Inc()
+}
+
+// routeResponse hands a downstream sketch response to the waiting fan-out.
+func (s *Service) routeResponse(r *transport.SketchResponse) {
+	s.mu.Lock()
+	p, ok := s.pending[r.RequestID]
+	s.mu.Unlock()
+	if !ok {
+		return // stale or unknown round
+	}
+	select {
+	case p.respCh <- r:
+	default:
+	}
+}
+
+// serveFetch answers one upstream sketch pull: fan the request out to the
+// registered monitors (with retry rounds), substitute cached snapshots for
+// the unresponsive under the degraded policy, merge, and send one response.
+func (s *Service) serveFetch(up *transport.Conn, upReqID uint64, tc *transport.TraceContext) {
+	reports := make(map[string]core.SketchReport)
+	rounds := 1 + s.cfg.FetchRetries
+	backoff := s.cfg.FetchBackoff
+	for round := 0; round < rounds; round++ {
+		if round > 0 {
+			s.met.fetchRetries.Inc()
+			d := backoff
+			s.mu.Lock()
+			if j := int64(backoff / 2); j > 0 {
+				d += time.Duration(s.rng.Int63n(j))
+			}
+			s.mu.Unlock()
+			time.Sleep(d)
+			if backoff *= 2; backoff > s.cfg.FetchBackoffMax {
+				backoff = s.cfg.FetchBackoffMax
+			}
+		}
+		if s.fetchRound(reports, tc) == 0 {
+			break
+		}
+		s.mu.Lock()
+		missing := false
+		for _, e := range s.monitors {
+			if _, ok := reports[e.id]; !ok {
+				missing = true
+				break
+			}
+		}
+		s.mu.Unlock()
+		if !missing {
+			break
+		}
+	}
+
+	// Degraded substitution: cached snapshots stand in for monitors that
+	// did not answer, as long as they are fresh enough and their flows do
+	// not collide with anything already gathered (or owned by another
+	// monitor since). Sorted iteration keeps substitution deterministic.
+	stale := 0
+	s.mu.Lock()
+	if s.cfg.Degraded.Enabled {
+		ref := s.lastInterval
+		for _, rep := range reports {
+			if rep.Interval > ref {
+				ref = rep.Interval
+			}
+		}
+		covered := make(map[int]string)
+		for id, rep := range reports {
+			for _, f := range rep.FlowIDs {
+				covered[f] = id
+			}
+		}
+		ids := make([]string, 0, len(s.snapCache))
+		for id := range s.snapCache {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if _, fresh := reports[id]; fresh {
+				continue
+			}
+			snap := s.snapCache[id]
+			age := ref - snap.Interval
+			if age < 0 {
+				age = -age
+			}
+			if age > s.cfg.Degraded.MaxStaleness {
+				continue
+			}
+			usable := len(snap.FlowIDs) > 0
+			for _, f := range snap.FlowIDs {
+				if _, seen := covered[f]; seen {
+					usable = false
+					break
+				}
+				if owner, owned := s.flowOwner[f]; owned && s.monitors[owner] != nil && s.monitors[owner].id != id {
+					usable = false
+					break
+				}
+			}
+			if !usable {
+				continue
+			}
+			for _, f := range snap.FlowIDs {
+				covered[f] = id
+			}
+			reports[id] = snap
+			stale += len(snap.FlowIDs)
+		}
+	}
+	s.mu.Unlock()
+
+	if len(reports) == 0 {
+		s.log.Warn("sketch pull unanswerable: no live or cached snapshots", "request", upReqID)
+		return
+	}
+	snaps := make([]sketch.Snapshot, 0, len(reports))
+	for _, rep := range reports {
+		snaps = append(snaps, rep)
+	}
+	merged, err := sketch.Merge(snaps, s.cfg.SketchLen, s.cfg.Workers)
+	if err != nil {
+		s.met.mergeErrors.Inc()
+		s.log.Warn("sketch merge failed", "request", upReqID, "inputs", len(snaps), "err", err)
+		return
+	}
+	s.met.fetches.Inc()
+	s.met.staleFlows.Set(float64(stale))
+	if stale > 0 {
+		s.met.degradedMerges.Inc()
+		s.log.Warn("degraded merge", "request", upReqID, "stale_flows", stale)
+	}
+	resp := transport.SketchResponse{
+		RequestID:  upReqID,
+		MonitorID:  s.cfg.ID,
+		Report:     merged,
+		Degraded:   stale > 0,
+		StaleFlows: stale,
+	}
+	if err := up.Send(transport.Envelope{Response: &resp, Trace: tc}); err != nil {
+		s.log.Warn("merged response send failed", "request", upReqID, "err", err)
+	}
+}
+
+// fetchRound asks every registered monitor without a gathered report for its
+// sketch and folds validated responses into reports (and the snapshot
+// cache). Returns the number of monitors successfully asked.
+func (s *Service) fetchRound(reports map[string]core.SketchReport, tc *transport.TraceContext) int {
+	s.mu.Lock()
+	targets := make(map[*transport.Conn]*monitorEntry)
+	for c, e := range s.monitors {
+		if _, done := reports[e.id]; !done {
+			targets[c] = e
+		}
+	}
+	if len(targets) == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	s.nextReq++
+	id := s.nextReq
+	p := &pendingFetch{respCh: make(chan *transport.SketchResponse, len(targets))}
+	s.pending[id] = p
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, id)
+		s.mu.Unlock()
+	}()
+
+	awaiting := make(map[string]bool, len(targets))
+	for c, e := range targets {
+		if err := c.Send(transport.Envelope{Request: &transport.SketchRequest{RequestID: id}, Trace: tc}); err != nil {
+			s.log.Warn("sketch request send failed", "monitor", e.id, "err", err)
+			continue
+		}
+		awaiting[e.id] = true
+	}
+	asked := len(awaiting)
+	if asked == 0 {
+		return 0
+	}
+
+	timer := time.NewTimer(s.cfg.FetchTimeout)
+	defer timer.Stop()
+	for remaining := asked; remaining > 0; {
+		select {
+		case r := <-p.respCh:
+			if !awaiting[r.MonitorID] {
+				continue
+			}
+			awaiting[r.MonitorID] = false
+			remaining--
+			if err := r.Report.Validate(s.cfg.SketchLen); err != nil {
+				s.log.Warn("invalid sketch report", "monitor", r.MonitorID, "err", err)
+				continue
+			}
+			if r.Report.Family != s.cfg.Family {
+				s.log.Warn("sketch report from wrong family", "monitor", r.MonitorID)
+				continue
+			}
+			ok := true
+			for _, f := range r.Report.FlowIDs {
+				if f < 0 || f >= s.cfg.NumFlows {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				s.log.Warn("sketch report names unknown flow", "monitor", r.MonitorID)
+				continue
+			}
+			reports[r.MonitorID] = r.Report
+			s.mu.Lock()
+			s.snapCache[r.MonitorID] = r.Report
+			if r.Report.Interval > s.lastInterval {
+				s.lastInterval = r.Report.Interval
+			}
+			s.mu.Unlock()
+		case <-timer.C:
+			for mid, waiting := range awaiting {
+				if waiting {
+					s.log.Warn("sketch response timed out", "monitor", mid, "timeout", s.cfg.FetchTimeout)
+				}
+			}
+			return asked
+		}
+	}
+	return asked
+}
+
+// broadcastAlarm re-broadcasts a NOC alarm to every downstream monitor.
+func (s *Service) broadcastAlarm(a transport.Alarm, tc *transport.TraceContext) {
+	s.mu.Lock()
+	conns := make([]*transport.Conn, 0, len(s.monitors))
+	for c := range s.monitors {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		if err := c.Send(transport.Envelope{Alarm: &a, Trace: tc}); err == nil {
+			s.met.alarmsRelayed.Inc()
+		}
+	}
+}
+
+// Stats is a snapshot of the aggregator's counters for periodic summaries.
+type Stats struct {
+	Monitors       int
+	VolumeForwards int64
+	Fetches        int64
+	MergeErrors    int64
+	DegradedMerges int64
+	AlarmsRelayed  int64
+	Reconnects     int64
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.monitors)
+	s.mu.Unlock()
+	return Stats{
+		Monitors:       n,
+		VolumeForwards: s.met.volumeForwards.Value(),
+		Fetches:        s.met.fetches.Value(),
+		MergeErrors:    s.met.mergeErrors.Value(),
+		DegradedMerges: s.met.degradedMerges.Value(),
+		AlarmsRelayed:  s.met.alarmsRelayed.Value(),
+		Reconnects:     s.met.reconnects.Value(),
+	}
+}
+
+// LogSummary emits the one-line slog summary the daemon prints periodically.
+func (s *Service) LogSummary() {
+	st := s.Stats()
+	s.log.Info("aggregator stats",
+		"monitors", st.Monitors,
+		"volume_forwards", st.VolumeForwards,
+		"fetches", st.Fetches,
+		"merge_errors", st.MergeErrors,
+		"degraded_merges", st.DegradedMerges,
+		"alarms_relayed", st.AlarmsRelayed,
+		"reconnects", st.Reconnects)
+}
+
+// Close tears down the downstream server, the NOC link and the diagnostics
+// endpoint. Safe to call multiple times.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	up := s.up
+	s.up = nil
+	srv := s.server
+	s.server = nil
+	s.mu.Unlock()
+	if srv != nil {
+		srv.Shutdown()
+	}
+	var err error
+	if up != nil {
+		err = up.Close()
+	}
+	if s.diag != nil {
+		_ = s.diag.Close()
+	}
+	s.health.Set("agg", obs.StatusDown, "closed")
+	s.health.Set("noc-link", obs.StatusDown, "closed")
+	return err
+}

@@ -156,6 +156,11 @@ type Model struct {
 	// zero value means "available", so models checkpointed before the field
 	// existed restore correctly.
 	ThresholdUnavailable bool
+	// ThresholdCapped is the number of trailing residual components
+	// stats.QStatisticCapped dropped to recover a usable control limit from
+	// an otherwise degenerate spectrum (h0 ≤ 0). Zero means the exact
+	// uncapped Jackson–Mudholkar threshold was used.
+	ThresholdCapped int
 }
 
 // Detector is the NOC-side streaming detector. It is not safe for concurrent
@@ -355,7 +360,7 @@ func (d *Detector) finishModel(z *mat.Matrix, components *mat.Matrix, sv []float
 	if err != nil {
 		return fmt.Errorf("rank selection: %w", err)
 	}
-	threshold, unavailable := 0.0, false
+	threshold, unavailable, capped := 0.0, false, 0
 	if rank >= realLen && realLen < d.cfg.NumFlows {
 		// Truncated spectrum (rSVD sampling or FD's ≤ Σ2ℓ bases) with the
 		// whole of it assigned to the normal subspace: the residual energy
@@ -366,17 +371,22 @@ func (d *Detector) finishModel(z *mat.Matrix, components *mat.Matrix, sv []float
 		// PR-4 Jacobi fix: keep the subspace, flag the threshold.
 		unavailable = true
 	} else {
-		threshold, err = stats.QStatistic(sv[:realLen], d.cfg.WindowLen, rank, d.cfg.Alpha)
+		// Residual-rank capping (stats.QStatisticCapped): an h0 ≤ 0 spectrum
+		// gets its near-zero trailing residual eigenvalues treated as exact
+		// zeros and the limit recomputed on what remains, instead of
+		// declaring the whole model threshold-less. Only when no cap admits
+		// a limit does the typed degradation below fire.
+		threshold, capped, err = stats.QStatisticCapped(sv[:realLen], d.cfg.WindowLen, rank, d.cfg.Alpha)
 		if err != nil {
 			if !errors.Is(err, stats.ErrDegenerate) {
 				return fmt.Errorf("threshold: %w", err)
 			}
-			// A degenerate residual spectrum has no trustworthy control
-			// limit. Keep the freshly fitted subspace (distances are still
-			// meaningful diagnostics) but mark the threshold unusable rather
-			// than storing a NaN/garbage value that comparisons would
-			// silently never exceed.
-			threshold, unavailable = 0, true
+			// A degenerate residual spectrum with no usable cap has no
+			// trustworthy control limit at all. Keep the freshly fitted
+			// subspace (distances are still meaningful diagnostics) but mark
+			// the threshold unusable rather than storing a NaN/garbage value
+			// that comparisons would silently never exceed.
+			threshold, unavailable, capped = 0, true, 0
 		}
 	}
 	d.model = &Model{
@@ -387,6 +397,7 @@ func (d *Detector) finishModel(z *mat.Matrix, components *mat.Matrix, sv []float
 		Threshold:            threshold,
 		BuiltAt:              builtAt,
 		ThresholdUnavailable: unavailable,
+		ThresholdCapped:      capped,
 	}
 	return nil
 }

@@ -238,7 +238,7 @@ func TestRebuildFDTruncatedSpectrumThresholdUnavailable(t *testing.T) {
 // build: empty pulls, foreign families, flow overlap and coverage gaps.
 func TestRebuildFDValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	const m, ell = 4, 2
+	const m, ell = 10, 2
 	x := make([][]float64, 16)
 	for i := range x {
 		row := make([]float64, m)
@@ -255,18 +255,18 @@ func TestRebuildFDValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	good := fdBlocks(t, [][]int{{0, 1}, {2, 3}}, ell, x)
+	good := fdBlocks(t, [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}, ell, x)
 	if err := det.RebuildFD(good, 16); err != nil {
 		t.Fatalf("good blocks: %v", err)
 	}
 	if err := det.RebuildFD(nil, 16); !errors.Is(err, ErrInput) {
 		t.Fatalf("no blocks: %v", err)
 	}
-	overlap := fdBlocks(t, [][]int{{0, 1}, {1, 3}}, ell, x)
+	overlap := fdBlocks(t, [][]int{{0, 1, 2, 3, 4}, {4, 6, 7, 8, 9}}, ell, x)
 	if err := det.RebuildFD(overlap, 16); !errors.Is(err, ErrInput) {
 		t.Fatalf("overlapping flows: %v", err)
 	}
-	gap := fdBlocks(t, [][]int{{0, 1}}, ell, x)
+	gap := fdBlocks(t, [][]int{{0, 1, 2, 3, 4}}, ell, x)
 	if err := det.RebuildFD(gap, 16); !errors.Is(err, ErrInput) {
 		t.Fatalf("coverage gap: %v", err)
 	}
@@ -282,11 +282,11 @@ func TestRebuildFDValidation(t *testing.T) {
 // an injected structured anomaly that must still raise an alarm.
 func TestFDClusterEndToEnd(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
-	n, m, k := 200, 9, 2
+	n, m, k := 200, 27, 2
 	x := lowRankStream(rng, 3*n, m, k, 1)
 	cl, err := NewCluster(ClusterConfig{
 		NumFlows: m, NumMonitors: 3, WindowLen: n, Alpha: 0.002,
-		Family: sketch.FamilyFD, FDEll: 6, FixedRank: 6,
+		Family: sketch.FamilyFD, FDEll: 4, FixedRank: 6,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -350,7 +350,7 @@ func TestClusterFDEllDefaulting(t *testing.T) {
 		t.Fatalf("uneven split without explicit ell: %v", err)
 	}
 	if _, err := NewCluster(ClusterConfig{
-		NumFlows: 10, NumMonitors: 3, WindowLen: 16, Alpha: 0.01,
+		NumFlows: 31, NumMonitors: 3, WindowLen: 16, Alpha: 0.01,
 		Family: sketch.FamilyFD, FDEll: 4, FixedRank: 1,
 	}); err != nil {
 		t.Fatalf("uneven split with explicit ell: %v", err)

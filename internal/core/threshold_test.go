@@ -1,14 +1,14 @@
 package core
 
 import (
-	"errors"
+	"math"
 	"testing"
 )
 
 // degenerateSketches builds a diagonal sketch matrix whose spectrum has one
 // dominant residual variance plus many equal small ones — φ1φ3/φ2² ≈ 2, so
-// the Jackson–Mudholkar h0 goes negative and stats.QStatistic reports
-// ErrDegenerate.
+// the Jackson–Mudholkar h0 goes negative on the full residual and a usable
+// threshold only exists after residual-rank capping.
 func degenerateSketches(m int) ([][]float64, []float64) {
 	sketches := make([][]float64, m)
 	for j := range sketches {
@@ -23,11 +23,11 @@ func degenerateSketches(m int) ([][]float64, []float64) {
 	return sketches, make([]float64, m)
 }
 
-// TestRebuildModelDegenerateSpectrum asserts the detector survives a
-// degenerate residual spectrum: the model is kept (distances remain useful)
-// but the threshold is flagged unusable instead of being stored as a clamped
-// garbage value that comparisons would silently never exceed.
-func TestRebuildModelDegenerateSpectrum(t *testing.T) {
+// TestRebuildModelCapsDegenerateSpectrum asserts the detector recovers a
+// usable control limit from an h0 ≤ 0 residual spectrum by residual-rank
+// capping: the model carries a real (capped) threshold instead of being
+// flagged threshold-less for the lifetime of the degenerate traffic mix.
+func TestRebuildModelCapsDegenerateSpectrum(t *testing.T) {
 	const m = 101
 	det, err := NewDetector(DetectorConfig{
 		NumFlows: m, WindowLen: 64, SketchLen: m,
@@ -41,22 +41,26 @@ func TestRebuildModelDegenerateSpectrum(t *testing.T) {
 		t.Fatalf("rebuild: %v", err)
 	}
 	model := det.Model()
-	if !model.ThresholdUnavailable {
-		t.Fatal("model.ThresholdUnavailable = false on a degenerate spectrum")
+	if model.ThresholdUnavailable {
+		t.Fatal("capping must recover a threshold on this spectrum, not flag it unavailable")
 	}
-	if model.Threshold != 0 {
-		t.Fatalf("placeholder threshold = %v, want 0", model.Threshold)
+	if model.ThresholdCapped <= 0 {
+		t.Fatalf("model.ThresholdCapped = %d, want > 0 (full residual is h0-degenerate)", model.ThresholdCapped)
 	}
-	if _, err := det.Threshold(); !errors.Is(err, ErrThresholdUnavailable) {
-		t.Fatalf("Threshold() error = %v, want ErrThresholdUnavailable", err)
+	if model.Threshold <= 0 || math.IsNaN(model.Threshold) || math.IsInf(model.Threshold, 0) {
+		t.Fatalf("capped threshold = %v", model.Threshold)
+	}
+	if th, err := det.Threshold(); err != nil || th != model.Threshold {
+		t.Fatalf("Threshold() = %v, %v", th, err)
 	}
 }
 
-// TestObserveThresholdUnavailable drives the lazy protocol against a
-// persistently degenerate spectrum: the decision must surface
-// ThresholdUnavailable (after one refresh attempt) rather than comparing the
-// distance against the 0 placeholder or alarming.
-func TestObserveThresholdUnavailable(t *testing.T) {
+// TestObserveCappedThresholdAlarms drives the lazy protocol against the
+// degenerate spectrum: with the capped threshold in place an oversized
+// residual must alarm (the pre-capping behavior reported ThresholdUnavailable
+// every interval, leaving the detector blind on such traffic), and once the
+// tail equalizes the exact uncapped limit must take over again.
+func TestObserveCappedThresholdAlarms(t *testing.T) {
 	const m = 101
 	det, err := NewDetector(DetectorConfig{
 		NumFlows: m, WindowLen: 64, SketchLen: m,
@@ -72,55 +76,37 @@ func TestObserveThresholdUnavailable(t *testing.T) {
 		return Fetch{Sketches: sketches, Means: means, Interval: int64(fetches)}, nil
 	}
 	x := make([]float64, m)
-	x[0] = 100 // enormous residual; with any finite threshold this would alarm
+	x[0] = 100 // enormous residual, far past any threshold this spectrum admits
 	dec, err := det.Observe(x, fetch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !dec.ThresholdUnavailable {
-		t.Fatal("decision does not report ThresholdUnavailable")
-	}
-	if dec.Anomalous {
-		t.Fatal("alarm raised without a usable threshold")
+	if dec.ThresholdUnavailable {
+		t.Fatal("capping must keep the threshold usable on this spectrum")
 	}
 	if !dec.Refreshed {
 		t.Fatal("first observation must have built a model")
 	}
-	if dec.Distance <= 0 {
-		t.Fatalf("distance = %v, want > 0 (diagnostics stay meaningful)", dec.Distance)
-	}
-
-	// A second observation holds a model with an unusable threshold: Observe
-	// must retry one refresh (the spectrum might have recovered) and then
-	// report the condition again, not alarm.
-	before := fetches
-	dec, err = det.Observe(x, fetch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !dec.ThresholdUnavailable || dec.Anomalous {
-		t.Fatalf("second decision: ThresholdUnavailable=%v Anomalous=%v", dec.ThresholdUnavailable, dec.Anomalous)
-	}
-	if fetches != before+1 {
-		t.Fatalf("expected exactly one refresh attempt, got %d", fetches-before)
-	}
-
-	// Once the fetch serves a well-conditioned spectrum the detector must
-	// recover: threshold usable again, oversized residual alarms.
-	for j := 1; j < m; j++ {
-		sketches[j][j] = 0.5 // equalize the tail → h0 > 0
-	}
-	dec, err = det.Observe(x, fetch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if dec.ThresholdUnavailable {
-		t.Fatal("still unavailable after spectrum recovered")
-	}
 	if !dec.Anomalous {
-		t.Fatalf("recovered threshold %v did not flag distance %v", dec.Threshold, dec.Distance)
+		t.Fatalf("capped threshold %v did not flag distance %v", dec.Threshold, dec.Distance)
 	}
-	if _, err := det.Threshold(); err != nil {
-		t.Fatalf("Threshold() after recovery: %v", err)
+
+	// Once the fetch serves a well-conditioned spectrum the exact limit
+	// returns: no capping, still alarming on the oversized residual.
+	for j := 1; j < m; j++ {
+		sketches[j][j] = 0.5 // equalize the tail → h0 > 0 uncapped
+	}
+	if err := det.RebuildModel(sketches, means, int64(fetches+1)); err != nil {
+		t.Fatal(err)
+	}
+	if capped := det.Model().ThresholdCapped; capped != 0 {
+		t.Fatalf("well-conditioned spectrum still capped %d components", capped)
+	}
+	dec, err = det.Observe(x, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ThresholdUnavailable || !dec.Anomalous {
+		t.Fatalf("recovered spectrum: ThresholdUnavailable=%v Anomalous=%v", dec.ThresholdUnavailable, dec.Anomalous)
 	}
 }

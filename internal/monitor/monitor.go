@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"streampca/internal/agg"
 	"streampca/internal/core"
 	"streampca/internal/obs"
 	"streampca/internal/oracle"
@@ -62,12 +63,20 @@ type Config struct {
 	// service redials the address given to Connect with capped exponential
 	// backoff, resends Hello and resumes serving sketch pulls. Ineffective
 	// for Attach-ed connections (there is no address to redial) and after
-	// the NOC rejects the registration (retrying would loop forever).
+	// the NOC rejects the registration (retrying would loop forever) —
+	// unless an aggregator shard map has been received, in which case the
+	// redial walks the rendezvous-ordered candidate list (federated
+	// failover; a rejection there is usually a transient re-shard conflict).
 	Reconnect bool
 	// ReconnectBackoff is the pause before the first redial, doubling up
 	// to ReconnectBackoffMax. Defaults: 200ms and 5s.
 	ReconnectBackoff    time.Duration
 	ReconnectBackoffMax time.Duration
+	// Candidates pre-seeds the aggregator candidate list normally learned
+	// from a transport.ShardMap push (epoch 0, so any pushed map replaces
+	// it). Set by daemons started with an explicit -aggs list so failover
+	// works even before the first registration completes.
+	Candidates []string
 	// SelfCheckEvery, when ≥ 1, enables the internal/oracle differential
 	// validator: the service shadows every interval with an exact sliding
 	// window per flow and every SelfCheckEvery-th interval checks the
@@ -165,6 +174,12 @@ type Service struct {
 	nocAddr     string
 	dialTimeout time.Duration
 	closed      bool
+	// candidates is the aggregator shard map (transport.ShardMap) most
+	// recently pushed on the link, kept at the highest epoch seen. When
+	// non-empty, the reconnect loop dials the rendezvous order over it
+	// instead of pinning to the last address — the federated failover path.
+	candidates     []string
+	candidateEpoch uint64
 	// ingestStats, when set, snapshots the live-ingest pipeline feeding
 	// this monitor for Stats/LogSummary (see SetIngestStats).
 	ingestStats func() IngestStats
@@ -220,6 +235,7 @@ func New(cfg Config) (*Service, error) {
 		wireMet: transport.NewMetrics(reg),
 		core:    cm,
 	}
+	s.candidates = append([]string(nil), cfg.Candidates...)
 	if cfg.SelfCheckEvery > 0 {
 		chk, err := oracle.NewChecker(oracle.CheckerConfig{
 			Every:     cfg.SelfCheckEvery,
@@ -398,8 +414,21 @@ loop:
 			if s.cfg.OnAlarm != nil {
 				s.cfg.OnAlarm(*env.Alarm)
 			}
+		case env.Shards != nil:
+			// An aggregator announced the candidate list fronting the NOC;
+			// keep the highest epoch for rendezvous failover.
+			s.mu.Lock()
+			if len(env.Shards.Aggregators) > 0 && env.Shards.Epoch >= s.candidateEpoch {
+				s.candidateEpoch = env.Shards.Epoch
+				s.candidates = append([]string(nil), env.Shards.Aggregators...)
+			}
+			n, epoch := len(s.candidates), s.candidateEpoch
+			s.mu.Unlock()
+			s.log.Info("shard map received", "aggregators", n, "epoch", epoch)
 		case env.Error != nil:
-			// The NOC rejected us; reconnecting would only loop.
+			// The upstream rejected us. With no alternatives, reconnecting
+			// would only loop; with a shard map, the rejection is usually a
+			// transient re-shard conflict and failover should keep trying.
 			rejected = true
 			s.health.Set("noc-link", obs.StatusDown, env.Error.Msg)
 			s.log.Error("NOC rejected connection", "err", env.Error.Msg)
@@ -422,9 +451,12 @@ loop:
 		return
 	}
 	_ = conn.Close()
-	if s.cfg.Reconnect && addr != "" && !rejected {
+	s.mu.Lock()
+	nCandidates := len(s.candidates)
+	s.mu.Unlock()
+	if s.cfg.Reconnect && addr != "" && (!rejected || nCandidates > 1) {
 		s.health.Set("noc-link", obs.StatusDegraded, "link lost; reconnecting")
-		s.log.Warn("NOC link lost, reconnecting", "addr", addr)
+		s.log.Warn("NOC link lost, reconnecting", "addr", addr, "candidates", nCandidates)
 		go s.reconnectLoop(addr)
 		return
 	}
@@ -434,9 +466,13 @@ loop:
 	}
 }
 
-// reconnectLoop redials the NOC with capped exponential backoff until it
-// succeeds, the service is closed, or another connection appears.
-func (s *Service) reconnectLoop(addr string) {
+// reconnectLoop redials the upstream with capped exponential backoff until
+// it succeeds, the service is closed, or another connection appears. With an
+// aggregator shard map on file the loop walks the rendezvous order for this
+// monitor's ID each round (falling back to the last good address when it is
+// not in the map), so the death of one aggregator re-places this monitor
+// onto the surviving candidate every other monitor independently agrees on.
+func (s *Service) reconnectLoop(fallback string) {
 	backoff := s.cfg.ReconnectBackoff
 	if backoff <= 0 {
 		backoff = 200 * time.Millisecond
@@ -449,6 +485,7 @@ func (s *Service) reconnectLoop(addr string) {
 		s.mu.Lock()
 		stop := s.closed || s.conn != nil
 		timeout := s.dialTimeout
+		cands := append([]string(nil), s.candidates...)
 		s.mu.Unlock()
 		if stop {
 			return
@@ -457,16 +494,32 @@ func (s *Service) reconnectLoop(addr string) {
 		if backoff *= 2; backoff > max {
 			backoff = max
 		}
-		err := s.Connect(addr, timeout)
-		if err == nil {
-			s.met.reconnects.Inc()
-			s.log.Info("reconnected to NOC", "addr", addr, "attempts", attempt)
-			return
+		order := []string{fallback}
+		if len(cands) > 0 {
+			order = agg.Rendezvous(s.cfg.ID, cands)
+			inMap := false
+			for _, a := range order {
+				if a == fallback {
+					inMap = true
+					break
+				}
+			}
+			if fallback != "" && !inMap {
+				order = append(order, fallback)
+			}
 		}
-		if errors.Is(err, ErrAlreadyConnected) || errors.Is(err, ErrNotConnected) {
-			return // someone else attached, or the service closed
+		for _, addr := range order {
+			err := s.Connect(addr, timeout)
+			if err == nil {
+				s.met.reconnects.Inc()
+				s.log.Info("reconnected upstream", "addr", addr, "attempts", attempt)
+				return
+			}
+			if errors.Is(err, ErrAlreadyConnected) || errors.Is(err, ErrNotConnected) {
+				return // someone else attached, or the service closed
+			}
+			s.log.Warn("reconnect attempt failed", "attempt", attempt, "addr", addr, "err", err)
 		}
-		s.log.Warn("reconnect attempt failed", "attempt", attempt, "err", err)
 	}
 }
 

@@ -11,7 +11,12 @@ import (
 	"streampca/internal/sketch"
 )
 
-const testFDEll = 6
+const (
+	testFDEll = 6
+	// fdTestFlows keeps each of the three striped monitor shards wider than
+	// the 2ℓ = 12 row buffer, as the FD compression bound 2ℓ < w demands.
+	fdTestFlows = 39
+)
 
 // fdNocConfig mirrors nocConfig for the Frequent Directions family: the
 // detector's SketchLen carries the basis budget ℓ monitors must announce.
@@ -19,7 +24,7 @@ func fdNocConfig() Config {
 	return Config{
 		Detector: core.DetectorConfig{
 			Family:    sketch.FamilyFD,
-			NumFlows:  testFlows,
+			NumFlows:  fdTestFlows,
 			WindowLen: testWindow,
 			SketchLen: testFDEll,
 			Alpha:     0.002,
@@ -30,12 +35,12 @@ func fdNocConfig() Config {
 	}
 }
 
-// startFDMonitors spins nMon FD monitor services partitioning testFlows
+// startFDMonitors spins nMon FD monitor services partitioning fdTestFlows
 // flows (same striped assignment as startMonitors) and connects them.
 func startFDMonitors(t *testing.T, addr string, nMon int) []*monitor.Service {
 	t.Helper()
 	assign := make([][]int, nMon)
-	for f := 0; f < testFlows; f++ {
+	for f := 0; f < fdTestFlows; f++ {
 		assign[f%nMon] = append(assign[f%nMon], f)
 	}
 	mons := make([]*monitor.Service, nMon)
@@ -59,6 +64,35 @@ func startFDMonitors(t *testing.T, addr string, nMon int) []*monitor.Service {
 	return mons
 }
 
+// fdFeedInterval pushes one interval's fdTestFlows-wide volume row through
+// the striped FD monitors.
+func fdFeedInterval(t *testing.T, mons []*monitor.Service, interval int64, volumes []float64) {
+	t.Helper()
+	for i, mon := range mons {
+		var local []float64
+		for f := i; f < fdTestFlows; f += len(mons) {
+			local = append(local, volumes[f])
+		}
+		if err := mon.ReportInterval(interval, local); err != nil {
+			t.Fatalf("monitor %d interval %d: %v", i, interval, err)
+		}
+	}
+}
+
+// fdTrafficRow synthesizes a rank-2-plus-noise volume vector over the FD
+// tests' wider flow space.
+func fdTrafficRow(rng *rand.Rand) []float64 {
+	f1 := 1000 + 200*rng.NormFloat64()
+	f2 := 500 + 100*rng.NormFloat64()
+	row := make([]float64, fdTestFlows)
+	for j := range row {
+		w1 := float64(j%3) + 1
+		w2 := float64(j%4) + 1
+		row[j] = w1*f1 + w2*f2 + 10*rng.NormFloat64()
+	}
+	return row
+}
+
 func TestFDEndToEndDetection(t *testing.T) {
 	// The full distributed loop on the FD family: per-monitor block
 	// snapshots are pulled over the wire, merged at the NOC by RebuildFD,
@@ -71,7 +105,7 @@ func TestFDEndToEndDetection(t *testing.T) {
 	var interval int64
 	for i := 0; i < testWindow+10; i++ {
 		interval++
-		feedInterval(t, mons, interval, trafficRow(rng, interval))
+		fdFeedInterval(t, mons, interval, fdTrafficRow(rng))
 		nextDecision(t, decisions, interval)
 	}
 	if !svc.HasModel() {
@@ -81,7 +115,7 @@ func TestFDEndToEndDetection(t *testing.T) {
 	var alarms int
 	for i := 0; i < 20; i++ {
 		interval++
-		feedInterval(t, mons, interval, trafficRow(rng, interval))
+		fdFeedInterval(t, mons, interval, fdTrafficRow(rng))
 		if d := nextDecision(t, decisions, interval); d.Result.Anomalous {
 			alarms++
 		}
@@ -95,10 +129,10 @@ func TestFDEndToEndDetection(t *testing.T) {
 	// spike would hijack a top principal component of the refreshed model;
 	// this one clears the threshold without capturing the subspace.
 	interval++
-	bad := trafficRow(rng, interval)
+	bad := fdTrafficRow(rng)
 	bad[0] += 8000
 	bad[5] += 6000
-	feedInterval(t, mons, interval, bad)
+	fdFeedInterval(t, mons, interval, bad)
 	if d := nextDecision(t, decisions, interval); !d.Result.Anomalous {
 		t.Fatalf("injected anomaly missed: %+v", d.Result)
 	}
@@ -117,17 +151,17 @@ func TestFDLocalSketchesMode(t *testing.T) {
 	var interval int64
 	for i := 0; i < testWindow+10; i++ {
 		interval++
-		feedInterval(t, mons, interval, trafficRow(rng, interval))
+		fdFeedInterval(t, mons, interval, fdTrafficRow(rng))
 		nextDecision(t, decisions, interval)
 	}
 	if !svc.HasModel() {
 		t.Fatal("NOC must build a model from its own FD buffer")
 	}
 	interval++
-	bad := trafficRow(rng, interval)
+	bad := fdTrafficRow(rng)
 	bad[1] += 5e5
 	bad[6] += 3e5
-	feedInterval(t, mons, interval, bad)
+	fdFeedInterval(t, mons, interval, bad)
 	if d := nextDecision(t, decisions, interval); !d.Result.Anomalous {
 		t.Fatalf("anomaly missed in FD local-sketch mode: %+v", d.Result)
 	}
@@ -148,7 +182,7 @@ func TestFDDegradedBlockFallback(t *testing.T) {
 	var interval int64
 	for i := 0; i < testWindow+5; i++ {
 		interval++
-		feedInterval(t, mons, interval, trafficRow(rng, interval))
+		fdFeedInterval(t, mons, interval, fdTrafficRow(rng))
 		nextDecision(t, decisions, interval)
 	}
 	if !svc.HasModel() {
@@ -158,15 +192,15 @@ func TestFDDegradedBlockFallback(t *testing.T) {
 	_ = mons[2].Close()
 	waitMonitors(t, svc, 2)
 
-	// A spike forces a sketch pull; the dead monitor's flows (2, 5, 8) come
+	// A spike forces a sketch pull; the dead monitor's 13 striped flows come
 	// from its cached block, and its volumes from the last-volume cache.
 	interval++
-	bad := trafficRow(rng, interval)
+	bad := fdTrafficRow(rng)
 	bad[0] += 5e5
 	bad[4] += 3e5
 	for i := 0; i < 2; i++ {
 		var local []float64
-		for f := i; f < testFlows; f += 3 {
+		for f := i; f < fdTestFlows; f += 3 {
 			local = append(local, bad[f])
 		}
 		if err := mons[i].ReportInterval(interval, local); err != nil {
@@ -177,7 +211,7 @@ func TestFDDegradedBlockFallback(t *testing.T) {
 	if !d.Degraded {
 		t.Fatalf("decision not degraded: %+v", d)
 	}
-	if !d.Result.Refreshed || !d.Result.Degraded || d.Result.StaleFlows != 3 {
+	if !d.Result.Refreshed || !d.Result.Degraded || d.Result.StaleFlows != 13 {
 		t.Fatalf("model not rebuilt from the cached block: %+v", d.Result)
 	}
 }
@@ -188,7 +222,7 @@ func TestFamilyMismatchRejected(t *testing.T) {
 	rpSvc, _ := startNOC(t, nocConfig())
 	fdMon, err := monitor.New(monitor.Config{
 		ID: "fd", Family: sketch.FamilyFD, FlowIDs: []int{0, 1, 2},
-		WindowLen: testWindow, FDEll: testSketch,
+		WindowLen: testWindow, FDEll: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -211,8 +245,12 @@ func TestFamilyMismatchRejected(t *testing.T) {
 	}
 	defer rpMon.Close()
 
+	badEllFlows := make([]int, 15)
+	for i := range badEllFlows {
+		badEllFlows[i] = 3 + i
+	}
 	badEll, err := monitor.New(monitor.Config{
-		ID: "bad-ell", Family: sketch.FamilyFD, FlowIDs: []int{3, 4, 5},
+		ID: "bad-ell", Family: sketch.FamilyFD, FlowIDs: badEllFlows,
 		WindowLen: testWindow, FDEll: testFDEll + 1,
 	})
 	if err != nil {

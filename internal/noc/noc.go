@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -177,10 +178,13 @@ type metrics struct {
 	spe       *obs.Gauge
 	threshold *obs.Gauge
 	monitors  *obs.Gauge
-	rejects   *obs.Counter
-	warmups   *obs.Counter
-	intervals *obs.Counter
-	drops     *obs.Counter
+	// aggregators counts the subset of registered peers that announced
+	// RoleAggregator — per-shard accounting for the federated topology.
+	aggregators *obs.Gauge
+	rejects     *obs.Counter
+	warmups     *obs.Counter
+	intervals   *obs.Counter
+	drops       *obs.Counter
 	// workers exposes the resolved parallelism of the retrain kernels.
 	workers *obs.Gauge
 	// Fault-tolerance surface: retry rounds, degraded decisions, stale
@@ -193,6 +197,10 @@ type metrics struct {
 	// thresholdUnavailable counts intervals decided without a usable δ
 	// (degenerate residual spectrum — the detector is blind, not "normal").
 	thresholdUnavailable *obs.Counter
+	// thresholdCapped gauges how many trailing residual components the
+	// current model's Q threshold dropped to escape h0 ≤ 0 degeneracy
+	// (0 = exact Jackson–Mudholkar limit).
+	thresholdCapped *obs.Gauge
 	// flightRecords counts audit lines written by the alarm flight recorder.
 	flightRecords *obs.Counter
 }
@@ -219,6 +227,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Current Q-statistic control limit delta_alpha."),
 		monitors: reg.Gauge("streampca_noc_monitors_connected",
 			"Currently registered local monitors."),
+		aggregators: reg.Gauge("streampca_noc_aggregators_connected",
+			"Currently registered mid-tier aggregators (subset of connected peers)."),
 		rejects: reg.Counter("streampca_noc_registrations_rejected_total",
 			"Monitor registrations refused (config or flow-ownership mismatch)."),
 		warmups: reg.Counter("streampca_noc_warmup_intervals_total",
@@ -241,6 +251,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Circuit-breaker open transitions (consecutive-failure threshold crossed)."),
 		thresholdUnavailable: reg.Counter("streampca_noc_threshold_unavailable_total",
 			"Intervals with no usable Q threshold (degenerate residual spectrum)."),
+		thresholdCapped: reg.Gauge("streampca_noc_threshold_capped_components",
+			"Trailing residual components dropped by residual-rank capping for the current model's Q threshold (0 = exact)."),
 		flightRecords: reg.Counter("streampca_noc_flight_records_total",
 			"Alarm/degraded-decision audit records appended to the flight recorder."),
 	}
@@ -250,6 +262,9 @@ type monitorEntry struct {
 	id    string
 	flows []int
 	conn  *transport.Conn
+	// role is what the peer announced in its Hello: a leaf monitor or a
+	// mid-tier aggregator fronting a shard of monitors (federated topology).
+	role transport.Role
 }
 
 type pendingFetch struct {
@@ -637,6 +652,26 @@ func (s *Service) handleConn(conn *transport.Conn) {
 			s.addVolumes(env.Volume)
 		case env.Response != nil:
 			s.routeResponse(env.Response)
+		case env.Hello != nil:
+			// Re-hello on a live connection: an aggregator re-announces when
+			// its flow union changes after a re-shard. A conflicting claim
+			// gets the same reject-and-close as an initial Hello — the
+			// peer's reconnect loop retries once the conflict clears.
+			if err := s.register(conn, env.Hello); err != nil {
+				s.met.rejects.Inc()
+				s.log.Warn("re-registration rejected", "monitor", env.Hello.MonitorID, "err", err)
+				_ = conn.Send(transport.Envelope{Error: &transport.ProtocolError{Msg: err.Error()}})
+				return
+			}
+			// Flows that left the union are unowned now: pending intervals
+			// blocked on them may be completable in degraded mode, exactly
+			// as when their owner disconnects.
+			s.mu.Lock()
+			ready := s.completePendingLocked()
+			s.mu.Unlock()
+			for _, item := range ready {
+				s.enqueue(item)
+			}
 		default:
 			// Tolerate well-formed but unexpected frames.
 		}
@@ -662,6 +697,19 @@ func (s *Service) register(conn *transport.Conn, h *transport.Hello) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Re-registration on a live connection (an aggregator whose flow union
+	// changed after a re-shard) first releases the old claim, so shrinking
+	// unions free their flows for the peer that inherited them. A failed
+	// re-hello leaves the connection unregistered; handleConn closes it and
+	// the peer's reconnect loop retries with a fresh Hello.
+	if old, ok := s.monitors[conn]; ok {
+		delete(s.monitors, conn)
+		for _, f := range old.flows {
+			if s.flowOwner[f] == conn {
+				delete(s.flowOwner, f)
+			}
+		}
+	}
 	for _, f := range h.FlowIDs {
 		if f < 0 || f >= d.NumFlows {
 			return fmt.Errorf("%w: monitor %q flow %d of %d", ErrConfig, h.MonitorID, f, d.NumFlows)
@@ -670,7 +718,7 @@ func (s *Service) register(conn *transport.Conn, h *transport.Hello) error {
 			return fmt.Errorf("%w: flow %d already owned", ErrConfig, f)
 		}
 	}
-	entry := &monitorEntry{id: h.MonitorID, flows: append([]int(nil), h.FlowIDs...), conn: conn}
+	entry := &monitorEntry{id: h.MonitorID, flows: append([]int(nil), h.FlowIDs...), conn: conn, role: h.Role}
 	s.monitors[conn] = entry
 	for _, f := range h.FlowIDs {
 		s.flowOwner[f] = conn
@@ -681,10 +729,22 @@ func (s *Service) register(conn *transport.Conn, h *transport.Hello) error {
 		delete(s.breakers, h.MonitorID)
 		s.breakerGaugeLocked()
 	}
-	s.met.monitors.Set(float64(len(s.monitors)))
-	s.log.Info("monitor registered", "monitor", h.MonitorID, "flows", len(h.FlowIDs),
-		"covered", len(s.flowOwner), "of", d.NumFlows)
+	s.peerGaugesLocked()
+	s.log.Info("monitor registered", "monitor", h.MonitorID, "role", h.Role.String(),
+		"flows", len(h.FlowIDs), "covered", len(s.flowOwner), "of", d.NumFlows)
 	return nil
+}
+
+// peerGaugesLocked refreshes the connected-peer gauges. Caller holds s.mu.
+func (s *Service) peerGaugesLocked() {
+	aggs := 0
+	for _, e := range s.monitors {
+		if e.role == transport.RoleAggregator {
+			aggs++
+		}
+	}
+	s.met.monitors.Set(float64(len(s.monitors)))
+	s.met.aggregators.Set(float64(aggs))
 }
 
 func (s *Service) unregister(conn *transport.Conn) {
@@ -700,7 +760,7 @@ func (s *Service) unregister(conn *transport.Conn) {
 			delete(s.flowOwner, f)
 		}
 	}
-	s.met.monitors.Set(float64(len(s.monitors)))
+	s.peerGaugesLocked()
 	// Losing an owner can make pending intervals completable in degraded
 	// mode (its flows fall back to cached volumes); flush them oldest-first
 	// so decisions stay ordered.
@@ -954,6 +1014,9 @@ func (s *Service) processLoop() {
 		model := s.det.Model()
 		s.detMu.Unlock()
 		shadow(res, model)
+		if model != nil {
+			s.met.thresholdCapped.Set(float64(model.ThresholdCapped))
+		}
 		degraded := item.degraded || res.Degraded
 		if degraded {
 			s.met.degraded.Inc()
@@ -1037,19 +1100,43 @@ func missingFlows(sketches [][]float64) []int {
 // to store, only the fact that some validated block owns the flow).
 var fdCovered = []float64{}
 
-// sortedBlocks flattens the per-monitor FD block map into a monitor-ID-
-// ordered slice so core.Fetch.Blocks is deterministic across map iteration.
+// sortedBlocks flattens the per-monitor FD block map into a slice ordered by
+// each block's smallest flow id — the same canonical key sketch.Merge uses.
+// Ordering by content rather than registrant name keeps FD model assembly
+// identical across topologies: a federated tier renames the registrants
+// (aggregator ids instead of monitor ids) and rendezvous placement permutes
+// which name fronts which shard, but the shards themselves are fixed, so a
+// content key yields the same insertion order either way. Monitor id breaks
+// the (never expected) tie of two blocks sharing a minimum flow.
 func sortedBlocks(blocks map[string]core.SketchReport) []core.SketchReport {
 	ids := make([]string, 0, len(blocks))
 	for id := range blocks {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	sort.Slice(ids, func(a, b int) bool {
+		fa, fb := minBlockFlow(blocks[ids[a]]), minBlockFlow(blocks[ids[b]])
+		if fa != fb {
+			return fa < fb
+		}
+		return ids[a] < ids[b]
+	})
 	out := make([]core.SketchReport, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, blocks[id])
 	}
 	return out
+}
+
+// minBlockFlow returns the smallest flow id a block covers (MaxInt for an
+// empty block, which validation rejects upstream anyway).
+func minBlockFlow(b core.SketchReport) int {
+	min := math.MaxInt
+	for _, id := range b.FlowIDs {
+		if id < min {
+			min = id
+		}
+	}
+	return min
 }
 
 // fetchSketches implements core.FetchFunc over the registered monitors.
@@ -1075,6 +1162,11 @@ func (s *Service) fetchSketches(sp *trace.Span) (core.Fetch, error) {
 		blocks = make(map[string]core.SketchReport)
 	}
 	var newest int64
+	// up accumulates degradation reported by the responses themselves: an
+	// aggregator that served part of its merge from its own degraded cache
+	// tags the response, and the resulting model must be flagged exactly
+	// like one rebuilt from this NOC's cache.
+	var up fetchDegradation
 
 	rounds := 1 + s.cfg.FetchRetries
 	backoff := s.cfg.FetchBackoff
@@ -1102,7 +1194,7 @@ func (s *Service) fetchSketches(sp *trace.Span) (core.Fetch, error) {
 			s.log.Info("sketch fetch retry", "round", round, "missing_flows", len(miss))
 		}
 		attempted = round + 1
-		if s.fetchRound(sp, miss, sketches, means, blocks, &newest) == 0 {
+		if s.fetchRound(sp, miss, sketches, means, blocks, &newest, &up) == 0 {
 			// Nothing askable: the missing flows are unowned or their
 			// monitors are breaker-open / unreachable. More rounds cannot
 			// make progress within this fetch.
@@ -1112,11 +1204,18 @@ func (s *Service) fetchSketches(sp *trace.Span) (core.Fetch, error) {
 
 	miss := missingFlows(sketches)
 	if len(miss) == 0 {
-		s.met.staleFlows.Set(0)
-		if fd {
-			return core.Fetch{Blocks: sortedBlocks(blocks), Interval: newest}, nil
+		s.met.staleFlows.Set(float64(up.stale))
+		if up.degraded {
+			sp.Event("upstream_degraded", trace.I("stale_flows", int64(up.stale)))
+			s.log.Warn("degraded upstream sketch fetch", "stale_flows", up.stale, "interval", newest)
 		}
-		return core.Fetch{Sketches: sketches, Means: means, Interval: newest}, nil
+		f := core.Fetch{Interval: newest, Degraded: up.degraded, StaleFlows: up.stale}
+		if fd {
+			f.Blocks = sortedBlocks(blocks)
+		} else {
+			f.Sketches, f.Means = sketches, means
+		}
+		return f, nil
 	}
 
 	if s.cfg.Degraded.Enabled {
@@ -1148,13 +1247,13 @@ func (s *Service) fetchSketches(sp *trace.Span) (core.Fetch, error) {
 			if cachedNewest > newest && newest == 0 {
 				newest = cachedNewest
 			}
-			s.met.staleFlows.Set(float64(filled))
+			s.met.staleFlows.Set(float64(filled + up.stale))
 			sp.Event("degraded_fallback",
-				trace.I("stale_flows", int64(filled)),
+				trace.I("stale_flows", int64(filled+up.stale)),
 				trace.I("rounds", int64(attempted)))
-			s.log.Warn("degraded sketch fetch", "stale_flows", filled,
+			s.log.Warn("degraded sketch fetch", "stale_flows", filled+up.stale,
 				"rounds", attempted, "interval", newest)
-			f := core.Fetch{Interval: newest, Degraded: true, StaleFlows: filled}
+			f := core.Fetch{Interval: newest, Degraded: true, StaleFlows: filled + up.stale}
 			if fd {
 				f.Blocks = sortedBlocks(blocks)
 			} else {
@@ -1223,7 +1322,7 @@ func (s *Service) fdDegradedFill(sketches [][]float64, blocks map[string]core.Sk
 // coverage bookkeeping). A failed send or bad report from one monitor never
 // aborts the round — it is charged to that monitor's breaker and the others
 // proceed. Returns the number of monitors successfully asked.
-func (s *Service) fetchRound(sp *trace.Span, missing []int, sketches [][]float64, means []float64, blocks map[string]core.SketchReport, newest *int64) int {
+func (s *Service) fetchRound(sp *trace.Span, missing []int, sketches [][]float64, means []float64, blocks map[string]core.SketchReport, newest *int64, up *fetchDegradation) int {
 	m := s.cfg.Detector.NumFlows
 	now := time.Now()
 
@@ -1342,6 +1441,10 @@ func (s *Service) fetchRound(sp *trace.Span, missing []int, sketches [][]float64
 				}
 				s.cacheReport(&r.Report)
 			}
+			if r.Degraded {
+				up.degraded = true
+				up.stale += r.StaleFlows
+			}
 			if r.Report.Interval > *newest {
 				*newest = r.Report.Interval
 			}
@@ -1366,6 +1469,14 @@ func (s *Service) fetchRound(sp *trace.Span, missing []int, sketches [][]float64
 		}
 	}
 	return asked
+}
+
+// fetchDegradation accumulates degradation carried by the sketch responses
+// themselves (a federated aggregator serving part of its merge from cache),
+// as opposed to degradation introduced by this NOC's own cache fallback.
+type fetchDegradation struct {
+	degraded bool
+	stale    int
 }
 
 // dedupSorted sorts ids and removes duplicates (stable breaker_skip event

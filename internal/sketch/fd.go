@@ -53,6 +53,10 @@ func NewFD(cfg Config) (*FD, error) {
 		return nil, fmt.Errorf("%w: fd ell %d", ErrConfig, ell)
 	}
 	w := len(cfg.FlowIDs)
+	if 2*ell >= w {
+		return nil, fmt.Errorf("%w: ell %d over %d flows (2ℓ = %d ≥ w; the buffer would cost at least the exact %d×%d Gram — keep ℓ ≤ %d or widen the flow shard)",
+			ErrFDBudget, ell, w, 2*ell, w, w, MaxEll(w))
+	}
 	return &FD{
 		flowIDs:    append([]int(nil), cfg.FlowIDs...),
 		ell:        ell,

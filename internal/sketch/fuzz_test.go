@@ -77,11 +77,11 @@ func FuzzFDAbsorbSnapshot(f *testing.F) {
 			t.Fatalf("gob decode: %v", err)
 		}
 
-		fd, err := NewFD(Config{FlowIDs: []int{0, 1, 2}, Ell: 3})
+		fd, err := NewFD(Config{FlowIDs: []int{0, 1, 2, 3, 4, 5, 6}, Ell: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := fd.Update(1, []float64{1, 2, 3}); err != nil {
+		if err := fd.Update(1, []float64{1, 2, 3, 4, 5, 6, 7}); err != nil {
 			t.Fatal(err)
 		}
 		if err := fd.Absorb(back); err != nil {

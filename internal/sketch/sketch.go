@@ -36,6 +36,14 @@ var (
 	ErrInput = errors.New("streampca: invalid input")
 )
 
+// ErrFDBudget reports an FD basis budget outside the useful range 2ℓ < w:
+// with 2ℓ ≥ w the 2ℓ×w row buffer costs at least as much memory as the exact
+// w×w Gram matrix it approximates, and once ℓ ≥ w every shrink is lossless so
+// the sketch silently degenerates into a full-rank copy. NewFD rejects such
+// configurations instead of accepting them (the trap shipped until PR 9).
+// Wraps ErrConfig, so errors.Is(err, ErrConfig) holds too.
+var ErrFDBudget = fmt.Errorf("%w: fd basis budget needs 2ℓ < w", ErrConfig)
+
 // Family identifies a sketcher implementation. The zero value is the
 // random-projection family so that wire payloads and configurations written
 // before the field existed keep their meaning.
@@ -119,7 +127,9 @@ type Config struct {
 
 // DefaultEll is the FD basis budget used when none is configured:
 // ℓ = 2·⌈√m⌉ — the O(√m) working point the Sharan/Gopalan/Wieder analysis
-// recommends, doubled for slack against shrink-induced bias.
+// recommends, doubled for slack against shrink-induced bias — clamped to
+// MaxEll so the default always satisfies the 2ℓ < w compression bound NewFD
+// enforces (see ErrFDBudget).
 func DefaultEll(numFlows int) int {
 	if numFlows < 1 {
 		return 2
@@ -128,7 +138,22 @@ func DefaultEll(numFlows int) int {
 	if ell < 2 {
 		ell = 2
 	}
+	if max := MaxEll(numFlows); ell > max {
+		ell = max
+	}
 	return ell
+}
+
+// MaxEll returns the largest FD basis budget satisfying 2ℓ < w for a flow set
+// of the given width, never below 1. For w ≤ 2 no budget satisfies the bound
+// and NewFD rejects the family outright; MaxEll still returns 1 so callers
+// can report the violation through NewFD's typed error.
+func MaxEll(numFlows int) int {
+	max := (numFlows - 1) / 2
+	if max < 1 {
+		max = 1
+	}
+	return max
 }
 
 // validateFlowIDs enforces the shared flow-set rules.

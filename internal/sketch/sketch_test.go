@@ -110,7 +110,7 @@ func TestNewFactorySelectsFamily(t *testing.T) {
 	if sk.Family() != FamilyRandProj {
 		t.Fatalf("default family %v", sk.Family())
 	}
-	sk, err = New(Config{Family: FamilyFD, FlowIDs: flowIDs(3), Ell: 4})
+	sk, err = New(Config{Family: FamilyFD, FlowIDs: flowIDs(9), Ell: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestNewFactorySelectsFamily(t *testing.T) {
 }
 
 func TestFDDeterministicBound(t *testing.T) {
-	const w, n, ell = 12, 400, 6
+	const w, n, ell = 12, 400, 5
 	rows := randRows(7, n, w)
 	fd, err := NewFD(Config{Family: FamilyFD, FlowIDs: flowIDs(w), Ell: ell})
 	if err != nil {
@@ -161,7 +161,7 @@ func TestFDDeterministicBound(t *testing.T) {
 }
 
 func TestFDMeansTrackStream(t *testing.T) {
-	const w, n = 4, 50
+	const w, n = 8, 50
 	rows := randRows(11, n, w)
 	fd, err := NewFD(Config{FlowIDs: flowIDs(w), Ell: 3})
 	if err != nil {
@@ -185,32 +185,62 @@ func TestFDMeansTrackStream(t *testing.T) {
 }
 
 func TestFDUpdateErrors(t *testing.T) {
-	fd, err := NewFD(Config{FlowIDs: flowIDs(3), Ell: 2})
+	fd, err := NewFD(Config{FlowIDs: flowIDs(5), Ell: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := fd.Update(1, []float64{1, 2}); !errors.Is(err, ErrInput) {
 		t.Fatalf("short row err = %v", err)
 	}
-	if err := fd.Update(1, []float64{1, 2, math.NaN()}); !errors.Is(err, ErrInput) {
+	if err := fd.Update(1, []float64{1, 2, 3, 4, math.NaN()}); !errors.Is(err, ErrInput) {
 		t.Fatalf("NaN err = %v", err)
 	}
-	if err := fd.Update(1, []float64{1, 2, 3}); err != nil {
+	if err := fd.Update(1, []float64{1, 2, 3, 4, 5}); err != nil {
 		t.Fatal(err)
 	}
-	if err := fd.Update(1, []float64{1, 2, 3}); !errors.Is(err, ErrInput) {
+	if err := fd.Update(1, []float64{1, 2, 3, 4, 5}); !errors.Is(err, ErrInput) {
 		t.Fatalf("repeated interval err = %v", err)
 	}
 	if _, err := NewFD(Config{FlowIDs: nil, Ell: 2}); !errors.Is(err, ErrConfig) {
 		t.Fatalf("empty flows err = %v", err)
 	}
-	if _, err := NewFD(Config{FlowIDs: flowIDs(3), Ell: -1}); !errors.Is(err, ErrConfig) {
+	if _, err := NewFD(Config{FlowIDs: flowIDs(5), Ell: -1}); !errors.Is(err, ErrConfig) {
 		t.Fatalf("negative ell err = %v", err)
 	}
 }
 
+// TestNewFDRejectsVacuousBudget covers the 2ℓ < w boundary: at 2ℓ = w the
+// buffer already costs as much as the exact Gram matrix, so NewFD refuses
+// with the typed ErrFDBudget (which still satisfies errors.Is ErrConfig).
+func TestNewFDRejectsVacuousBudget(t *testing.T) {
+	if _, err := NewFD(Config{FlowIDs: flowIDs(12), Ell: 6}); !errors.Is(err, ErrFDBudget) {
+		t.Fatalf("2ℓ = w err = %v, want ErrFDBudget", err)
+	}
+	if _, err := NewFD(Config{FlowIDs: flowIDs(12), Ell: 7}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("2ℓ > w err = %v, want ErrConfig via ErrFDBudget", err)
+	}
+	if _, err := NewFD(Config{FlowIDs: flowIDs(13), Ell: 6}); err != nil {
+		t.Fatalf("2ℓ = w−1 must be accepted: %v", err)
+	}
+	// w ≤ 2 admits no budget at all (even ℓ = 1 has 2ℓ ≥ w).
+	for w := 1; w <= 2; w++ {
+		if _, err := NewFD(Config{FlowIDs: flowIDs(w), Ell: 1}); !errors.Is(err, ErrFDBudget) {
+			t.Fatalf("w = %d err = %v, want ErrFDBudget", w, err)
+		}
+		if _, err := NewFD(Config{FlowIDs: flowIDs(w)}); !errors.Is(err, ErrFDBudget) {
+			t.Fatalf("w = %d defaulted err = %v, want ErrFDBudget", w, err)
+		}
+	}
+	// The defaulted budget always clears the bound for any usable width.
+	for w := 3; w <= 64; w++ {
+		if _, err := NewFD(Config{FlowIDs: flowIDs(w)}); err != nil {
+			t.Fatalf("defaulted ell at w = %d: %v", w, err)
+		}
+	}
+}
+
 func TestFDAbsorbRowShards(t *testing.T) {
-	const w, n, ell = 10, 300, 5
+	const w, n, ell = 10, 300, 4
 	rows := randRows(23, n, w)
 	// Monolithic reference over all rows.
 	mono, err := NewFD(Config{FlowIDs: flowIDs(w), Ell: ell})
@@ -288,11 +318,11 @@ func TestFDAbsorbRowShards(t *testing.T) {
 }
 
 func TestFDAbsorbRejectsMismatch(t *testing.T) {
-	fd, err := NewFD(Config{FlowIDs: flowIDs(3), Ell: 2})
+	fd, err := NewFD(Config{FlowIDs: flowIDs(5), Ell: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	other, err := NewFD(Config{FlowIDs: []int{7, 8, 9}, Ell: 2})
+	other, err := NewFD(Config{FlowIDs: []int{7, 8, 9, 10, 11}, Ell: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +333,7 @@ func TestFDAbsorbRejectsMismatch(t *testing.T) {
 	if err := fd.Absorb(rp); !errors.Is(err, ErrInput) {
 		t.Fatalf("family mismatch err = %v", err)
 	}
-	wrongEll, err := NewFD(Config{FlowIDs: flowIDs(3), Ell: 4})
+	wrongEll, err := NewFD(Config{FlowIDs: flowIDs(9), Ell: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,6 +425,19 @@ func TestDefaultEll(t *testing.T) {
 	}
 	if got := DefaultEll(256); got != 32 {
 		t.Fatalf("DefaultEll(256) = %d, want 32", got)
+	}
+	// Narrow shards clamp to MaxEll so the default clears the 2ℓ < w bound:
+	// 2·⌈√20⌉ = 10 would tie the width, (20−1)/2 = 9 does not.
+	if got := DefaultEll(20); got != 9 {
+		t.Fatalf("DefaultEll(20) = %d, want 9", got)
+	}
+	if got := DefaultEll(4); got != 1 {
+		t.Fatalf("DefaultEll(4) = %d, want 1", got)
+	}
+	for w := 3; w <= 512; w++ {
+		if ell := DefaultEll(w); 2*ell >= w {
+			t.Fatalf("DefaultEll(%d) = %d violates 2ℓ < w", w, ell)
+		}
 	}
 }
 

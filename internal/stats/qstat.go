@@ -92,6 +92,40 @@ func QStatistic(singularValues []float64, windowLen, normalRank int, alpha float
 	return math.Sqrt(q2), nil
 }
 
+// QStatisticCapped is QStatistic with residual-rank capping: when the full
+// residual spectrum is degenerate for the Jackson–Mudholkar expansion
+// (h0 ≤ 0 or a non-finite Q), it retries on sv[r:r+k] for k = full−1 … 1 —
+// keeping only the k largest residual variances and treating the trailing
+// tail, whose near-zero eigenvalues are what drive the φ ratios pathological,
+// as numerically zero. Dropping trailing variance can only shrink φ1 and the
+// threshold with it, so the capped limit alarms at least as readily as an
+// exact one would — conservative in the direction that matters for
+// detection. A single positive variance gives h0 = 1/3 > 0, so capping
+// terminates with a usable limit whenever the leading residual component
+// carries any energy; ErrDegenerate escapes only when no cap admits one.
+//
+// The second return is the number of trailing residual components dropped
+// (0 means the exact uncapped threshold was usable).
+func QStatisticCapped(singularValues []float64, windowLen, normalRank int, alpha float64) (float64, int, error) {
+	q, err := QStatistic(singularValues, windowLen, normalRank, alpha)
+	if err == nil || !errors.Is(err, ErrDegenerate) {
+		return q, 0, err
+	}
+	full := len(singularValues) - normalRank
+	lastErr := err
+	for k := full - 1; k >= 1; k-- {
+		q, err := QStatistic(singularValues[normalRank:normalRank+k], windowLen, 0, alpha)
+		if err == nil {
+			return q, full - k, nil
+		}
+		if !errors.Is(err, ErrDegenerate) {
+			return 0, 0, err
+		}
+		lastErr = err
+	}
+	return 0, 0, lastErr
+}
+
 // ResidualVariances converts singular values to the per-component variances
 // σ_j² = η_j²/(n−1) of eq. (9), for all components.
 func ResidualVariances(singularValues []float64, windowLen int) ([]float64, error) {

@@ -77,6 +77,100 @@ func TestQStatisticDegenerate(t *testing.T) {
 	}
 }
 
+// TestQStatisticCapped pins the residual-rank capping bugfix: the h0 ≤ 0
+// spectrum above must yield a usable (capped) threshold instead of leaving
+// the detector threshold-less, well-conditioned spectra must pass through
+// uncapped and bit-identical, and only a spectrum no cap can salvage keeps
+// the typed error.
+func TestQStatisticCapped(t *testing.T) {
+	// Well-conditioned: identical to QStatistic, zero components dropped.
+	sv := decayingSpectrum(10, 100, 0.6)
+	exact, err := QStatistic(sv, 500, 3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, capped, err := QStatisticCapped(sv, 500, 3, 0.01)
+	if err != nil || capped != 0 || q != exact {
+		t.Fatalf("well-conditioned: q=%v capped=%d err=%v, want exactly %v", q, capped, err, exact)
+	}
+
+	// The degenerate spectrum of TestQStatisticDegenerate: capping must
+	// recover a finite positive threshold by dropping trailing components,
+	// and the value must match QStatistic over the kept slice.
+	sv = make([]float64, 101)
+	sv[0] = 1
+	for i := 1; i < len(sv); i++ {
+		sv[i] = 0.1
+	}
+	q, capped, err = QStatisticCapped(sv, 100, 0, 0.01)
+	if err != nil {
+		t.Fatalf("degenerate spectrum not salvaged: %v", err)
+	}
+	if capped <= 0 {
+		t.Fatalf("capped = %d, want > 0 on an h0-degenerate residual", capped)
+	}
+	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		t.Fatalf("capped threshold = %v", q)
+	}
+	kept := len(sv) - capped
+	want, err := QStatistic(sv[:kept], 100, 0, 0.01)
+	if err != nil || q != want {
+		t.Fatalf("capped q = %v, want QStatistic over %d kept components = %v (%v)", q, kept, want, err)
+	}
+	// Dropping trailing variance only shrinks φ1: the capped limit must sit
+	// at or below what the same expansion would give with more tail energy,
+	// i.e. it alarms at least as readily — never less.
+	if more, err := QStatistic(sv[:kept+1], 100, 0, 0.01); err == nil && q > more {
+		t.Fatalf("capped threshold %v above the longer slice's %v", q, more)
+	}
+
+	// ErrBadInput passes through unsalvaged.
+	if _, _, err := QStatisticCapped(nil, 100, 1, 0.01); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty: %v", err)
+	}
+	// A spectrum no cap salvages (non-finite leading variance poisons every
+	// slice) keeps the typed degenerate error.
+	bad := []float64{math.Inf(1), 1, 0.5}
+	if _, _, err := QStatisticCapped(bad, 100, 0, 0.01); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("unsalvageable spectrum: %v", err)
+	}
+}
+
+// A single-component residual has h0 = 1 − 2φ1φ3/(3φ2²) = 1 − 2/3 = 1/3 > 0,
+// so capping always terminates with a usable limit when the leading residual
+// variance is positive and finite — for any spectrum shape.
+func TestQStatisticCappedAlwaysTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(40)
+		r := rng.Intn(m)
+		sv := make([]float64, m)
+		for i := range sv {
+			// Wildly skewed magnitudes to provoke h0 ≤ 0 shapes.
+			sv[i] = math.Pow(10, 4*rng.Float64()-2) * rng.Float64()
+		}
+		sortDescending(sv)
+		q, capped, err := QStatisticCapped(sv, 64, r, 0.01)
+		if err != nil {
+			t.Fatalf("trial %d (m=%d r=%d sv=%v): %v", trial, m, r, sv, err)
+		}
+		if math.IsNaN(q) || math.IsInf(q, 0) || q < 0 {
+			t.Fatalf("trial %d: q = %v", trial, q)
+		}
+		if capped < 0 || capped >= m-r && capped != 0 {
+			t.Fatalf("trial %d: capped = %d of %d residual components", trial, capped, m-r)
+		}
+	}
+}
+
+func sortDescending(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] > v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
 func TestQStatisticFullRankResidualEmpty(t *testing.T) {
 	sv := decayingSpectrum(4, 10, 0.5)
 	q, err := QStatistic(sv, 100, 4, 0.01)

@@ -198,6 +198,101 @@ func TestFamilyFieldOldToNewPeer(t *testing.T) {
 	}
 }
 
+// legacyFederationEnvelope mirrors the pre-federation frame: Hello without
+// Role, SketchResponse without Degraded/StaleFlows, no Shards payload.
+type legacyFederationEnvelope struct {
+	Hello    *legacyHello
+	Response *legacySketchResponse
+	Trace    *TraceContext
+}
+
+// TestFederationFieldsCompat pins the rollout invariant for the aggregator
+// tier: pre-federation peers decode the new frames keeping the fields they
+// know, and frames from such peers decode on the current build with the
+// zero-value role (monitor) and a clean (non-degraded) response.
+func TestFederationFieldsCompat(t *testing.T) {
+	// New → old: a Role-tagged, degraded response frame.
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	frames := []Envelope{
+		{Hello: &Hello{MonitorID: "agg-0", FlowIDs: []int{0, 1, 2}, SketchLen: 4,
+			WindowLen: 16, Role: RoleAggregator}},
+		{Response: &SketchResponse{RequestID: 3, MonitorID: "agg-0",
+			Degraded: true, StaleFlows: 2}},
+	}
+	for i := range frames {
+		if err := enc.Encode(&frames[i]); err != nil {
+			t.Fatalf("encode frame %d: %v", i, err)
+		}
+	}
+	dec := gob.NewDecoder(&buf)
+	var oldHello, oldResp legacyFederationEnvelope
+	if err := dec.Decode(&oldHello); err != nil {
+		t.Fatalf("old peer failed on role-tagged hello: %v", err)
+	}
+	if oldHello.Hello == nil || oldHello.Hello.MonitorID != "agg-0" || len(oldHello.Hello.FlowIDs) != 3 {
+		t.Fatalf("hello shared fields mangled for old peer: %+v", oldHello.Hello)
+	}
+	if err := dec.Decode(&oldResp); err != nil {
+		t.Fatalf("old peer failed on degraded response: %v", err)
+	}
+	if oldResp.Response == nil || oldResp.Response.RequestID != 3 {
+		t.Fatalf("response shared fields mangled for old peer: %+v", oldResp.Response)
+	}
+
+	// Old → new: a legacy frame must come out as a plain, non-degraded
+	// monitor and pass Validate.
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&legacyFederationEnvelope{
+		Hello: &legacyHello{MonitorID: "m9", FlowIDs: []int{4}, SketchLen: 4, WindowLen: 16},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got Envelope
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("new peer failed on legacy hello: %v", err)
+	}
+	if got.Hello == nil || got.Hello.Role != RoleMonitor {
+		t.Fatalf("legacy hello role = %+v, want monitor zero value", got.Hello)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardMapOverConn: the aggregator-candidate map survives the live
+// transport, counts as a payload for Validate, and an old peer decoding the
+// frame sees an empty (payload-less) envelope rather than an error.
+func TestShardMapOverConn(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	sm := &ShardMap{Aggregators: []string{"127.0.0.1:7001", "127.0.0.1:7002"}, Epoch: 5}
+	if err := (&Envelope{Shards: sm}).Validate(); err != nil {
+		t.Fatalf("shard-map envelope invalid: %v", err)
+	}
+	go func() { _ = a.Send(Envelope{Shards: sm}) }()
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Shards == nil || env.Shards.Epoch != 5 || len(env.Shards.Aggregators) != 2 {
+		t.Fatalf("shard map mangled in transit: %+v", env.Shards)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&Envelope{Shards: sm}); err != nil {
+		t.Fatal(err)
+	}
+	var old legacyFederationEnvelope
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("old peer failed on shard-map frame: %v", err)
+	}
+	if old.Hello != nil || old.Response != nil {
+		t.Fatalf("shard-map frame grew a payload for old peer: %+v", old)
+	}
+}
+
 // TestFDSnapshotOverConn: an FD snapshot (the new wire fields) survives the
 // live transport intact and an old peer decoding the same frame keeps the
 // fields it knows while dropping the FD payload cleanly.

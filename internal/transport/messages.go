@@ -24,6 +24,31 @@ var (
 	ErrBadMessage = errors.New("transport: bad message")
 )
 
+// Role distinguishes the kinds of downstream peers a NOC-side server
+// accepts. Wire compatibility: the zero value is a plain monitor, so Hellos
+// from binaries built before the field existed decode as monitors.
+type Role int
+
+const (
+	// RoleMonitor is a leaf monitor owning raw flow sketches.
+	RoleMonitor Role = iota
+	// RoleAggregator is a mid-tier aggregator fronting a shard of monitors:
+	// its Hello's FlowIDs are the union of its monitors' flows and its
+	// sketch responses are interval-aligned merges (sketch.Merge).
+	RoleAggregator
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleMonitor:
+		return "monitor"
+	case RoleAggregator:
+		return "aggregator"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
 // Hello announces a monitor to the NOC. It must be the first message on a
 // connection.
 type Hello struct {
@@ -44,6 +69,10 @@ type Hello struct {
 	// field existed decodes as randproj (gob omits zero and unknown fields),
 	// and an old NOC decoding a new randproj Hello sees an identical message.
 	Family sketch.Family
+	// Role tags the peer kind (zero value: monitor). An aggregator re-sends
+	// Hello on the same connection when its flow union grows or shrinks —
+	// the NOC treats a repeat Hello from an aggregator as re-registration.
+	Role Role
 }
 
 // VolumeReport carries one interval's volumes for a monitor's flows
@@ -65,6 +94,13 @@ type SketchResponse struct {
 	RequestID uint64
 	MonitorID string
 	Report    core.SketchReport
+	// Degraded / StaleFlows: set by an aggregator whose merged report had to
+	// substitute cached snapshots for StaleFlows flows of unreachable
+	// monitors. The NOC folds them into core.Fetch so degraded federated
+	// models are flagged exactly like degraded flat ones. Leaf monitors
+	// leave both zero.
+	Degraded   bool
+	StaleFlows int
 }
 
 // Alarm notifies monitors (or other subscribers) of a detected anomaly.
@@ -75,6 +111,19 @@ type Alarm struct {
 	// Degraded marks alarms raised on substituted inputs (cached volumes
 	// or a stale-sketch model) — see the NOC's DegradedPolicy.
 	Degraded bool
+}
+
+// ShardMap is pushed by an aggregator to its monitors: the full candidate
+// list of aggregators fronting the same NOC, so a monitor whose aggregator
+// dies can re-place itself (rendezvous hash over the survivors) without any
+// central coordination.
+type ShardMap struct {
+	// Aggregators lists the dial addresses of every aggregator candidate,
+	// including the sender. Order is not significant; placement hashes it.
+	Aggregators []string
+	// Epoch lets receivers discard stale maps: a monitor keeps only the
+	// highest epoch it has seen.
+	Epoch uint64
 }
 
 // ProtocolError reports a fatal protocol-level problem to the peer before
@@ -104,6 +153,7 @@ type Envelope struct {
 	Response *SketchResponse
 	Alarm    *Alarm
 	Error    *ProtocolError
+	Shards   *ShardMap
 	Trace    *TraceContext
 }
 
@@ -128,6 +178,9 @@ func (e *Envelope) Validate() error {
 	if e.Error != nil {
 		count++
 	}
+	if e.Shards != nil {
+		count++
+	}
 	if count != 1 {
 		return fmt.Errorf("%w: %d payloads set", ErrBadMessage, count)
 	}
@@ -144,5 +197,6 @@ func registerTypes() {
 	gob.Register(SketchResponse{})
 	gob.Register(Alarm{})
 	gob.Register(ProtocolError{})
+	gob.Register(ShardMap{})
 	gob.Register(TraceContext{})
 }

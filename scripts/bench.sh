@@ -3,9 +3,11 @@
 # SymEigen, MonitorUpdate at workers 1/2/4/8), the PR8 sketcher-family cells
 # (FDUpdate, FDModelBuild, RSVDBuild at m=64/256, workers 1/4), the ingest
 # benchmarks (IngestDecode, IngestPipeline at 1/2/4 shards, IngestCollectors
-# at 1/2/4/8 concurrent producers) and the PR6 tracing cells
-# (TracedSketchUpdate at mode=base/off/on) — and writes BENCH_PR8.json at the
-# repo root: one record per cell with the median ns/op over COUNT runs.
+# at 1/2/4/8 concurrent producers), the PR6 tracing cells
+# (TracedSketchUpdate at mode=base/off/on) and the PR9 aggregator-merge
+# cells (AggregatorMerge at l=64/128, both sketcher families) — and writes
+# BENCH_PR9.json at the repo root: one record per cell with the median
+# ns/op over COUNT runs.
 #
 # Usage: scripts/bench.sh [-count N] [-benchtime D] [-cpuprofile]
 #
@@ -43,6 +45,7 @@ done
 
 KERNEL_BENCH='BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/|BenchmarkFDUpdate/|BenchmarkFDModelBuild/|BenchmarkRSVDBuild/'
 INGEST_BENCH='BenchmarkIngestDecode$|BenchmarkIngestPipeline/|BenchmarkIngestCollectors/'
+MERGE_BENCH='BenchmarkAggregatorMerge/'
 
 if [ "$PROFILE" = "1" ]; then
   PROFDIR=ci-artifacts/bench-profiles
@@ -54,6 +57,8 @@ if [ "$PROFILE" = "1" ]; then
     -cpuprofile "$PROFDIR/ingest.pprof" -o "$PROFDIR/ingest.test" >&2
   go test . -run 'XXX' -bench 'BenchmarkTracedSketchUpdate/' -benchtime 5000x \
     -cpuprofile "$PROFDIR/traced.pprof" -o "$PROFDIR/traced.test" >&2
+  go test ./internal/agg -run 'XXX' -bench "$MERGE_BENCH" -benchtime 20x \
+    -cpuprofile "$PROFDIR/merge.pprof" -o "$PROFDIR/merge.test" >&2
   echo "wrote $(ls "$PROFDIR"/*.pprof | wc -l) profiles to $PROFDIR" >&2
   exit 0
 fi
@@ -84,7 +89,16 @@ for _ in $(seq "$COUNT"); do
     -benchtime 5000x | tee -a "$RAW" >&2
 done
 
-python3 - "$RAW" <<'EOF' > BENCH_PR8.json
+# One merge iteration combines 4 shard snapshots; the FD cells rebuild a
+# fresh FD per merge (~50-100ms each), so 20 iterations per measurement is
+# already seconds of work — enough to dominate timer noise without
+# stretching CI.
+echo "running aggregator merge benchmarks (count=$COUNT benchtime=20x)..." >&2
+go test ./internal/agg -run 'XXX' \
+  -bench "$MERGE_BENCH" \
+  -benchtime 20x -count "$COUNT" | tee -a "$RAW" >&2
+
+python3 - "$RAW" <<'EOF' > BENCH_PR9.json
 import json, re, statistics, sys
 
 # Benchmark lines look like (the -N GOMAXPROCS suffix is absent when
@@ -107,6 +121,10 @@ ingest = re.compile(
 # tracer through the call site, on = recording); m=0, workers=1.
 traced = re.compile(
     r'^BenchmarkTracedSketchUpdate/(mode=\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+# Aggregator merge cells (PR9): the op carries the family, m records the
+# shared sketch parameter l, workers=1 (serveFetch's merge cost per fetch).
+merge = re.compile(
+    r'^BenchmarkAggregatorMerge/family=(\w+)/l=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 cells = {}
 for line in open(sys.argv[1]):
     m = kernel.match(line)
@@ -128,6 +146,11 @@ for line in open(sys.argv[1]):
     if m:
         key = ("TracedSketchUpdate/" + m.group(1), 0, 1)
         cells.setdefault(key, []).append(float(m.group(2)))
+        continue
+    m = merge.match(line)
+    if m:
+        key = ("AggregatorMerge/family=" + m.group(1), int(m.group(2)), 1)
+        cells.setdefault(key, []).append(float(m.group(3)))
 
 records = [
     {"op": op, "m": size, "workers": w,
@@ -138,4 +161,4 @@ json.dump(records, sys.stdout, indent=2)
 print()
 EOF
 
-echo "wrote BENCH_PR8.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR8.json"))))') cells)" >&2
+echo "wrote BENCH_PR9.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR9.json"))))') cells)" >&2

@@ -2,11 +2,12 @@
 # Guards the tracked benchmarks — the kernel worker sweeps (Gram, Mul,
 # SymEigen, MonitorUpdate), the PR8 sketcher-family cells (FDUpdate,
 # FDModelBuild, RSVDBuild), the ingest cells (IngestDecode, IngestPipeline,
-# IngestCollectors) and the PR6 tracing cells (TracedSketchUpdate at
-# mode=base/off/on) — against performance regressions: re-runs each cell
+# IngestCollectors), the PR6 tracing cells (TracedSketchUpdate at
+# mode=base/off/on) and the PR9 aggregator-merge cells (AggregatorMerge at
+# l=64/128, both families) — against performance regressions: re-runs each cell
 # BENCHCHECK_COUNT times, takes the per-cell minimum (least-noise estimate),
 # and fails when any cell is more than BENCHCHECK_TOLERANCE percent slower
-# than the recorded median in BENCH_PR8.json (written by scripts/bench.sh on
+# than the recorded median in BENCH_PR9.json (written by scripts/bench.sh on
 # the reference host).
 #
 # The tracing cells additionally gate the disabled-tracing overhead: the
@@ -41,6 +42,12 @@
 #                               (default 4.0; needs >= 8 CPUs)
 #   BENCHCHECK_FD_SPEEDUP       required FD-retrain-vs-Jacobi-rebuild speedup
 #                               at m=256 (default 2.0; needs >= 2 CPUs)
+#   BENCHCHECK_MERGE_FLOOR      minimum aggregator merge throughput in shard
+#                               snapshots/s for the randproj cells (default
+#                               500; each merge consumes 4 snapshots)
+#   BENCHCHECK_MERGE_FLOOR_FD   same floor for the FD cells (default 5 —
+#                               an FD merge re-compresses the union, so its
+#                               unit cost is ~100x a randproj column union)
 #   BENCHCHECK_SCALING=0        disable the scaling gates regardless of cores
 #   SKIP_BENCHCHECK=1           skip entirely (e.g. on known-noisy hosts)
 #
@@ -54,8 +61,8 @@ if [ "${SKIP_BENCHCHECK:-0}" = "1" ]; then
     echo "benchcheck: skipped (SKIP_BENCHCHECK=1)"
     exit 0
 fi
-if [ ! -f BENCH_PR8.json ]; then
-    echo "benchcheck: no BENCH_PR8.json baseline; run scripts/bench.sh first" >&2
+if [ ! -f BENCH_PR9.json ]; then
+    echo "benchcheck: no BENCH_PR9.json baseline; run scripts/bench.sh first" >&2
     exit 1
 fi
 
@@ -65,13 +72,15 @@ TRACE_TOLERANCE="${BENCHCHECK_TRACE_TOLERANCE:-5}"
 GRAM_SPEEDUP="${BENCHCHECK_GRAM_SPEEDUP:-2.0}"
 INGEST_SPEEDUP="${BENCHCHECK_INGEST_SPEEDUP:-4.0}"
 FD_SPEEDUP="${BENCHCHECK_FD_SPEEDUP:-2.0}"
+MERGE_FLOOR="${BENCHCHECK_MERGE_FLOOR:-500}"
+MERGE_FLOOR_FD="${BENCHCHECK_MERGE_FLOOR_FD:-5}"
 SCALING="${BENCHCHECK_SCALING:-1}"
 NPROC="$(nproc 2>/dev/null || echo 1)"
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR8.json, trace overhead <= ${TRACE_TOLERANCE}%"
+echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR9.json, trace overhead <= ${TRACE_TOLERANCE}%"
 go test . -run 'XXXnone' \
     -bench 'BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/|BenchmarkFDUpdate/|BenchmarkFDModelBuild/|BenchmarkRSVDBuild/' \
     -benchtime 1x -count "$COUNT" > "$RAW"
@@ -95,9 +104,15 @@ while [ "$i" -lt "$COUNT" ]; do
         -benchtime 5000x >> "$RAW"
     i=$((i + 1))
 done
+# Aggregator merge cells at 20 iterations (one FD merge is ~50-100ms),
+# matching scripts/bench.sh.
+go test ./internal/agg -run 'XXXnone' \
+    -bench 'BenchmarkAggregatorMerge/' \
+    -benchtime 20x -count "$COUNT" >> "$RAW"
 
 python3 - "$RAW" "$TOLERANCE" "$TRACE_TOLERANCE" \
-    "$GRAM_SPEEDUP" "$INGEST_SPEEDUP" "$SCALING" "$NPROC" "$FD_SPEEDUP" <<'EOF'
+    "$GRAM_SPEEDUP" "$INGEST_SPEEDUP" "$SCALING" "$NPROC" "$FD_SPEEDUP" \
+    "$MERGE_FLOOR" "$MERGE_FLOOR_FD" <<'EOF'
 import json, re, sys
 
 kernel = re.compile(
@@ -110,6 +125,8 @@ ingest = re.compile(
     r'(?:/(?:shards|collectors)=(\d+))?(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 traced = re.compile(
     r'^BenchmarkTracedSketchUpdate/(mode=\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+merge = re.compile(
+    r'^BenchmarkAggregatorMerge/family=(\w+)/l=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 cells = {}
 for line in open(sys.argv[1]):
     m = kernel.match(line)
@@ -131,10 +148,15 @@ for line in open(sys.argv[1]):
     if m:
         key = ("TracedSketchUpdate/" + m.group(1), 0, 1)
         cells.setdefault(key, []).append(float(m.group(2)))
+        continue
+    m = merge.match(line)
+    if m:
+        key = ("AggregatorMerge/family=" + m.group(1), int(m.group(2)), 1)
+        cells.setdefault(key, []).append(float(m.group(3)))
 
 baseline = {
     (r["op"], r["m"], r["workers"]): r["ns_op"]
-    for r in json.load(open("BENCH_PR8.json"))
+    for r in json.load(open("BENCH_PR9.json"))
 }
 tolerance = float(sys.argv[2])
 trace_tolerance = float(sys.argv[3])
@@ -143,6 +165,8 @@ ingest_speedup = float(sys.argv[5])
 scaling = sys.argv[6] == "1"
 nproc = int(sys.argv[7])
 fd_speedup = float(sys.argv[8])
+merge_floor = float(sys.argv[9])
+merge_floor_fd = float(sys.argv[10])
 
 failed = False
 for key in sorted(set(cells) | set(baseline)):
@@ -233,6 +257,24 @@ else:
             failed = True
         print("benchcheck: %s %.2fx (required %.2fx) %s"
               % (label, speedup, fd_speedup, verdict))
+
+# Merge-throughput floor (PR9): each AggregatorMerge op consumes 4 shard
+# snapshots, so throughput = 4e9 / ns_op. Absolute floors (not within-run
+# ratios) set far below the reference host's numbers — they catch
+# catastrophic slowdowns (an accidental O(m^2) in the union path, FD merge
+# re-running per row) on any host while the 20% tolerance above guards the
+# fine-grained budget on calibrated ones.
+for (op, l, _w), v in sorted(cells.items()):
+    if not op.startswith("AggregatorMerge/"):
+        continue
+    floor = merge_floor_fd if op.endswith("=fd") else merge_floor
+    sps = 4e9 / min(v)
+    verdict = "ok"
+    if sps < floor:
+        verdict = "FAILED"
+        failed = True
+    print("benchcheck: merge throughput %-26s %10.1f sketches/s "
+          "(floor %g) %s" % ("%s/l=%d" % (op, l), sps, floor, verdict))
 
 if failed:
     print("benchcheck: FAILED (>%g%% regression or scaling gate miss; rerun "
