@@ -471,6 +471,58 @@ func BenchmarkDetectorDistance(b *testing.B) {
 	}
 }
 
+// BenchmarkIdentify measures the anomography pursuit on an alarmed
+// measurement: per selection round an m-coordinate residual read plus a
+// k×k least-squares refit, so the cost grows with both the flow count and
+// the culprit budget. Twelve spiked flows keep the residual above the
+// Q-threshold through every round, so the k=8 cells do the full eight
+// selections rather than stopping early — the worst case the
+// identification-latency floor in scripts/benchcheck.sh guards.
+func BenchmarkIdentify(b *testing.B) {
+	for _, m := range []int{64, 256} {
+		const l = 128
+		rng := rand.New(rand.NewSource(11))
+		sketches := make([][]float64, m)
+		means := make([]float64, m)
+		for j := range sketches {
+			s := make([]float64, l)
+			for k := range s {
+				s[k] = rng.NormFloat64()
+			}
+			sketches[j] = s
+		}
+		det, err := core.NewDetector(core.DetectorConfig{
+			NumFlows: m, WindowLen: 4032, SketchLen: l, Alpha: 0.01, FixedRank: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := det.RebuildModel(sketches, means, 1); err != nil {
+			b.Fatal(err)
+		}
+		x := make([]float64, m)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		for s := 0; s < 12; s++ {
+			x[(s*m)/12] += 500
+		}
+		for _, k := range []int{1, 8} {
+			b.Run(fmt.Sprintf("m=%d/k=%d", m, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					id, err := det.Identify(x, k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(id.Flows) == 0 {
+						b.Fatal("pursuit identified nothing — the cell is not measuring selection work")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSymEigen and BenchmarkSVD size the linear-algebra substrate. The
 // legacy sizes (n=20, 81) run serial; the PR2 sizes (n=64, 256) sweep the
 // worker count of the round-robin Jacobi solver — scripts/bench.sh parses

@@ -85,11 +85,24 @@ step_done
 # The federated differential e2e is the correctness bar of the PR9
 # aggregator tier: a 3-aggregator topology must produce byte-identical
 # alarm decisions to the flat NOC (randproj exactly; FD in the
-# one-monitor-per-aggregator pass-through configuration). Run it explicitly
-# so the merge path is gated even if someone narrows the package test
-# filters above.
+# one-monitor-per-aggregator pass-through configuration). Since PR10 the
+# same regex also gates the identification differential — federated and
+# flat deployments must name identical culprit sets. Run it explicitly so
+# the merge path is gated even if someone narrows the package test filters
+# above.
 step "go test -race federated differential e2e"
 go test -race -run 'TestFederated' ./internal/noc/
+step_done
+
+# Identification-quality gate (PR10): the anomography suite replays five
+# labeled attack scenarios over a synthetic Abilene-like week (m=81 flows)
+# and scores the culprits each online family names against the injected
+# ground truth. Both randproj and fd must clear precision@3 >= 0.8 and
+# recall >= 0.7 or the eval exits non-zero. The offline PCP comparator row
+# is informational (printed, not gated). ~4s; fully seeded, so a failure
+# is a real quality regression, not flake.
+step "identification quality gate (abilene-eval -identify)"
+go run ./cmd/abilene-eval -identify -identify-min-p3 0.8 -identify-min-recall 0.7
 step_done
 
 # Fuzz smokes: ten seconds of coverage-guided input on each hostile decoder
@@ -119,7 +132,7 @@ step "bench smoke (1 iteration per benchmark)"
 go test . ./internal/... -run 'XXXnone' -bench . -benchtime 1x > /dev/null
 step_done
 
-step "benchcheck (vs BENCH_PR9.json)"
+step "benchcheck (vs BENCH_PR10.json)"
 sh scripts/benchcheck.sh
 step_done
 

@@ -11,6 +11,7 @@
 //	abilene-eval -figure 10         # NOC computation overhead
 //	abilene-eval -bounds            # empirical Lemma 5/6, Theorem 2 checks
 //	abilene-eval -shootout          # three-way sketcher family comparison
+//	abilene-eval -identify          # per-flow identification scorecard
 //	abilene-eval -figure 7 -full    # paper-scale run (hours)
 //
 // The default runs use a documented scaled-down grid so the whole suite
@@ -39,22 +40,26 @@ func main() {
 }
 
 type params struct {
-	figure      string
-	bounds      bool
-	oracle      bool
-	comm        bool
-	shootout    bool
-	full        bool
-	seed        int64
-	refitEvery  int
-	epsilon     float64
-	alpha       float64
-	shootSketch int
-	fdEll       int
-	monitors    int
-	trace       string
-	traceWindow int
-	dist        randproj.Distribution
+	figure       string
+	bounds       bool
+	oracle       bool
+	comm         bool
+	shootout     bool
+	identify     bool
+	idMinP3      float64
+	idMinRecall  float64
+	idFDMonitors int
+	full         bool
+	seed         int64
+	refitEvery   int
+	epsilon      float64
+	alpha        float64
+	shootSketch  int
+	fdEll        int
+	monitors     int
+	trace        string
+	traceWindow  int
+	dist         randproj.Distribution
 }
 
 // parseDist maps the -dist flag to a projection family.
@@ -86,6 +91,10 @@ func run(args []string, out io.Writer) error {
 	fs.Float64Var(&p.alpha, "alpha", 0.01, "Q-statistic false-alarm rate (paper: 0.01)")
 	fs.BoolVar(&p.comm, "comm", false, "report the lazy protocol's communication cost")
 	fs.BoolVar(&p.shootout, "shootout", false, "run the three-way sketcher shoot-out (randproj+jacobi, randproj+rsvd, fd) with per-family oracle checks")
+	fs.BoolVar(&p.identify, "identify", false, "score per-flow identification on the labeled attack suite (online pursuit per family + offline PCP comparator)")
+	fs.Float64Var(&p.idMinP3, "identify-min-p3", 0, "gate: fail unless every online family's precision@3 meets this floor (0 = no gate)")
+	fs.Float64Var(&p.idMinRecall, "identify-min-recall", 0, "gate: fail unless every online family's recall meets this floor (0 = no gate)")
+	fs.IntVar(&p.idFDMonitors, "identify-fd-monitors", 1, "monitor count for the fd identification row (narrow fd shards cannot hold rank r plus residual spectrum)")
 	fs.IntVar(&p.shootSketch, "shootout-sketch", 100, "random-projection l for the shoot-out's randproj variants")
 	fs.IntVar(&p.fdEll, "fd-ell", 0, "per-monitor Frequent Directions basis budget ℓ for the shoot-out (0 = 2·⌈√w⌉ per monitor)")
 	fs.IntVar(&p.monitors, "monitors", 9, "monitors partitioning the flows in the shoot-out")
@@ -100,8 +109,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	p.dist = dist
-	if p.figure == "" && !p.bounds && !p.oracle && !p.comm && !p.shootout {
-		return fmt.Errorf("nothing to do: pass -figure N, -bounds, -oracle, -comm and/or -shootout")
+	if p.figure == "" && !p.bounds && !p.oracle && !p.comm && !p.shootout && !p.identify {
+		return fmt.Errorf("nothing to do: pass -figure N, -bounds, -oracle, -comm, -shootout and/or -identify")
 	}
 	if p.trace != "" && p.traceWindow < 2 {
 		return fmt.Errorf("-trace requires -trace-window >= 2")
@@ -156,6 +165,11 @@ func run(args []string, out io.Writer) error {
 	if p.shootout {
 		if err := shootoutReport(p, out); err != nil {
 			return fmt.Errorf("shootout: %w", err)
+		}
+	}
+	if p.identify {
+		if err := identifyReport(p, out); err != nil {
+			return fmt.Errorf("identify: %w", err)
 		}
 	}
 	return nil
@@ -461,6 +475,55 @@ func shootoutReport(p params, out io.Writer) error {
 		if r.OracleViolations > 0 {
 			fmt.Fprintf(out, "# %s worst violation: %s\n", r.Variant, r.OracleWorst)
 		}
+	}
+	return nil
+}
+
+// identifyReport scores per-flow anomaly identification on the labeled
+// attack suite at Abilene scale: the online greedy pursuit once per
+// CI-gated sketcher family, plus the offline relaxed-PCP comparator. The
+// -identify-min-p3 / -identify-min-recall gates turn the scorecard into a
+// CI check: any online family below a floor fails the run.
+func identifyReport(p params, out io.Writer) error {
+	perDay, window, total, _ := surfaceDims(p, false)
+	tr, err := eval.BuildIdentifyTrace(p.seed, total, perDay, window, nil)
+	if err != nil {
+		return err
+	}
+	rows, err := eval.IdentifySuite(tr, eval.IdentifyConfig{
+		WindowLen: window, Epsilon: p.epsilon, Alpha: p.alpha, Seed: uint64(p.seed),
+		SketchLen: p.shootSketch, FDEll: p.fdEll, Rank: 6,
+		NumMonitors: p.monitors, FDMonitors: p.idFDMonitors,
+		PCP: true, PCPFrom: window,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "# Identification — per-flow anomography on the labeled attack suite")
+	fmt.Fprintf(out, "# window n=%d, trace %d intervals, m=%d flows, %d injected scenarios\n",
+		window, tr.NumIntervals(), tr.NumFlows(), len(tr.Injections))
+	fmt.Fprintln(out, "variant,sketch_param,scored,missed,false_alarms,precision@1,precision@3,recall,mean_explained,mean_culprits")
+	var gateErrs []string
+	for _, r := range rows {
+		fmt.Fprintf(out, "%s,%d,%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.1f\n",
+			r.Variant, r.SketchParam, r.Scored, r.Missed, r.FalseAlarms,
+			r.Precision1, r.Precision3, r.Recall, r.MeanExplained, r.MeanCulprits)
+		for _, ks := range r.Kinds {
+			fmt.Fprintf(out, "#   %s/%s: scored=%d missed=%d precision@3=%.3f recall=%.3f\n",
+				r.Variant, ks.Kind, ks.Scored, ks.Missed, ks.Precision3, ks.Recall)
+		}
+		if r.Variant == "pcp-offline" {
+			continue // the comparator is context, not a gated family
+		}
+		if p.idMinP3 > 0 && r.Precision3 < p.idMinP3 {
+			gateErrs = append(gateErrs, fmt.Sprintf("%s precision@3 %.4f < %.4f", r.Variant, r.Precision3, p.idMinP3))
+		}
+		if p.idMinRecall > 0 && r.Recall < p.idMinRecall {
+			gateErrs = append(gateErrs, fmt.Sprintf("%s recall %.4f < %.4f", r.Variant, r.Recall, p.idMinRecall))
+		}
+	}
+	if len(gateErrs) > 0 {
+		return fmt.Errorf("identification gate failed: %s", strings.Join(gateErrs, "; "))
 	}
 	return nil
 }

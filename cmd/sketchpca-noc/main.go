@@ -19,6 +19,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -84,6 +85,8 @@ func run(args []string) error {
 		traceOn  = fs.Bool("trace", false, "record interval-lineage spans, served on /debug/trace (needs -metrics-addr to be visible)")
 		traceSm  = fs.Int("trace-sample", 1, "with -trace, keep every trace whose id %% N == 0 (1 = all)")
 		flight   = fs.String("flight-recorder", "", "append one JSONL audit record per alarm/degraded decision to this file (off when empty)")
+		flightK  = fs.Int("flight-topk", 0, "residual flows attributed per alarm flight record (0 = default 5, -1 disables)")
+		identK   = fs.Int("identify-topk", 0, "max anomography culprits identified per alarm (0 = default, -1 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +124,8 @@ func run(args []string) error {
 		MetricsAddr:    *metrics,
 		Trace:          tracer,
 		FlightRecorder: recorder,
+		FlightTopK:     *flightK,
+		IdentifyMaxK:   *identK,
 		Detector: core.DetectorConfig{
 			Family:         fam,
 			Builder:        bld,
@@ -154,8 +159,16 @@ func run(args []string) error {
 				flag = ",degraded=true"
 			}
 			if d.Result.Anomalous {
-				fmt.Printf("ALARM,interval=%d,distance=%.4g,threshold=%.4g%s\n",
-					d.Interval, d.Result.Distance, d.Result.Threshold, flag)
+				culprits := ""
+				if d.Identified != nil && len(d.Identified.Flows) > 0 {
+					ids := make([]string, len(d.Identified.Flows))
+					for i, f := range d.Identified.Flows {
+						ids[i] = strconv.Itoa(f.Flow)
+					}
+					culprits = ",culprits=" + strings.Join(ids, "+")
+				}
+				fmt.Printf("ALARM,interval=%d,distance=%.4g,threshold=%.4g%s%s\n",
+					d.Interval, d.Result.Distance, d.Result.Threshold, culprits, flag)
 				return
 			}
 			if !*quiet {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 )
 
@@ -18,36 +17,27 @@ type FlowContribution struct {
 
 // Attribute decomposes a measurement into its normal and anomalous parts
 // (paper eq. 4) and returns the topK flows ranked by their contribution to
-// the anomalous residual — the starting point for diagnosing which OD flows
-// drive an alarm. topK ≤ 0 returns all flows.
+// the anomalous residual — the raw view of which OD flows drive an alarm.
+// The projection runs on the same blocked-tile kernels as Identify, so it
+// is bit-identical at any worker count. topK ≤ 0 returns all flows.
+//
+// Attribute ranks raw residual coordinates; when PCA correlates flows, the
+// projection smears a single-flow spike across its correlated peers and
+// this ranking can misattribute. Identify undoes the smear — prefer it for
+// diagnosis and treat Attribute as the cheap residual inspection.
 func (d *Detector) Attribute(x []float64, topK int) ([]FlowContribution, error) {
 	if d.model == nil {
 		return nil, ErrNoModel
 	}
-	m := d.cfg.NumFlows
-	if len(x) != m {
-		return nil, fmt.Errorf("%w: vector of %d for %d flows", ErrInput, len(x), m)
-	}
-	// y = x − μ; residual = y − Σ_{j≤r} (â_jᵀy)·â_j.
-	y := make([]float64, m)
-	for j, v := range x {
-		y[j] = v - d.model.Means[j]
-	}
-	residual := append([]float64(nil), y...)
-	for j := 0; j < d.model.Rank; j++ {
-		var s float64
-		for i := 0; i < m; i++ {
-			s += d.model.Components.At(i, j) * y[i]
-		}
-		for i := 0; i < m; i++ {
-			residual[i] -= s * d.model.Components.At(i, j)
-		}
+	residual, err := d.anomalousResidual(x, d.principal())
+	if err != nil {
+		return nil, err
 	}
 	var total float64
 	for _, v := range residual {
 		total += v * v
 	}
-	out := make([]FlowContribution, m)
+	out := make([]FlowContribution, len(residual))
 	for i, v := range residual {
 		share := 0.0
 		if total > 0 {

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -190,7 +191,7 @@ func TestAlarmCallback(t *testing.T) {
 	}
 	select {
 	case got := <-alarms:
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("alarm = %+v", got)
 		}
 	case <-time.After(time.Second):

@@ -8,10 +8,10 @@ import (
 	"streampca/internal/trace"
 )
 
-// flightTopK is how many residual flows a flight record attributes; five
-// covers the paper's evaluation scenarios (1–2 injected flows) with room
-// for collateral contributions.
-const flightTopK = 5
+// defaultFlightTopK is how many residual flows a flight record attributes
+// when Config.FlightTopK is unset; five covers the paper's evaluation
+// scenarios (1–2 injected flows) with room for collateral contributions.
+const defaultFlightTopK = 5
 
 // FlightFlow is one flow's contribution to the anomalous residual, from
 // core.Detector.Attribute (paper eq. 4).
@@ -61,16 +61,31 @@ type FlightRecord struct {
 	ModelDegraded    bool `json:"model_degraded,omitempty"`
 	ModelStaleFlows  int  `json:"model_stale_flows,omitempty"`
 	Refreshed        bool `json:"refreshed,omitempty"`
-	// TopFlows ranks the flows driving the anomalous residual (empty
-	// during warmup, when no model exists to attribute against).
+	// TopFlows ranks the flows driving the anomalous residual (alarmed
+	// decisions only — quiet and merely-degraded records skip the
+	// attribution; empty during warmup, when no model exists).
 	TopFlows []FlightFlow `json:"top_flows,omitempty"`
+	// Identified is the anomography pursuit's culprit set for an alarmed
+	// decision, ranked by confidence; IdentifyExplained and IdentifyStop
+	// are the pursuit's explained-energy fraction and stop reason.
+	Identified        []FlightIdentified `json:"identified,omitempty"`
+	IdentifyExplained float64            `json:"identify_explained,omitempty"`
+	IdentifyStop      string             `json:"identify_stop,omitempty"`
 	// Monitors is the contributing monitor set, sorted by ID.
 	Monitors []FlightMonitor `json:"monitors,omitempty"`
 }
 
+// FlightIdentified is one anomography culprit on a flight record.
+type FlightIdentified struct {
+	Flow       int     `json:"flow"`
+	Amount     float64 `json:"amount"`
+	Confidence float64 `json:"confidence"`
+}
+
 // flightRecord appends one audit line for this decision. Called only from
-// the processing goroutine (lastSketch and detMu discipline).
-func (s *Service) flightRecord(item workItem, res core.Decision, warmup, degraded bool) {
+// the processing goroutine (lastSketch and detMu discipline). ident is the
+// identification already computed for an alarmed decision (nil otherwise).
+func (s *Service) flightRecord(item workItem, res core.Decision, warmup, degraded bool, ident *core.Identification) {
 	fr := s.cfg.FlightRecorder
 	if fr == nil {
 		return
@@ -92,14 +107,23 @@ func (s *Service) flightRecord(item workItem, res core.Decision, warmup, degrade
 		ModelStaleFlows:      res.StaleFlows,
 		Refreshed:            res.Refreshed,
 	}
-	if !warmup {
+	// Attribution is alarm-only: quiet and merely-degraded records carry no
+	// residual ranking, so the common path never pays the projection.
+	if !warmup && res.Anomalous && s.cfg.FlightTopK > 0 {
 		s.detMu.Lock()
-		top, err := s.det.Attribute(item.volumes, flightTopK)
+		top, err := s.det.Attribute(item.volumes, s.cfg.FlightTopK)
 		s.detMu.Unlock()
 		if err == nil {
 			for _, c := range top {
 				rec.TopFlows = append(rec.TopFlows, FlightFlow{Flow: c.Flow, Residual: c.Residual, Share: c.Share})
 			}
+		}
+	}
+	if ident != nil {
+		rec.IdentifyExplained = ident.ExplainedFrac
+		rec.IdentifyStop = ident.Stop
+		for _, f := range ident.Flows {
+			rec.Identified = append(rec.Identified, FlightIdentified{Flow: f.Flow, Amount: f.Amount, Confidence: f.Confidence})
 		}
 	}
 	s.mu.Lock()

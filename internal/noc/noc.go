@@ -50,6 +50,10 @@ type Decision struct {
 	// interval; the model's own substitution count is Result.StaleFlows.
 	StaleFlows int
 	Result     core.Decision
+	// Identified is the anomography identification run on this decision
+	// (alarmed decisions only; nil when the decision did not alarm, when
+	// identification is disabled, or when it failed).
+	Identified *core.Identification
 }
 
 // DegradedPolicy configures graceful degradation: instead of stalling when
@@ -158,6 +162,17 @@ type Config struct {
 	// residual flows and the contributing monitor set with sketch ages —
 	// enough to reconstruct the decision offline. Nil disables.
 	FlightRecorder *trace.FlightRecorder
+	// FlightTopK is how many residual flows the flight recorder attributes
+	// on alarm records (core.Detector.Attribute). 0 selects the default of
+	// 5; negative disables the attribution. Attribution runs only on
+	// alarmed decisions — quiet and merely-degraded intervals skip it.
+	FlightTopK int
+	// IdentifyMaxK caps the anomography culprits identified per alarmed
+	// decision (core.Detector.Identify). 0 selects anomography's default;
+	// negative disables identification entirely. Identifications are
+	// attached to alarm broadcasts, flight records, OnDecision and the
+	// streampca_noc_identify_* metrics.
+	IdentifyMaxK int
 }
 
 // metrics is the NOC's instrumentation surface. All names are under
@@ -203,6 +218,12 @@ type metrics struct {
 	thresholdCapped *obs.Gauge
 	// flightRecords counts audit lines written by the alarm flight recorder.
 	flightRecords *obs.Counter
+	// Anomography surface: identifications run on alarmed decisions, their
+	// latency, the culprit count of the latest one, and failures.
+	identifies      *obs.Counter
+	identifySeconds *obs.Histogram
+	identifiedFlows *obs.Gauge
+	identifyErrors  *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -255,6 +276,14 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Trailing residual components dropped by residual-rank capping for the current model's Q threshold (0 = exact)."),
 		flightRecords: reg.Counter("streampca_noc_flight_records_total",
 			"Alarm/degraded-decision audit records appended to the flight recorder."),
+		identifies: reg.Counter("streampca_noc_identify_total",
+			"Anomography identifications run on alarmed decisions."),
+		identifySeconds: reg.Histogram("streampca_noc_identify_seconds",
+			"Anomography pursuit latency per alarmed decision.", nil),
+		identifiedFlows: reg.Gauge("streampca_noc_identified_flows",
+			"Culprit flows returned by the most recent identification."),
+		identifyErrors: reg.Counter("streampca_noc_identify_errors_total",
+			"Anomography identifications that failed."),
 	}
 }
 
@@ -404,6 +433,9 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.MaxPendingIntervals <= 0 {
 		cfg.MaxPendingIntervals = 64
+	}
+	if cfg.FlightTopK == 0 {
+		cfg.FlightTopK = defaultFlightTopK
 	}
 	if cfg.SelfCheckEvery > 0 && cfg.Detector.Family == sketch.FamilyFD {
 		return nil, fmt.Errorf("%w: the oracle self-check shadows variance histograms and only supports the randproj family", ErrConfig)
@@ -944,7 +976,7 @@ func (s *Service) processLoop() {
 			sp.Event("warmup")
 			if item.degraded {
 				s.met.degraded.Inc()
-				s.flightRecord(item, core.Decision{ThresholdUnavailable: true}, true, true)
+				s.flightRecord(item, core.Decision{ThresholdUnavailable: true}, true, true, nil)
 			}
 			sp.End()
 			if s.cfg.OnDecision != nil {
@@ -1043,29 +1075,40 @@ func (s *Service) processLoop() {
 			trace.B("anomalous", res.Anomalous),
 			trace.B("degraded", degraded),
 			trace.B("refreshed", res.Refreshed))
+		var ident *core.Identification
 		if res.Anomalous {
 			s.met.alarms.Inc()
+			ident = s.identify(item, sp)
+			culprits := make([]int, 0, 8)
+			if ident != nil {
+				for _, f := range ident.Flows {
+					culprits = append(culprits, f.Flow)
+				}
+			}
 			s.log.Warn("anomaly detected", "interval", item.interval,
-				"distance", res.Distance, "threshold", res.Threshold, "degraded", degraded)
+				"distance", res.Distance, "threshold", res.Threshold, "degraded", degraded,
+				"culprits", culprits)
 			var tc *transport.TraceContext
 			if sp != nil {
 				tc = &transport.TraceContext{TraceID: uint64(sp.Trace()), SpanID: uint64(sp.ID())}
 			}
 			sent := s.broadcastAlarm(transport.Alarm{
-				Interval:  item.interval,
-				Distance:  res.Distance,
-				Threshold: res.Threshold,
-				Degraded:  degraded,
+				Interval:   item.interval,
+				Distance:   res.Distance,
+				Threshold:  res.Threshold,
+				Degraded:   degraded,
+				Identified: wireIdentified(ident),
 			}, tc)
 			sp.Event("alarm_broadcast", trace.I("monitors", int64(sent)))
 		}
 		if res.Anomalous || degraded {
-			s.flightRecord(item, res, false, degraded)
+			s.flightRecord(item, res, false, degraded, ident)
 		}
 		sp.End()
 		if s.cfg.OnDecision != nil {
 			s.cfg.OnDecision(Decision{Interval: item.interval, Vector: item.volumes,
-				Degraded: degraded, StaleFlows: item.staleFlows, Result: res})
+				Degraded: degraded, StaleFlows: item.staleFlows, Result: res,
+				Identified: ident})
 		}
 	}
 }

@@ -42,6 +42,9 @@ func (k AnomalyKind) String() string {
 	case FlashCrowd:
 		return "flash-crowd"
 	default:
+		if s, ok := attackKindString(k); ok {
+			return s
+		}
 		return "unknown"
 	}
 }

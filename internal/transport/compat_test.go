@@ -338,3 +338,60 @@ func TestFDSnapshotOverConn(t *testing.T) {
 		t.Fatalf("shared fields mangled for old peer: %+v", old.Response)
 	}
 }
+
+// legacyAlarm mirrors the pre-identification Alarm: same fields, no
+// Identified list — a subscriber built before the anomography rollout.
+type legacyAlarm struct {
+	Interval  int64
+	Distance  float64
+	Threshold float64
+	Degraded  bool
+}
+
+// TestIdentifiedAlarmNewToOldPeer checks that alarms carrying anomography
+// culprits decode on a pre-identification peer: the alarm fields arrive
+// intact and the culprit list is silently dropped.
+func TestIdentifiedAlarmNewToOldPeer(t *testing.T) {
+	frame := Envelope{Alarm: &Alarm{
+		Interval: 12, Distance: 9.5, Threshold: 2.25, Degraded: true,
+		Identified: []IdentifiedFlow{
+			{Flow: 41, Amount: 5e5, Confidence: 0.93},
+			{Flow: 7, Amount: -1e4, Confidence: 0.04},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&frame); err != nil {
+		t.Fatalf("encode identified alarm: %v", err)
+	}
+	var got struct{ Alarm *legacyAlarm }
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("old peer failed to decode identified alarm: %v", err)
+	}
+	if got.Alarm == nil || got.Alarm.Interval != 12 || got.Alarm.Distance != 9.5 ||
+		got.Alarm.Threshold != 2.25 || !got.Alarm.Degraded {
+		t.Fatalf("alarm fields mangled for old peer: %+v", got.Alarm)
+	}
+}
+
+// TestIdentifiedAlarmOldToNewPeer checks the reverse: a legacy alarm
+// decodes into the current Envelope with an empty culprit list and passes
+// Validate.
+func TestIdentifiedAlarmOldToNewPeer(t *testing.T) {
+	legacy := struct{ Alarm *legacyAlarm }{
+		Alarm: &legacyAlarm{Interval: 3, Distance: 4.5, Threshold: 1.5},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&legacy); err != nil {
+		t.Fatalf("encode legacy alarm: %v", err)
+	}
+	var got Envelope
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("new peer failed to decode legacy alarm: %v", err)
+	}
+	if got.Alarm == nil || got.Alarm.Distance != 4.5 || len(got.Alarm.Identified) != 0 {
+		t.Fatalf("legacy alarm mangled: %+v", got.Alarm)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("legacy alarm invalid after decode: %v", err)
+	}
+}

@@ -103,6 +103,17 @@ type SketchResponse struct {
 	StaleFlows int
 }
 
+// IdentifiedFlow names one culprit OD flow attached to an alarm by the
+// NOC's anomography pursuit.
+type IdentifiedFlow struct {
+	// Flow is the global flow index.
+	Flow int
+	// Amount is the estimated injected volume (signed, measurement units).
+	Amount float64
+	// Confidence is the flow's marginal explained-energy fraction, in [0,1].
+	Confidence float64
+}
+
 // Alarm notifies monitors (or other subscribers) of a detected anomaly.
 type Alarm struct {
 	Interval  int64
@@ -111,6 +122,12 @@ type Alarm struct {
 	// Degraded marks alarms raised on substituted inputs (cached volumes
 	// or a stale-sketch model) — see the NOC's DegradedPolicy.
 	Degraded bool
+	// Identified carries the anomography culprits, ranked by Confidence
+	// descending. Empty when identification is disabled or found nothing.
+	// Gob drops unknown fields, so pre-identification peers decode alarms
+	// carrying it and post-identification peers accept legacy alarms
+	// without it (see compat_test.go).
+	Identified []IdentifiedFlow
 }
 
 // ShardMap is pushed by an aggregator to its monitors: the full candidate

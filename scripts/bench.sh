@@ -5,9 +5,10 @@
 # benchmarks (IngestDecode, IngestPipeline at 1/2/4 shards, IngestCollectors
 # at 1/2/4/8 concurrent producers), the PR6 tracing cells
 # (TracedSketchUpdate at mode=base/off/on) and the PR9 aggregator-merge
-# cells (AggregatorMerge at l=64/128, both sketcher families) — and writes
-# BENCH_PR9.json at the repo root: one record per cell with the median
-# ns/op over COUNT runs.
+# cells (AggregatorMerge at l=64/128, both sketcher families) and the PR10
+# identification cells (Identify at m=64/256, culprit budget k=1/8) — and
+# writes BENCH_PR10.json at the repo root: one record per cell with the
+# median ns/op over COUNT runs.
 #
 # Usage: scripts/bench.sh [-count N] [-benchtime D] [-cpuprofile]
 #
@@ -43,7 +44,7 @@ while [ $# -gt 0 ]; do
   esac
 done
 
-KERNEL_BENCH='BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/|BenchmarkFDUpdate/|BenchmarkFDModelBuild/|BenchmarkRSVDBuild/'
+KERNEL_BENCH='BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/|BenchmarkFDUpdate/|BenchmarkFDModelBuild/|BenchmarkRSVDBuild/|BenchmarkIdentify/'
 INGEST_BENCH='BenchmarkIngestDecode$|BenchmarkIngestPipeline/|BenchmarkIngestCollectors/'
 MERGE_BENCH='BenchmarkAggregatorMerge/'
 
@@ -98,7 +99,7 @@ go test ./internal/agg -run 'XXX' \
   -bench "$MERGE_BENCH" \
   -benchtime 20x -count "$COUNT" | tee -a "$RAW" >&2
 
-python3 - "$RAW" <<'EOF' > BENCH_PR9.json
+python3 - "$RAW" <<'EOF' > BENCH_PR10.json
 import json, re, statistics, sys
 
 # Benchmark lines look like (the -N GOMAXPROCS suffix is absent when
@@ -125,6 +126,10 @@ traced = re.compile(
 # shared sketch parameter l, workers=1 (serveFetch's merge cost per fetch).
 merge = re.compile(
     r'^BenchmarkAggregatorMerge/family=(\w+)/l=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+# Identification cells (PR10): m is the flow count, the workers slot holds
+# the culprit budget k (each cell is a serial pursuit).
+identify = re.compile(
+    r'^BenchmarkIdentify/m=(\d+)/k=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 cells = {}
 for line in open(sys.argv[1]):
     m = kernel.match(line)
@@ -151,6 +156,11 @@ for line in open(sys.argv[1]):
     if m:
         key = ("AggregatorMerge/family=" + m.group(1), int(m.group(2)), 1)
         cells.setdefault(key, []).append(float(m.group(3)))
+        continue
+    m = identify.match(line)
+    if m:
+        key = ("Identify", int(m.group(1)), int(m.group(2)))
+        cells.setdefault(key, []).append(float(m.group(3)))
 
 records = [
     {"op": op, "m": size, "workers": w,
@@ -161,4 +171,4 @@ json.dump(records, sys.stdout, indent=2)
 print()
 EOF
 
-echo "wrote BENCH_PR9.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR9.json"))))') cells)" >&2
+echo "wrote BENCH_PR10.json ($(python3 -c 'import json;print(len(json.load(open("BENCH_PR10.json"))))') cells)" >&2

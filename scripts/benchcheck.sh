@@ -3,11 +3,12 @@
 # SymEigen, MonitorUpdate), the PR8 sketcher-family cells (FDUpdate,
 # FDModelBuild, RSVDBuild), the ingest cells (IngestDecode, IngestPipeline,
 # IngestCollectors), the PR6 tracing cells (TracedSketchUpdate at
-# mode=base/off/on) and the PR9 aggregator-merge cells (AggregatorMerge at
-# l=64/128, both families) — against performance regressions: re-runs each cell
+# mode=base/off/on), the PR9 aggregator-merge cells (AggregatorMerge at
+# l=64/128, both families) and the PR10 identification cells (Identify at
+# m=64/256, k=1/8) — against performance regressions: re-runs each cell
 # BENCHCHECK_COUNT times, takes the per-cell minimum (least-noise estimate),
 # and fails when any cell is more than BENCHCHECK_TOLERANCE percent slower
-# than the recorded median in BENCH_PR9.json (written by scripts/bench.sh on
+# than the recorded median in BENCH_PR10.json (written by scripts/bench.sh on
 # the reference host).
 #
 # The tracing cells additionally gate the disabled-tracing overhead: the
@@ -48,6 +49,11 @@
 #   BENCHCHECK_MERGE_FLOOR_FD   same floor for the FD cells (default 5 —
 #                               an FD merge re-compresses the union, so its
 #                               unit cost is ~100x a randproj column union)
+#   BENCHCHECK_IDENTIFY_FLOOR   minimum identifications/s for the worst-case
+#                               Identify cell, m=256/k=8 (default 500; the
+#                               reference host clears 7000/s — the floor
+#                               catches an accidental O(m^2)-per-round
+#                               selection loop, not host variance)
 #   BENCHCHECK_SCALING=0        disable the scaling gates regardless of cores
 #   SKIP_BENCHCHECK=1           skip entirely (e.g. on known-noisy hosts)
 #
@@ -61,8 +67,8 @@ if [ "${SKIP_BENCHCHECK:-0}" = "1" ]; then
     echo "benchcheck: skipped (SKIP_BENCHCHECK=1)"
     exit 0
 fi
-if [ ! -f BENCH_PR9.json ]; then
-    echo "benchcheck: no BENCH_PR9.json baseline; run scripts/bench.sh first" >&2
+if [ ! -f BENCH_PR10.json ]; then
+    echo "benchcheck: no BENCH_PR10.json baseline; run scripts/bench.sh first" >&2
     exit 1
 fi
 
@@ -74,15 +80,16 @@ INGEST_SPEEDUP="${BENCHCHECK_INGEST_SPEEDUP:-4.0}"
 FD_SPEEDUP="${BENCHCHECK_FD_SPEEDUP:-2.0}"
 MERGE_FLOOR="${BENCHCHECK_MERGE_FLOOR:-500}"
 MERGE_FLOOR_FD="${BENCHCHECK_MERGE_FLOOR_FD:-5}"
+IDENTIFY_FLOOR="${BENCHCHECK_IDENTIFY_FLOOR:-500}"
 SCALING="${BENCHCHECK_SCALING:-1}"
 NPROC="$(nproc 2>/dev/null || echo 1)"
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR9.json, trace overhead <= ${TRACE_TOLERANCE}%"
+echo "benchcheck: $COUNT runs/cell, tolerance ${TOLERANCE}% vs BENCH_PR10.json, trace overhead <= ${TRACE_TOLERANCE}%"
 go test . -run 'XXXnone' \
-    -bench 'BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/|BenchmarkFDUpdate/|BenchmarkFDModelBuild/|BenchmarkRSVDBuild/' \
+    -bench 'BenchmarkGram/|BenchmarkMul/|BenchmarkSymEigen/m=|BenchmarkMonitorUpdate/|BenchmarkFDUpdate/|BenchmarkFDModelBuild/|BenchmarkRSVDBuild/|BenchmarkIdentify/' \
     -benchtime 1x -count "$COUNT" > "$RAW"
 # One ingest iteration is a single ~µs datagram and the shard queues
 # buffer up to 1024 of them, so these cells measure 20000 iterations per
@@ -112,7 +119,7 @@ go test ./internal/agg -run 'XXXnone' \
 
 python3 - "$RAW" "$TOLERANCE" "$TRACE_TOLERANCE" \
     "$GRAM_SPEEDUP" "$INGEST_SPEEDUP" "$SCALING" "$NPROC" "$FD_SPEEDUP" \
-    "$MERGE_FLOOR" "$MERGE_FLOOR_FD" <<'EOF'
+    "$MERGE_FLOOR" "$MERGE_FLOOR_FD" "$IDENTIFY_FLOOR" <<'EOF'
 import json, re, sys
 
 kernel = re.compile(
@@ -127,6 +134,8 @@ traced = re.compile(
     r'^BenchmarkTracedSketchUpdate/(mode=\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 merge = re.compile(
     r'^BenchmarkAggregatorMerge/family=(\w+)/l=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
+identify = re.compile(
+    r'^BenchmarkIdentify/m=(\d+)/k=(\d+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op')
 cells = {}
 for line in open(sys.argv[1]):
     m = kernel.match(line)
@@ -153,10 +162,15 @@ for line in open(sys.argv[1]):
     if m:
         key = ("AggregatorMerge/family=" + m.group(1), int(m.group(2)), 1)
         cells.setdefault(key, []).append(float(m.group(3)))
+        continue
+    m = identify.match(line)
+    if m:
+        key = ("Identify", int(m.group(1)), int(m.group(2)))
+        cells.setdefault(key, []).append(float(m.group(3)))
 
 baseline = {
     (r["op"], r["m"], r["workers"]): r["ns_op"]
-    for r in json.load(open("BENCH_PR9.json"))
+    for r in json.load(open("BENCH_PR10.json"))
 }
 tolerance = float(sys.argv[2])
 trace_tolerance = float(sys.argv[3])
@@ -167,6 +181,7 @@ nproc = int(sys.argv[7])
 fd_speedup = float(sys.argv[8])
 merge_floor = float(sys.argv[9])
 merge_floor_fd = float(sys.argv[10])
+identify_floor = float(sys.argv[11])
 
 failed = False
 for key in sorted(set(cells) | set(baseline)):
@@ -275,6 +290,23 @@ for (op, l, _w), v in sorted(cells.items()):
         failed = True
     print("benchcheck: merge throughput %-26s %10.1f sketches/s "
           "(floor %g) %s" % ("%s/l=%d" % (op, l), sps, floor, verdict))
+
+# Identification-latency floor (PR10): the worst-case pursuit cell
+# (m=256 flows, culprit budget k=8) must sustain identify_floor
+# identifications per second. Like the merge floors this is an absolute
+# bound set far below the reference host — it catches algorithmic blowups
+# in the selection loop, not host variance.
+ident = cells.get(("Identify", 256, 8))
+if ident:
+    ips = 1e9 / min(ident)
+    verdict = "ok"
+    if ips < identify_floor:
+        verdict = "FAILED"
+        failed = True
+    print("benchcheck: identify throughput m=256/k=8 %10.1f identifications/s "
+          "(floor %g) %s" % (ips, identify_floor, verdict))
+else:
+    print("benchcheck: identify throughput not measured (cell missing)")
 
 if failed:
     print("benchcheck: FAILED (>%g%% regression or scaling gate miss; rerun "
